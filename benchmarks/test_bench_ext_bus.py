@@ -1,0 +1,20 @@
+"""Bench (extension): switching-pattern Miller effects on a coupled bus.
+
+Capacitive-only coupling shows the classic ordering (in-phase fastest);
+inductive coupling inverts it — the dynamic form of the paper's argument
+that effective inductance depends on neighbours' switching activity.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_ext_bus(once):
+    result = once(run_experiment, "ext_bus", segments=8,
+                  inductive_couplings=(0.0, 0.5))
+    by_km = {row[0]: row for row in result.rows}
+    quiet0, in0, anti0 = by_km[0.0][1:4]
+    quiet5, in5, anti5 = by_km[0.5][1:4]
+    assert in0 < quiet0 < anti0          # capacitive Miller
+    assert in5 > quiet5 > anti5          # inductive inversion
+    print()
+    print(result.format_report())

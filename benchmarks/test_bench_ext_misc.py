@@ -1,0 +1,40 @@
+"""Bench (extensions): Miller-capacitance, skin, power and sensitivity.
+
+These four extension experiments are analytic-speed; benching them keeps
+their shape claims continuously verified alongside the paper artifacts.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_ext_miller(benchmark):
+    result = benchmark(run_experiment, "ext_miller")
+    h_values = [row[2] for row in result.rows]
+    k_values = [row[3] for row in result.rows]
+    assert h_values == sorted(h_values, reverse=True)
+    assert k_values == sorted(k_values)
+
+
+def test_ext_skin(benchmark):
+    result = benchmark(run_experiment, "ext_skin")
+    ratios = [row[2] for row in result.rows]
+    assert ratios == sorted(ratios)
+    assert 1e9 < result.data["onset"] < 1e10
+
+
+def test_ext_power(benchmark):
+    result = benchmark(run_experiment, "ext_power",
+                       budget_fractions=(1.0, 0.8))
+    penalties = [row[4] for row in result.rows]
+    assert penalties[0] == pytest.approx(1.0)
+    assert penalties[1] > 1.0
+
+
+def test_ext_sensitivity(benchmark):
+    result = benchmark(run_experiment, "ext_sensitivity")
+    table = {row[0]: row[1] for row in result.rows}
+    assert table["k"] == pytest.approx(0.0, abs=1e-6)
+    assert table["h"] == pytest.approx(1.0, rel=1e-4)
+    assert table["c"] == pytest.approx(0.5, rel=1e-4)

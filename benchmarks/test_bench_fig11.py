@@ -1,0 +1,32 @@
+"""Bench: Fig. 11 — ring-oscillator period vs line inductance.
+
+Paper claims: at 100 nm the period collapses sharply around l ~ 2 nH/mm
+(onset of false switching); at 250 nm no collapse occurs for any
+l < 5 nH/mm.
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_100nm_collapse(once):
+    result = once(run_experiment, "fig11", node_name="100nm",
+                  l_values=(1.0, 1.6, 2.0, 2.4, 3.0),
+                  period_budget=10.0, steps_per_period=500)
+    onset = result.data["collapse_onset"]
+    assert onset is not None
+    assert 1.5 <= onset <= 3.0               # paper: ~2 nH/mm
+    print()
+    print(result.format_report())
+
+
+def test_fig11_250nm_immune(once):
+    result = once(run_experiment, "fig11", node_name="250nm",
+                  l_values=(0.5, 2.0, 3.5, 4.8),
+                  period_budget=10.0, steps_per_period=500)
+    assert result.data["collapse_onset"] is None
+    periods = np.array(result.data["periods"])
+    assert np.all(np.isfinite(periods))
+    print()
+    print(result.format_report())

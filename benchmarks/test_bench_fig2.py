@@ -1,0 +1,20 @@
+"""Bench: Fig. 2 — step responses of the three damping regimes.
+
+Only the underdamped response overshoots/undershoots; the over- and
+critically damped responses are monotonic, and the 50% delays order as
+underdamped < critical < overdamped at equal natural frequency.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig2_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig2")
+    rows = {row[0]: row for row in result.rows}
+    assert rows["underdamped"][2] > 0.1            # visible overshoot
+    assert rows["underdamped"][3] > 0.0            # and undershoot
+    assert rows["overdamped"][2] == 0.0
+    assert rows["critically damped"][2] == 0.0
+    assert rows["overdamped"][5] and rows["critically damped"][5]
+    assert (rows["underdamped"][4] < rows["critically damped"][4]
+            < rows["overdamped"][4])

@@ -1,0 +1,26 @@
+"""Bench: Fig. 4 — critical inductance at the RLC optimum vs l.
+
+Paper claims: l and l_crit share an order of magnitude over the practical
+range (so Kahng-Muddu's asymptotic delay branches do not apply at the
+optimum), and l_crit(100nm) < l_crit(250nm) everywhere.
+"""
+
+import numpy as np
+
+from repro import units
+from repro.experiments import run_experiment
+
+
+def test_fig4_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig4", points=11)
+    sweeps = result.data["sweeps"]
+    assert np.all(sweeps["100nm"].l_crit < sweeps["250nm"].l_crit)
+    # Same order of magnitude: l / l_crit within [0.5, 30] for l >= 0.5 nH/mm.
+    for sweep in sweeps.values():
+        mask = sweep.l_values >= 0.5 * units.NH_PER_MM
+        ratio = sweep.l_values[mask] / sweep.l_crit[mask]
+        assert np.all(ratio > 0.5)
+        assert np.all(ratio < 30.0)
+    # The optimum is underdamped over most of the range (l > l_crit), the
+    # regime where only the exact Eq. 3 solve works.
+    assert np.all(sweeps["100nm"].damping_margin[2:] > 1.0)

@@ -1,0 +1,22 @@
+"""Bench: Fig. 5 — h_optRLC / h_optRC vs line inductance.
+
+Paper claims: ratio slightly below 1 at l = 0 (second-order model vs
+Elmore — invisible to curve-fitted approaches), rising monotonically with
+l, faster at 100 nm.
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig5", points=11)
+    sweeps = result.data["sweeps"]
+    for sweep in sweeps.values():
+        assert 0.9 < sweep.h_ratio[0] < 1.0
+        assert np.all(np.diff(sweep.h_ratio) > 0.0)
+    # 100nm rises faster and ends higher.
+    assert sweeps["100nm"].h_ratio[-1] > sweeps["250nm"].h_ratio[-1]
+    assert 1.3 < sweeps["250nm"].h_ratio[-1] < 1.5
+    assert 1.5 < sweeps["100nm"].h_ratio[-1] < 1.75

@@ -1,0 +1,25 @@
+"""Bench: Fig. 6 — k_optRLC / k_optRC vs line inductance.
+
+Paper claims: the optimal repeater shrinks with l, approaching (from
+above) the size whose output impedance matches the line's characteristic
+impedance sqrt(l/c).
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig6", points=11)
+    sweeps = result.data["sweeps"]
+    for name, sweep in sweeps.items():
+        assert np.all(np.diff(sweep.k_ratio) < 0.0)
+        assert sweep.k_ratio[0] < 1.0          # already < 1 at l = 0
+    assert sweeps["100nm"].k_ratio[-1] < sweeps["250nm"].k_ratio[-1]
+    # Approaching the matched size from above: every tabulated k ratio
+    # exceeds the matched-impedance ratio at the same l.
+    for row in result.rows[1:]:
+        l_nh, k250, m250, k100, m100 = row
+        assert k250 > m250
+        assert k100 > m100

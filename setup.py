@@ -1,0 +1,5 @@
+"""Setup shim enabling legacy editable installs (no `wheel` on this host)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of Banerjee & Mehrotra, DAC 2001.
+
+"Analysis of On-Chip Inductance Effects using a Novel Performance
+Optimization Methodology for Distributed RLC Interconnects."
+
+Public API highlights
+---------------------
+* :func:`repro.optimize_repeater` — inductance-aware repeater insertion
+  (the paper's contribution, Eqs. 7-8).
+* :func:`repro.threshold_delay` — f*100% delay of a driver-line-load stage
+  from the two-pole model (Eq. 3).
+* :func:`repro.rc_optimum` — Elmore-based closed-form baseline.
+* :func:`repro.critical_inductance` — l_crit (Eq. 4).
+* :data:`repro.NODE_250NM` / :data:`repro.NODE_100NM` — Table 1 technology
+  nodes.
+* :mod:`repro.circuits` — MNA transient simulator (SPICE substitute) used
+  by the ring-oscillator failure studies (Figs. 9-12).
+"""
+
+from . import units
+from .core import (Damping, DelayResult, DelaySensitivities, DriverParams,
+                   InductanceSweep, LineParams, Moments, OptimizerMethod,
+                   PolePair, RCOptimum, RCTree, RepeaterOptimum, SizedDriver,
+                   Stage, StepResponse, canonical_response, classify_damping,
+                   compute_moments, compute_poles, critical_inductance,
+                   damping_margin, delay_sensitivities,
+                   driver_from_rc_optimum, elmore_stage_delay,
+                   elmore_total_delay, exact_transfer, newton_delay,
+                   optimize_repeater, pade_transfer, rc_optimum, stage_delay,
+                   stage_delay_per_length, sweep_inductance, threshold_delay)
+from .errors import (ConvergenceError, DelaySolverError, ExtractionError,
+                     NetlistError, OptimizationError, ParameterError,
+                     ReproError, SimulationError)
+from .tech.node import (MAX_PRACTICAL_INDUCTANCE, NODE_100NM,
+                        NODE_100NM_EPS_250NM, NODE_250NM, NODES,
+                        TechnologyNode, WireGeometrySpec, get_node)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__", "units",
+    # core
+    "Damping", "DelayResult", "DriverParams", "InductanceSweep", "LineParams",
+    "Moments", "OptimizerMethod", "PolePair", "RCOptimum", "RepeaterOptimum",
+    "SizedDriver", "Stage", "StepResponse", "canonical_response",
+    "classify_damping", "compute_moments", "compute_poles",
+    "critical_inductance", "damping_margin", "driver_from_rc_optimum",
+    "elmore_stage_delay", "elmore_total_delay", "exact_transfer",
+    "newton_delay", "optimize_repeater", "pade_transfer", "rc_optimum",
+    "stage_delay", "stage_delay_per_length", "sweep_inductance",
+    "threshold_delay", "DelaySensitivities", "delay_sensitivities",
+    "RCTree",
+    # errors
+    "ConvergenceError", "DelaySolverError", "ExtractionError", "NetlistError",
+    "OptimizationError", "ParameterError", "ReproError", "SimulationError",
+    # tech
+    "MAX_PRACTICAL_INDUCTANCE", "NODE_100NM", "NODE_100NM_EPS_250NM",
+    "NODE_250NM", "NODES", "TechnologyNode", "WireGeometrySpec", "get_node",
+]

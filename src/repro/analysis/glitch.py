@@ -1,0 +1,73 @@
+"""Switching-activity and glitch-power analysis.
+
+The paper's Sec. 1.1: "Glitches increase the dynamic power dissipation
+while false transitions can cause logic errors."  Dynamic power is
+proportional to the transition rate, so comparing the measured rate of a
+node below vs above the false-switching onset puts a number on the
+glitch-power cost of inductance: in the Fig. 11 ring, false switching
+roughly halves the period, i.e. roughly doubles the dynamic power of
+every gate it reaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .waveform import Waveform
+
+
+def transition_count(waveform: Waveform, level: float) -> int:
+    """Number of full transitions (rising + falling) through ``level``."""
+    return int(waveform.rising_crossings(level).size
+               + waveform.falling_crossings(level).size)
+
+
+def switching_rate(waveform: Waveform, level: float) -> float:
+    """Transitions per second through ``level`` over the waveform span."""
+    return transition_count(waveform, level) / waveform.duration
+
+
+@dataclass(frozen=True)
+class GlitchReport:
+    """Activity comparison of a node between two operating conditions."""
+
+    baseline_rate: float       #: transitions/s in the clean condition
+    observed_rate: float       #: transitions/s in the glitchy condition
+    level: float
+
+    @property
+    def activity_multiplier(self) -> float:
+        """observed/baseline transition rate = dynamic-power multiplier."""
+        if self.baseline_rate == 0.0:
+            raise ParameterError("baseline waveform has no transitions")
+        return self.observed_rate / self.baseline_rate
+
+    @property
+    def glitching(self) -> bool:
+        """True when the observed activity exceeds baseline by > 25%."""
+        return self.activity_multiplier > 1.25
+
+
+def compare_activity(baseline: Waveform, observed: Waveform,
+                     level: float, *, settle_fraction: float = 0.25
+                     ) -> GlitchReport:
+    """Compare switching rates of two waveforms after a settling window.
+
+    The first ``settle_fraction`` of each waveform is discarded (ring
+    start-up transients would otherwise bias the count).
+    """
+    if not 0.0 <= settle_fraction < 1.0:
+        raise ParameterError(
+            f"settle fraction must be in [0, 1), got {settle_fraction}")
+
+    def settled(waveform: Waveform) -> Waveform:
+        t0 = waveform.time[0]
+        t1 = waveform.time[-1]
+        return waveform.slice(t0 + settle_fraction * (t1 - t0), t1)
+
+    base = settled(baseline)
+    obs = settled(observed)
+    return GlitchReport(baseline_rate=switching_rate(base, level),
+                        observed_rate=switching_rate(obs, level),
+                        level=level)

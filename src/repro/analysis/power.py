@@ -1,0 +1,162 @@
+"""Repeater-insertion power model and power-constrained optimization.
+
+The paper notes that inductive glitches raise dynamic power and that
+repeater insertion itself carries a power/area cost; this module makes
+that cost explicit.  Per unit length of a repeated line, the switched
+capacitance is
+
+    C' = c  +  (c_0 + c_p) k / h          [F/m]
+
+so the dynamic power per unit length at supply vdd, clock frequency
+f_clk and activity factor alpha is  P' = alpha f_clk vdd^2 C'.  The
+delay-optimal (h, k) is power-hungry (large k, moderate h);
+:func:`optimize_with_power_cap` finds the minimum-delay sizing subject to
+a P' budget, exposing the standard energy-delay trade-off on top of the
+paper's delay-only optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from ..core.delay import threshold_delay
+from ..core.optimize import RepeaterOptimum, optimize_repeater
+from ..core.params import DriverParams, LineParams, Stage
+from ..errors import OptimizationError, ParameterError
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power accounting of one repeated-line design (per unit length)."""
+
+    switched_capacitance_per_length: float   #: F/m
+    dynamic_power_per_length: float          #: W/m
+    repeater_fraction: float                 #: share of C' from repeaters
+    vdd: float
+    frequency: float
+    activity: float
+
+
+def switched_capacitance_per_length(line: LineParams, driver: DriverParams,
+                                    h: float, k: float) -> float:
+    """c + (c_0 + c_p) k / h in F/m."""
+    if h <= 0.0 or k <= 0.0:
+        raise ParameterError("h and k must be positive")
+    return line.c + (driver.c_0 + driver.c_p) * k / h
+
+
+def power_report(line: LineParams, driver: DriverParams, h: float, k: float,
+                 *, vdd: float, frequency: float,
+                 activity: float = 0.15) -> PowerReport:
+    """Dynamic-power accounting for a (h, k) repeated-line design."""
+    if vdd <= 0.0 or frequency <= 0.0:
+        raise ParameterError("vdd and frequency must be positive")
+    if not 0.0 < activity <= 1.0:
+        raise ParameterError(f"activity must be in (0, 1], got {activity}")
+    c_prime = switched_capacitance_per_length(line, driver, h, k)
+    repeater_part = (driver.c_0 + driver.c_p) * k / h
+    return PowerReport(
+        switched_capacitance_per_length=c_prime,
+        dynamic_power_per_length=activity * frequency * vdd * vdd * c_prime,
+        repeater_fraction=repeater_part / c_prime,
+        vdd=vdd, frequency=frequency, activity=activity)
+
+
+@dataclass(frozen=True)
+class PowerConstrainedOptimum:
+    """Result of the power-capped delay minimization."""
+
+    h_opt: float
+    k_opt: float
+    tau: float
+    delay_per_length: float
+    power_per_length: float
+    power_budget: float
+    constraint_active: bool
+    unconstrained: RepeaterOptimum
+
+    @property
+    def delay_penalty(self) -> float:
+        """Delay-per-length ratio vs the unconstrained optimum (>= 1)."""
+        return self.delay_per_length / self.unconstrained.delay_per_length
+
+
+def optimize_with_power_cap(line: LineParams, driver: DriverParams, *,
+                            vdd: float, frequency: float,
+                            power_budget_per_length: float,
+                            f: float = 0.5, activity: float = 0.15,
+                            tol: float = 1e-6) -> PowerConstrainedOptimum:
+    """Minimize delay per unit length subject to a dynamic-power budget.
+
+    If the unconstrained optimum already meets the budget it is returned
+    unchanged.  Otherwise the constraint is active and the search runs
+    along the constraint boundary: the budget fixes the repeater density
+    rho = k/h = (C'_max - c) (c_0 + c_p)^-1, leaving a 1-D minimization
+    of tau(h, rho h)/h over h (solved by golden-section).
+
+    Raises
+    ------
+    OptimizationError
+        If the budget is below the wire's own switching power (no
+        repeater sizing can meet it).
+    """
+    if power_budget_per_length <= 0.0:
+        raise ParameterError("power budget must be positive")
+    scale = activity * frequency * vdd * vdd
+    c_budget = power_budget_per_length / scale     # allowed C' (F/m)
+    if c_budget <= line.c:
+        raise OptimizationError(
+            f"power budget {power_budget_per_length:.3e} W/m is below the "
+            f"bare wire's switching power {scale * line.c:.3e} W/m")
+
+    unconstrained = optimize_repeater(line, driver, f)
+    unconstrained_power = scale * switched_capacitance_per_length(
+        line, driver, unconstrained.h_opt, unconstrained.k_opt)
+    if unconstrained_power <= power_budget_per_length:
+        return PowerConstrainedOptimum(
+            h_opt=unconstrained.h_opt, k_opt=unconstrained.k_opt,
+            tau=unconstrained.tau,
+            delay_per_length=unconstrained.delay_per_length,
+            power_per_length=unconstrained_power,
+            power_budget=power_budget_per_length,
+            constraint_active=False, unconstrained=unconstrained)
+
+    density = (c_budget - line.c) / (driver.c_0 + driver.c_p)   # k/h (1/m)
+
+    def objective(h: float) -> float:
+        stage = Stage(line=line, driver=driver, h=h, k=density * h)
+        return threshold_delay(stage, f, polish_with_newton=False).tau / h
+
+    h_best = _golden_section(objective,
+                             0.05 * unconstrained.h_opt,
+                             20.0 * unconstrained.h_opt, tol)
+    k_best = density * h_best
+    stage = Stage(line=line, driver=driver, h=h_best, k=k_best)
+    tau = threshold_delay(stage, f, polish_with_newton=False).tau
+    return PowerConstrainedOptimum(
+        h_opt=h_best, k_opt=k_best, tau=tau, delay_per_length=tau / h_best,
+        power_per_length=scale * switched_capacitance_per_length(
+            line, driver, h_best, k_best),
+        power_budget=power_budget_per_length,
+        constraint_active=True, unconstrained=unconstrained)
+
+
+def _golden_section(objective, lo: float, hi: float, tol: float) -> float:
+    """Golden-section minimization of a unimodal positive function."""
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = objective(c), objective(d)
+    for _ in range(200):
+        if (b - a) <= tol * b:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = objective(d)
+    return 0.5 * (a + b)

@@ -1,0 +1,110 @@
+"""Reliability screens: gate-oxide overstress and wire current limits.
+
+Sec. 3.3.2 of the paper raises two reliability channels for inductive
+lines:
+
+* **Gate oxide wear-out** — overshoot drives repeater inputs above VDD;
+  since DSM supplies are chosen to keep the oxide field just below its
+  critical value (Hu [26, 27]), sustained overshoot beyond a small margin
+  accelerates oxide breakdown.
+* **Electromigration / Joule heating** — after Banerjee et al. [28], wire
+  lifetime degrades when rms (self-heating) and peak (EM) current
+  densities exceed technology limits.  Fig. 12 shows the densities barely
+  move with inductance, so wires remain safe; the screen here lets users
+  verify that conclusion quantitatively.
+
+The default density limits are representative late-1990s Cu-interconnect
+values from that literature (the paper itself quotes none); both are
+parameters of :func:`assess_current_density`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .currents import CurrentDensityReport
+from .waveform import Waveform
+
+#: Representative rms current-density limit (A/m^2) for Joule heating,
+#: ~2 MA/cm^2 (after Banerjee et al., DAC 1999).
+EM_RMS_LIMIT = 2.0e10
+
+#: Representative peak current-density limit (A/m^2) for electromigration
+#: under pulsed stress, ~10 MA/cm^2.
+EM_PEAK_LIMIT = 1.0e11
+
+#: Fractional overshoot above VDD tolerated before flagging oxide stress.
+DEFAULT_OXIDE_MARGIN = 0.10
+
+
+@dataclass(frozen=True)
+class ReliabilityVerdict:
+    """Outcome of the wire current-density screen."""
+
+    ok: bool
+    rms_utilization: float     #: rms density / limit
+    peak_utilization: float    #: peak density / limit
+
+    @property
+    def limiting_mechanism(self) -> str:
+        """'joule-heating' or 'electromigration', whichever is closer."""
+        return ("joule-heating" if self.rms_utilization >=
+                self.peak_utilization else "electromigration")
+
+
+def assess_current_density(report: CurrentDensityReport, *,
+                           rms_limit: float = EM_RMS_LIMIT,
+                           peak_limit: float = EM_PEAK_LIMIT
+                           ) -> ReliabilityVerdict:
+    """Compare measured current densities against technology limits."""
+    if rms_limit <= 0.0 or peak_limit <= 0.0:
+        raise ParameterError("density limits must be positive")
+    rms_utilization = report.rms_density / rms_limit
+    peak_utilization = report.peak_density / peak_limit
+    return ReliabilityVerdict(ok=(rms_utilization <= 1.0
+                                  and peak_utilization <= 1.0),
+                              rms_utilization=rms_utilization,
+                              peak_utilization=peak_utilization)
+
+
+@dataclass(frozen=True)
+class OxideStressReport:
+    """Gate-voltage stress seen at a repeater input."""
+
+    max_voltage: float         #: maximum gate voltage observed (V)
+    min_voltage: float         #: minimum gate voltage observed (V)
+    vdd: float
+    overshoot_fraction: float  #: (max - vdd)/vdd, >= 0
+    undershoot_fraction: float #: (0 - min)/vdd, >= 0
+    violates: bool             #: overshoot beyond the allowed margin
+
+
+def assess_oxide_stress(gate_waveform: Waveform, vdd: float, *,
+                        margin: float = DEFAULT_OXIDE_MARGIN
+                        ) -> OxideStressReport:
+    """Screen a gate waveform for oxide-overstress overshoot.
+
+    Parameters
+    ----------
+    vdd:
+        Supply voltage; the oxide field budget corresponds to vdd across
+        the gate oxide.
+    margin:
+        Tolerated fractional excursion above vdd (and below ground —
+        negative gate-to-channel bias stresses the oxide symmetrically).
+    """
+    if vdd <= 0.0:
+        raise ParameterError(f"vdd must be positive, got {vdd}")
+    if margin < 0.0:
+        raise ParameterError(f"margin must be >= 0, got {margin}")
+    v_max = float(gate_waveform.values.max())
+    v_min = float(gate_waveform.values.min())
+    overshoot_fraction = max(0.0, (v_max - vdd) / vdd)
+    undershoot_fraction = max(0.0, -v_min / vdd)
+    violates = (overshoot_fraction > margin
+                or undershoot_fraction > margin)
+    return OxideStressReport(max_voltage=v_max, min_voltage=v_min, vdd=vdd,
+                             overshoot_fraction=overshoot_fraction,
+                             undershoot_fraction=undershoot_fraction,
+                             violates=violates)

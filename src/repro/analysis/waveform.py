@@ -1,0 +1,192 @@
+"""Waveform measurement utilities (delays, crossings, ringing, periods).
+
+Everything the paper measures on simulated waveforms lives here: threshold
+crossings with linear interpolation, 50% delays between nodes, overshoot
+and undershoot relative to the rails (Figs. 9-10), oscillation-period
+extraction for the ring oscillator (Fig. 11), and peak/rms values for the
+current-density study (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+#: Trapezoidal integration: numpy 2 renamed trapz to trapezoid.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A sampled waveform: strictly increasing times and matching values."""
+
+    time: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        time = np.asarray(self.time, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if time.ndim != 1 or values.ndim != 1 or time.size != values.size:
+            raise ParameterError("time and values must be 1-D and equal length")
+        if time.size < 2:
+            raise ParameterError("waveform needs at least two samples")
+        if np.any(np.diff(time) <= 0.0):
+            raise ParameterError("time samples must be strictly increasing")
+        object.__setattr__(self, "time", time)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # Basic queries.
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Total spanned time."""
+        return float(self.time[-1] - self.time[0])
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time t (clamped at the ends)."""
+        return float(np.interp(t, self.time, self.values))
+
+    def slice(self, t_start: float, t_end: float) -> "Waveform":
+        """Sub-waveform restricted to [t_start, t_end]."""
+        if t_end <= t_start:
+            raise ParameterError("t_end must exceed t_start")
+        mask = (self.time >= t_start) & (self.time <= t_end)
+        if int(np.count_nonzero(mask)) < 2:
+            raise ParameterError("slice contains fewer than two samples")
+        return Waveform(self.time[mask], self.values[mask])
+
+    # ------------------------------------------------------------------
+    # Crossings and delays.
+    # ------------------------------------------------------------------
+    def rising_crossings(self, level: float) -> np.ndarray:
+        """Times where the waveform crosses ``level`` going upward."""
+        return self._crossings(level, rising=True)
+
+    def falling_crossings(self, level: float) -> np.ndarray:
+        """Times where the waveform crosses ``level`` going downward."""
+        return self._crossings(level, rising=False)
+
+    def _crossings(self, level: float, *, rising: bool) -> np.ndarray:
+        v = self.values - level
+        if rising:
+            hits = np.nonzero((v[:-1] < 0.0) & (v[1:] >= 0.0))[0]
+        else:
+            hits = np.nonzero((v[:-1] > 0.0) & (v[1:] <= 0.0))[0]
+        if hits.size == 0:
+            return np.empty(0)
+        t0 = self.time[hits]
+        t1 = self.time[hits + 1]
+        v0 = v[hits]
+        v1 = v[hits + 1]
+        return t0 + (t1 - t0) * (-v0) / (v1 - v0)
+
+    def first_crossing(self, level: float, *, rising: bool = True) -> float:
+        """First crossing time of ``level``; raises if there is none."""
+        crossings = self._crossings(level, rising=rising)
+        if crossings.size == 0:
+            direction = "rising" if rising else "falling"
+            raise ParameterError(
+                f"waveform never crosses {level} ({direction})")
+        return float(crossings[0])
+
+    def delay_to(self, other: "Waveform", level: float, *,
+                 rising: bool = True) -> float:
+        """Delay from this waveform's first ``level`` crossing to ``other``'s."""
+        return other.first_crossing(level, rising=rising) \
+            - self.first_crossing(level, rising=rising)
+
+    # ------------------------------------------------------------------
+    # Signal-integrity metrics.
+    # ------------------------------------------------------------------
+    def overshoot(self, high: float) -> float:
+        """Maximum excursion above the high rail (>= 0)."""
+        return max(0.0, float(np.max(self.values)) - high)
+
+    def undershoot(self, low: float = 0.0) -> float:
+        """Maximum excursion below the low rail (>= 0)."""
+        return max(0.0, low - float(np.min(self.values)))
+
+    def peak(self) -> float:
+        """Maximum absolute value."""
+        return float(np.max(np.abs(self.values)))
+
+    def rms(self) -> float:
+        """Root-mean-square value, trapezoidally time-weighted.
+
+        Correct also for non-uniform sampling (the step-halving transient
+        solver emits uniform grids, but measured slices may not start on a
+        period boundary).
+        """
+        squared = self.values * self.values
+        integral = _trapezoid(squared, self.time)
+        return float(np.sqrt(integral / self.duration))
+
+    def average(self) -> float:
+        """Time-weighted mean value."""
+        return float(_trapezoid(self.values, self.time) / self.duration)
+
+    def rise_time(self, low: float, high: float, *,
+                  fractions: tuple[float, float] = (0.1, 0.9)) -> float:
+        """10-90% (by default) rise time of the first low-to-high swing.
+
+        ``low``/``high`` are the signal rails; the thresholds are placed
+        at low + fractions*(high-low) and the first rising crossings of
+        each are differenced.
+        """
+        f_lo, f_hi = fractions
+        if not 0.0 <= f_lo < f_hi <= 1.0:
+            raise ParameterError(
+                f"fractions must satisfy 0 <= lo < hi <= 1, got {fractions}")
+        swing = high - low
+        t_lo = self.first_crossing(low + f_lo * swing, rising=True)
+        t_hi = self.first_crossing(low + f_hi * swing, rising=True)
+        return t_hi - t_lo
+
+    def fall_time(self, low: float, high: float, *,
+                  fractions: tuple[float, float] = (0.1, 0.9)) -> float:
+        """90-10% (by default) fall time of the first high-to-low swing."""
+        f_lo, f_hi = fractions
+        if not 0.0 <= f_lo < f_hi <= 1.0:
+            raise ParameterError(
+                f"fractions must satisfy 0 <= lo < hi <= 1, got {fractions}")
+        swing = high - low
+        t_hi = self.first_crossing(low + f_hi * swing, rising=False)
+        t_lo = self.first_crossing(low + f_lo * swing, rising=False)
+        return t_lo - t_hi
+
+    # ------------------------------------------------------------------
+    # Oscillation analysis (Fig. 11).
+    # ------------------------------------------------------------------
+    def oscillation_period(self, level: float, *, skip: int = 2,
+                           min_cycles: int = 2) -> float:
+        """Median period between successive rising crossings of ``level``.
+
+        Parameters
+        ----------
+        skip:
+            Initial rising crossings to discard (start-up transient).
+        min_cycles:
+            Minimum number of full periods required after the skip.
+
+        Raises
+        ------
+        ParameterError
+            If the waveform does not contain enough crossings to measure a
+            period — i.e. it does not oscillate at that level.
+        """
+        crossings = self.rising_crossings(level)
+        usable = crossings[skip:]
+        if usable.size < min_cycles + 1:
+            raise ParameterError(
+                f"waveform has only {usable.size} usable crossings of "
+                f"{level}; cannot measure an oscillation period")
+        periods = np.diff(usable)
+        return float(np.median(periods))
+
+    def oscillation_frequency(self, level: float, **kwargs) -> float:
+        """1 / oscillation_period."""
+        return 1.0 / self.oscillation_period(level, **kwargs)

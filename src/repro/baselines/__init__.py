@@ -1,0 +1,23 @@
+"""Published baseline models the paper compares against.
+
+* :mod:`~repro.baselines.kahng_muddu` — the analytical two-pole delay
+  approximations of Kahng & Muddu (TCAD 1997), accurate only far from
+  critical damping (the paper's Sec. 2.1 critique).
+* :mod:`~repro.baselines.ismail_friedman` — the curve-fitted repeater
+  insertion formulas of Ismail & Friedman (DAC 1999 / TVLSI 2000), valid
+  only over the fitted parameter ranges (the paper's Sec. 2.2 critique).
+"""
+
+from .ismail_friedman import (IFOptimum, if_optimum, t_lr,
+                              validity_ranges_satisfied)
+from .kahng_muddu import (km_applicability, km_delay,
+                          km_delay_critically_damped, km_delay_overdamped,
+                          km_delay_underdamped)
+from .refit import RefitResult, refit_if_coefficients
+
+__all__ = [
+    "IFOptimum", "if_optimum", "t_lr", "validity_ranges_satisfied",
+    "km_applicability", "km_delay", "km_delay_critically_damped",
+    "km_delay_overdamped", "km_delay_underdamped",
+    "RefitResult", "refit_if_coefficients",
+]

@@ -1,0 +1,97 @@
+"""Ismail-Friedman curve-fitted repeater insertion (baseline [21, 22]).
+
+Ismail & Friedman (DAC 1999 / TVLSI 2000) fitted the 50% delay of an RLC
+stage to circuit simulations and derived empirical corrections to the
+classical RC repeater optimum:
+
+    h_opt = h_optRC * [1 + 0.18 T_LR^3]^0.30
+    k_opt = k_optRC / [1 + 0.16 T_LR^3]^0.24
+
+driven by a dimensionless inductance-to-resistance ratio T_LR.  We
+reconstruct T_LR as the segment damping variable evaluated at the RC
+optimum: T_LR = (1/(r h_RC)) sqrt(l/c) with h_RC = sqrt(2 r_s (c_0+c_p)
+/ (r c)), which simplifies to
+
+    T_LR = sqrt( (l / r) / (2 r_s (c_0 + c_p)) ).
+
+NOTE ON FIDELITY: the original papers' exact normalization of T_LR is not
+reproduced verbatim here (it may differ by an O(1) constant); this module
+exists as the *shape* baseline the reproduced paper criticizes — a fitted
+formula valid only for 50% delay and only when c h / (c_0 k) and
+r_s / (k r h) lie in [0, 1] — and the validity-range check below is part
+of that critique's reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.elmore import rc_optimum
+from ..core.params import DriverParams, LineParams
+from ..errors import ParameterError
+
+#: Fitted exponents/coefficients from Ismail & Friedman (TVLSI 2000).
+_H_COEFFICIENT = 0.18
+_H_EXPONENT = 0.30
+_K_COEFFICIENT = 0.16
+_K_EXPONENT = 0.24
+
+
+@dataclass(frozen=True)
+class IFOptimum:
+    """Ismail-Friedman empirical repeater optimum."""
+
+    h_opt: float
+    k_opt: float
+    t_lr: float
+
+    @property
+    def inductance_negligible(self) -> bool:
+        """True when the correction factors are within 1% of unity."""
+        return _H_COEFFICIENT * self.t_lr ** 3 < 0.01
+
+
+def t_lr(line: LineParams, driver: DriverParams) -> float:
+    """Dimensionless inductance-to-resistance ratio T_LR (reconstruction).
+
+    T_LR = sqrt((l/r) / (2 r_s (c_0 + c_p))): the ratio of the line's L/R
+    time constant to the RC time scale of an optimally buffered segment.
+    Zero inductance gives T_LR = 0 and the formulas collapse to the RC
+    optimum.
+    """
+    return math.sqrt((line.l / line.r)
+                     / (2.0 * driver.r_s * (driver.c_0 + driver.c_p)))
+
+
+def if_optimum(line: LineParams, driver: DriverParams) -> IFOptimum:
+    """Empirical (h_opt, k_opt) after Ismail & Friedman.
+
+    Unlike :func:`repro.core.optimize.optimize_repeater` this is valid only
+    for the 50% delay and inside the fitted parameter ranges (use
+    :func:`validity_ranges_satisfied` to check the result).
+    """
+    rc_opt = rc_optimum(line, driver)
+    ratio = t_lr(line, driver)
+    h_factor = (1.0 + _H_COEFFICIENT * ratio ** 3) ** _H_EXPONENT
+    k_factor = (1.0 + _K_COEFFICIENT * ratio ** 3) ** _K_EXPONENT
+    return IFOptimum(h_opt=rc_opt.h_opt * h_factor,
+                     k_opt=rc_opt.k_opt / k_factor,
+                     t_lr=ratio)
+
+
+def validity_ranges_satisfied(line: LineParams, driver: DriverParams,
+                              h: float, k: float) -> bool:
+    """Check the fitted formulas' published validity ranges at (h, k).
+
+    Ismail & Friedman's delay fit requires both the capacitance ratio
+    c h / (c_0 k) and the resistance ratio r_s / (k r h) to lie in [0, 1].
+    The reproduced paper points out that realistic optima violate these
+    (e.g. the total line capacitance of an optimal global-wire segment far
+    exceeds the load capacitance).
+    """
+    if h <= 0.0 or k <= 0.0:
+        raise ParameterError("h and k must be positive")
+    capacitance_ratio = line.c * h / (driver.c_0 * k)
+    resistance_ratio = driver.r_s / (k * line.r * h)
+    return 0.0 <= capacitance_ratio <= 1.0 and 0.0 <= resistance_ratio <= 1.0

@@ -1,0 +1,160 @@
+"""Small-signal AC analysis for the MNA simulator.
+
+Solves the complex phasor system (G + j omega C-stamps) x = b at each
+requested frequency: resistors stamp conductance, capacitors j omega C,
+inductors and voltage sources keep their branch rows with j omega L (and
+j omega M for mutual coupling) on the branch diagonal.  Exactly one
+voltage source is designated the AC input (unit phasor); every node
+voltage is then the transfer function from that input.
+
+This gives the repo a third, *frequency-domain* leg of cross-validation:
+the discretized ladder's H(j omega) can be compared directly against the
+closed-form Eq. 1 evaluated at s = j omega (see tests), independent of
+any time-stepping error.
+
+Nonlinear devices are not linearized automatically (no operating-point
+small-signal models are defined); circuits containing them are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .mna import DEFAULT_GMIN, MnaStructure
+from .netlist import Circuit
+
+
+class AcAnalysis:
+    """Phasor analysis of a linear circuit with one AC-driven source."""
+
+    def __init__(self, circuit: Circuit, *, input_source: str,
+                 gmin: float = DEFAULT_GMIN) -> None:
+        circuit.validate()
+        self.structure = MnaStructure(circuit)
+        if self.structure.nonlinear:
+            names = [d.name for d in self.structure.nonlinear]
+            raise SimulationError(
+                f"AC analysis supports linear circuits only; nonlinear "
+                f"devices present: {names}")
+        source_names = {s.name for s in self.structure.voltage_sources}
+        if input_source not in source_names:
+            raise SimulationError(
+                f"input source {input_source!r} is not a voltage source "
+                f"of this circuit")
+        self.input_source = input_source
+        self.gmin = gmin
+
+        # Frequency-independent part: resistors + branch/source topology.
+        structure = self.structure
+        self._static = np.zeros((structure.size, structure.size),
+                                dtype=complex)
+        structure.stamp_static(self._static.view(), gmin=gmin)
+
+    # ------------------------------------------------------------------
+    def solve(self, omega: float) -> np.ndarray:
+        """Solve the phasor system at angular frequency ``omega`` (rad/s).
+
+        Returns the full solution vector (node voltages then branch
+        currents) for a unit input phasor; other voltage sources are AC
+        grounds (0 V phasors).
+        """
+        structure = self.structure
+        matrix = self._static.copy()
+        s = 1j * omega
+        for cap in structure.capacitors:
+            structure.stamp_conductance(matrix,
+                                        structure.node_index(cap.a),
+                                        structure.node_index(cap.b),
+                                        s * cap.capacitance)
+        # Branch rows read v_ab (already stamped) and need -(s L) i terms
+        # to represent v_ab = s L i  (written as v_ab - sL i = 0).
+        for inductor in structure.inductors:
+            row = structure.branch_row(inductor.name)
+            matrix[row, row] -= s * inductor.inductance
+        for row_a, row_b, m in structure.mutual_terms:
+            matrix[row_a, row_b] -= s * m
+            matrix[row_b, row_a] -= s * m
+
+        rhs = np.zeros(structure.size, dtype=complex)
+        rhs[structure.branch_row(self.input_source)] = 1.0
+        try:
+            return np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(
+                f"singular AC system at omega={omega:g}: {exc}") from exc
+
+    def transfer(self, node: str, omegas: Sequence[float]) -> np.ndarray:
+        """H(j omega) = V(node)/V(input) across angular frequencies."""
+        index = self.structure.node_index(node)
+        out = np.empty(len(omegas), dtype=complex)
+        for i, omega in enumerate(omegas):
+            solution = self.solve(float(omega))
+            out[i] = solution[index] if index >= 0 else 0.0
+        return out
+
+    def input_impedance(self, omegas: Sequence[float]) -> np.ndarray:
+        """Z_in(j omega) = V_in / I_in seen by the input source.
+
+        The source's branch current flows a -> b through it, i.e. *into*
+        the circuit at the negative terminal; the impedance presented to
+        the source is -V/I with our sign convention.
+        """
+        row = self.structure.branch_row(self.input_source)
+        out = np.empty(len(omegas), dtype=complex)
+        for i, omega in enumerate(omegas):
+            solution = self.solve(float(omega))
+            current = solution[row]
+            if current == 0.0:
+                out[i] = complex("inf")
+            else:
+                out[i] = -1.0 / current
+        return out
+
+
+def ac_transfer(circuit: Circuit, *, input_source: str, output_node: str,
+                frequencies: Sequence[float]) -> np.ndarray:
+    """One-call helper: H(j 2 pi f) at the given frequencies in Hz."""
+    analysis = AcAnalysis(circuit, input_source=input_source)
+    omegas = [2.0 * np.pi * f for f in frequencies]
+    return analysis.transfer(output_node, omegas)
+
+
+def bode_magnitude_db(transfer: np.ndarray) -> np.ndarray:
+    """20 log10 |H| of a complex transfer array."""
+    return 20.0 * np.log10(np.abs(transfer))
+
+
+def find_bandwidth(circuit: Circuit, *, input_source: str, output_node: str,
+                   f_start: float = 1e6, f_stop: float = 1e13,
+                   drop_db: float = 3.0) -> float:
+    """First frequency where |H| falls ``drop_db`` below its DC value.
+
+    Scans log-spaced decades and bisects the crossing; raises if the
+    response never drops that far in the scanned range.
+    """
+    analysis = AcAnalysis(circuit, input_source=input_source)
+
+    def magnitude(f: float) -> float:
+        h = analysis.transfer(output_node, [2.0 * np.pi * f])[0]
+        return abs(h)
+
+    reference = magnitude(f_start)
+    target = reference * 10.0 ** (-drop_db / 20.0)
+    previous = f_start
+    for f in np.logspace(np.log10(f_start), np.log10(f_stop), 200)[1:]:
+        if magnitude(float(f)) <= target:
+            lo, hi = previous, float(f)
+            for _ in range(60):
+                mid = np.sqrt(lo * hi)
+                if magnitude(float(mid)) <= target:
+                    hi = mid
+                else:
+                    lo = mid
+            return float(np.sqrt(lo * hi))
+        previous = float(f)
+    raise SimulationError(
+        f"response never dropped {drop_db} dB below DC in "
+        f"[{f_start:g}, {f_stop:g}] Hz")

@@ -1,0 +1,216 @@
+"""Circuit builders for the paper's simulation experiments.
+
+Three testbenches:
+
+* :func:`build_linear_stage` — the exact Fig. 1 structure with an ideal
+  (linear Thevenin) driver, used to validate the two-pole model against
+  the transient engine and to study ladder-segment convergence.
+* :func:`build_ring_oscillator` — the five-stage ring oscillator of
+  Sec. 3.3.1, each stage an inverter of size k driving a length-h line.
+* :func:`build_buffered_line` — an open chain of buffered segments excited
+  by a square wave, the paper's check that false switching is not a
+  ring-oscillator artifact.
+
+Inverters come in two flavours selected by ``style``: the calibrated
+square-law CMOS inverter ('mosfet') and the behavioral switch-level
+inverter ('switch'); both load their input with c_0 k and their output
+with c_p k as in the paper's abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.params import LineParams, Stage
+from ..errors import ParameterError
+from .inverter import (InverterCalibration, add_mosfet_inverter,
+                       add_switch_inverter)
+from .netlist import GROUND, Circuit
+from .rlc_line import RlcLadder, add_rlc_ladder
+from .waveforms import Pulse, Step
+
+#: Default ladder discretization for stage-scale lines.
+DEFAULT_SEGMENTS = 12
+
+
+@dataclass(frozen=True)
+class StageTestbench:
+    """A linear driver-line-load stage ready for transient simulation."""
+
+    circuit: Circuit
+    input_node: str          #: ideal source node (before R_S)
+    driver_node: str         #: driver output (line near end)
+    output_node: str         #: line far end (the C_L node)
+    ladder: RlcLadder
+
+
+def build_linear_stage(stage: Stage, *, segments: int = DEFAULT_SEGMENTS,
+                       v_step: float = 1.0, rise: float = 0.0
+                       ) -> StageTestbench:
+    """Fig. 1 structure with an ideal step source behind R_S.
+
+    The source steps 0 -> ``v_step`` at t = 0 with optional linear
+    ``rise``; R_S = r_s/k, C_P = c_p k and C_L = c_0 k follow from the
+    stage's sizing law.
+    """
+    circuit = Circuit(f"linear-stage h={stage.h:g} k={stage.k:g}")
+    drv = stage.sized_driver
+    circuit.voltage_source("VSTEP", "src", GROUND,
+                           Step(level=v_step, delay=0.0, rise=rise))
+    circuit.resistor("RS", "src", "drv", drv.r_series)
+    circuit.capacitor("CP", "drv", GROUND, drv.c_parasitic)
+    ladder = add_rlc_ladder(circuit, "line", "drv", "out", stage.line,
+                            stage.h, segments)
+    circuit.capacitor("CL", "out", GROUND, drv.c_load)
+    return StageTestbench(circuit=circuit, input_node="src",
+                          driver_node="drv", output_node="out",
+                          ladder=ladder)
+
+
+@dataclass(frozen=True)
+class RingOscillator:
+    """A built ring oscillator with its probe points.
+
+    ``stage_inputs[i]`` is the input node of inverter i (far end of the
+    feeding line); ``stage_outputs[i]`` is its output node (line near
+    end).  ``ladders[i]`` connects stage i's output to stage i+1's input.
+    """
+
+    circuit: Circuit
+    stage_inputs: List[str]
+    stage_outputs: List[str]
+    ladders: List[RlcLadder]
+    vdd: float
+    has_rail_node: bool = True
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_outputs)
+
+    def initial_voltages(self) -> dict[str, float]:
+        """Alternating rail initial conditions that kick off oscillation.
+
+        Stage outputs (and every node of the line each output drives) are
+        set to alternating rails; with an odd stage count the assignment is
+        necessarily frustrated, which is what makes the ring oscillate.
+        """
+        ics: dict[str, float] = {"vdd": self.vdd} if self.has_rail_node else {}
+        for i, ladder in enumerate(self.ladders):
+            level = self.vdd if i % 2 == 0 else 0.0
+            ics[ladder.input_node] = level
+            for section in ladder.sections:
+                if section.mid_node is not None:
+                    ics[section.mid_node] = level
+                ics[section.out_node] = level
+        return ics
+
+
+def build_ring_oscillator(calibration: InverterCalibration,
+                          line: LineParams, h: float, k: float, *,
+                          n_stages: int = 5,
+                          segments: int = DEFAULT_SEGMENTS,
+                          style: str = "mosfet",
+                          switch_width_fraction: float = 0.02
+                          ) -> RingOscillator:
+    """Ring oscillator: ``n_stages`` inverters each driving a length-h line.
+
+    Parameters
+    ----------
+    style:
+        'mosfet' for the calibrated square-law CMOS inverter, 'switch' for
+        the behavioral threshold inverter.
+    switch_width_fraction:
+        Logistic transition width of the switch inverter as a fraction of
+        VDD (only used for style='switch').
+    """
+    if n_stages < 3 or n_stages % 2 == 0:
+        raise ParameterError(
+            f"ring oscillator needs an odd stage count >= 3, got {n_stages}")
+    circuit = Circuit(f"ring-oscillator x{n_stages} ({style})")
+    vdd = calibration.vdd
+    has_rail = style == "mosfet"
+    if has_rail:
+        circuit.voltage_source("VDD", "vdd", GROUND, vdd)
+
+    outputs = [f"s{i}.out" for i in range(n_stages)]
+    inputs = [f"s{i}.in" for i in range(n_stages)]
+    ladders: List[RlcLadder] = []
+    for i in range(n_stages):
+        _add_inverter(circuit, f"s{i}.inv", inputs[i], outputs[i],
+                      calibration, k, style, switch_width_fraction)
+        next_input = inputs[(i + 1) % n_stages]
+        ladders.append(add_rlc_ladder(circuit, f"s{i}.line", outputs[i],
+                                      next_input, line, h, segments))
+    return RingOscillator(circuit=circuit, stage_inputs=inputs,
+                          stage_outputs=outputs, ladders=ladders, vdd=vdd,
+                          has_rail_node=has_rail)
+
+
+@dataclass(frozen=True)
+class BufferedLine:
+    """An open chain of buffered segments driven by a square wave."""
+
+    circuit: Circuit
+    source_node: str
+    stage_inputs: List[str]
+    stage_outputs: List[str]
+    ladders: List[RlcLadder]
+    vdd: float
+
+
+def build_buffered_line(calibration: InverterCalibration, line: LineParams,
+                        h: float, k: float, *, n_stages: int = 5,
+                        segments: int = DEFAULT_SEGMENTS,
+                        period: float = 4e-9, style: str = "mosfet",
+                        switch_width_fraction: float = 0.02) -> BufferedLine:
+    """Square-wave-excited chain of ``n_stages`` buffered segments.
+
+    The far end is terminated by an identical repeater (whose input load
+    the last line therefore sees), reproducing the paper's non-ring check
+    of the false-switching phenomenon.
+    """
+    if n_stages < 1:
+        raise ParameterError(f"need at least one stage, got {n_stages}")
+    circuit = Circuit(f"buffered-line x{n_stages} ({style})")
+    vdd = calibration.vdd
+    if style == "mosfet":
+        circuit.voltage_source("VDD", "vdd", GROUND, vdd)
+    edge = period / 400.0
+    circuit.voltage_source("VSQ", "drive", GROUND,
+                           Pulse(v1=0.0, v2=vdd, delay=period / 20.0,
+                                 rise=edge, fall=edge,
+                                 width=period / 2.0 - edge, period=period))
+
+    inputs = [f"b{i}.in" for i in range(n_stages + 1)]
+    outputs = [f"b{i}.out" for i in range(n_stages)]
+    ladders: List[RlcLadder] = []
+    # The square wave feeds the first inverter's gate directly.
+    circuit.resistor("RDRIVE", "drive", inputs[0], 1.0)
+    for i in range(n_stages):
+        _add_inverter(circuit, f"b{i}.inv", inputs[i], outputs[i],
+                      calibration, k, style, switch_width_fraction)
+        ladders.append(add_rlc_ladder(circuit, f"b{i}.line", outputs[i],
+                                      inputs[i + 1], line, h, segments))
+    # Terminating repeater: identical inverter loading the last line.
+    _add_inverter(circuit, "term.inv", inputs[n_stages], "term.out",
+                  calibration, k, style, switch_width_fraction)
+    circuit.capacitor("term.CL", "term.out", GROUND,
+                      calibration.driver.c_p * k)
+    return BufferedLine(circuit=circuit, source_node="drive",
+                        stage_inputs=inputs, stage_outputs=outputs,
+                        ladders=ladders, vdd=vdd)
+
+
+def _add_inverter(circuit: Circuit, name: str, input_node: str,
+                  output_node: str, calibration: InverterCalibration,
+                  k: float, style: str, switch_width_fraction: float) -> None:
+    if style == "mosfet":
+        add_mosfet_inverter(circuit, name, input_node, output_node, "vdd",
+                            calibration, k)
+    elif style == "switch":
+        add_switch_inverter(circuit, name, input_node, output_node,
+                            calibration, k,
+                            width_fraction=switch_width_fraction)
+    else:
+        raise ParameterError(f"unknown inverter style {style!r}")

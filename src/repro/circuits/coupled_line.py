@@ -1,0 +1,134 @@
+"""Coupled two-line RLC ladder (aggressor/victim crosstalk substrate).
+
+A pair of parallel same-layer wires couples through the lateral
+capacitance per unit length c_c (the Miller-effect term of the paper's
+Sec. 3 discussion) and through mutual inductance (coefficient k_m on the
+segment inductors, reflecting shared return paths).  This builder lays
+down two N-section ladders plus the coupling elements, giving the
+substrate for the crosstalk experiments that quantify the paper's claim
+that RC-only models substantially underestimate coupled noise [ref. 6].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.params import LineParams
+from ..errors import ParameterError
+from .netlist import GROUND, Circuit
+from .rlc_line import RlcLadder, add_rlc_ladder
+
+
+@dataclass(frozen=True)
+class CoupledPair:
+    """Two coupled ladders inside a circuit, plus their coupling elements."""
+
+    aggressor: RlcLadder
+    victim: RlcLadder
+    coupling_capacitors: List[str]
+    mutual_couplings: List[str]
+    coupling_capacitance_per_length: float
+    inductive_coupling: float
+
+
+def add_coupled_pair(circuit: Circuit, prefix: str, *,
+                     aggressor_in: str, aggressor_out: str,
+                     victim_in: str, victim_out: str,
+                     line: LineParams, length: float, segments: int,
+                     coupling_capacitance_per_length: float,
+                     inductive_coupling: float = 0.0) -> CoupledPair:
+    """Add two identical coupled lines of the given length.
+
+    Parameters
+    ----------
+    line:
+        Per-unit-length parameters of *each* wire.  ``line.c`` should be
+        the wire-to-ground capacitance; the wire-to-wire part is passed
+        separately.
+    coupling_capacitance_per_length:
+        Lateral capacitance between the wires in F/m (e.g. from
+        :func:`repro.extraction.capacitance.sakurai_coupling`).
+    inductive_coupling:
+        Mutual coupling coefficient k applied between corresponding
+        segment inductors (0 disables; requires ``line.l > 0``).
+    """
+    if coupling_capacitance_per_length < 0.0:
+        raise ParameterError("coupling capacitance must be >= 0")
+    if not 0.0 <= inductive_coupling < 1.0:
+        raise ParameterError("inductive coupling must be in [0, 1)")
+    if inductive_coupling > 0.0 and line.l == 0.0:
+        raise ParameterError(
+            "inductive coupling requires a line with nonzero inductance")
+
+    aggressor = add_rlc_ladder(circuit, f"{prefix}.agg", aggressor_in,
+                               aggressor_out, line, length, segments)
+    victim = add_rlc_ladder(circuit, f"{prefix}.vic", victim_in,
+                            victim_out, line, length, segments)
+
+    c_seg = coupling_capacitance_per_length * length / segments
+    coupling_caps: List[str] = []
+    mutuals: List[str] = []
+    for i, (section_a, section_v) in enumerate(zip(aggressor.sections,
+                                                   victim.sections)):
+        if c_seg > 0.0:
+            name = f"{prefix}.CC{i + 1}"
+            circuit.capacitor(name, section_a.out_node, section_v.out_node,
+                              c_seg)
+            coupling_caps.append(name)
+        if inductive_coupling > 0.0:
+            name = f"{prefix}.K{i + 1}"
+            circuit.mutual(name, section_a.inductor, section_v.inductor,
+                           inductive_coupling)
+            mutuals.append(name)
+    return CoupledPair(aggressor=aggressor, victim=victim,
+                       coupling_capacitors=coupling_caps,
+                       mutual_couplings=mutuals,
+                       coupling_capacitance_per_length=
+                       coupling_capacitance_per_length,
+                       inductive_coupling=inductive_coupling)
+
+
+@dataclass(frozen=True)
+class CrosstalkBench:
+    """A driven aggressor next to a quiet victim, both repeater-terminated."""
+
+    circuit: Circuit
+    pair: CoupledPair
+    victim_far_node: str
+    aggressor_far_node: str
+
+
+def build_crosstalk_bench(line: LineParams, *, length: float, segments: int,
+                          r_driver: float, c_load: float,
+                          coupling_capacitance_per_length: float,
+                          inductive_coupling: float = 0.0,
+                          v_step: float = 1.0,
+                          rise: float = 0.0) -> CrosstalkBench:
+    """Aggressor switched by a step, victim held low through its driver.
+
+    Both wires see the same Thevenin driver resistance and capacitive
+    load; the victim's near end is tied to ground through ``r_driver``
+    (a quiet low output), so the noise at its far end is pure coupling.
+    """
+    from .waveforms import Step
+
+    circuit = Circuit("crosstalk-bench")
+    circuit.voltage_source("VAGG", "agg.src", GROUND,
+                           Step(level=v_step, rise=rise))
+    circuit.resistor("RAGG", "agg.src", "agg.in", r_driver)
+    circuit.resistor("RVIC", "vic.hold", "vic.in", r_driver)
+    circuit.voltage_source("VVIC", "vic.hold", GROUND, 0.0)
+
+    pair = add_coupled_pair(
+        circuit, "pair", aggressor_in="agg.in", aggressor_out="agg.out",
+        victim_in="vic.in", victim_out="vic.out", line=line, length=length,
+        segments=segments,
+        coupling_capacitance_per_length=coupling_capacitance_per_length,
+        inductive_coupling=inductive_coupling)
+
+    circuit.capacitor("CLAGG", "agg.out", GROUND, c_load)
+    circuit.capacitor("CLVIC", "vic.out", GROUND, c_load)
+    return CrosstalkBench(circuit=circuit, pair=pair,
+                          victim_far_node="vic.out",
+                          aggressor_far_node="agg.out")

@@ -1,0 +1,63 @@
+"""Mutual inductive coupling between two inductors (MNA K-element).
+
+The paper's introduction stresses that global-wire inductance problems
+are aggravated by *mutual* coupling over long return paths; modelling a
+bus therefore needs coupled inductors.  A :class:`MutualInductance`
+element couples two existing inductors L1, L2 with coefficient
+0 <= k < 1 (M = k sqrt(L1 L2)), adding the off-diagonal terms of
+
+    v1 = L1 di1/dt + M di2/dt
+    v2 = M di1/dt + L2 di2/dt
+
+to their branch equations.  At DC it has no effect (both branches are
+shorts); in transient the trapezoidal/BE companions gain the symmetric
+-factor*M/dt cross terms, stamped by the solver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ParameterError
+from .elements import Element
+
+
+@dataclass(frozen=True)
+class MutualInductance(Element):
+    """Coupling between the named inductors with coefficient ``coupling``.
+
+    Attributes
+    ----------
+    inductor_a, inductor_b:
+        Names of two :class:`~repro.circuits.elements.Inductor` elements
+        in the same circuit (checked at MNA compile time).
+    coupling:
+        Dimensionless coupling coefficient k in [0, 1); M = k sqrt(La Lb).
+    """
+
+    inductor_a: str = ""
+    inductor_b: str = ""
+    coupling: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.inductor_a or not self.inductor_b:
+            raise ParameterError(
+                f"mutual {self.name}: both inductor names are required")
+        if self.inductor_a == self.inductor_b:
+            raise ParameterError(
+                f"mutual {self.name}: cannot couple an inductor to itself")
+        if not 0.0 <= self.coupling < 1.0:
+            raise ParameterError(
+                f"mutual {self.name}: coupling must be in [0, 1), "
+                f"got {self.coupling}")
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        # A coupling element references branches, not nodes.
+        return ()
+
+    def mutual_inductance(self, l_a: float, l_b: float) -> float:
+        """M = k sqrt(La Lb) in henries."""
+        return self.coupling * math.sqrt(l_a * l_b)

@@ -1,0 +1,178 @@
+"""SPICE netlist export for :class:`~repro.circuits.netlist.Circuit`.
+
+Lets any circuit built by this library (linear stages, ring oscillators,
+coupled pairs) be re-run in an external SPICE for cross-validation — the
+reverse of the substitution this repo makes for the paper's experiments.
+
+Element mapping
+---------------
+==================  =========================================
+Resistor            ``Rx a b value``
+Capacitor           ``Cx a b value [IC=v0]``
+Inductor            ``Lx a b value [IC=i0]``
+MutualInductance    ``Kx La Lb k``
+VoltageSource       ``Vx a b DC/PULSE/PWL/SIN(...)``
+CurrentSource       ``Ix a b DC/PULSE/PWL/SIN(...)``
+Mosfet              ``Mx d g s s model`` + LEVEL=1 ``.model`` card
+                    (KP chosen so W/L = 1; VTO = +-vth, LAMBDA = lam)
+SwitchInverter      no SPICE primitive — exported as a comment and
+                    reported in :attr:`SpiceExport.unsupported`
+==================  =========================================
+
+Names are sanitized (dots to underscores, designator letter enforced);
+node names keep ``0`` as ground.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import NetlistError
+from .behavioral import SwitchInverter
+from .coupling import MutualInductance
+from .elements import (Capacitor, CurrentSource, Inductor, Resistor,
+                       VoltageSource)
+from .mosfet import Mosfet
+from .netlist import Circuit
+from .waveforms import DC, PiecewiseLinear, Pulse, Sine, Step
+
+
+@dataclass(frozen=True)
+class SpiceExport:
+    """A rendered netlist plus a list of elements that had no mapping."""
+
+    text: str
+    unsupported: List[str]
+
+
+def _sanitize(name: str, designator: str) -> str:
+    cleaned = name.replace(".", "_").replace(" ", "_")
+    if not cleaned or cleaned[0].upper() != designator:
+        cleaned = f"{designator}{cleaned}"
+    return cleaned
+
+
+def _node(name: str) -> str:
+    return "0" if name == "0" else name.replace(".", "_")
+
+
+def _format_value(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _source_spec(waveform) -> str:
+    if isinstance(waveform, DC):
+        return f"DC {_format_value(waveform.value)}"
+    if isinstance(waveform, Step):
+        # A step is a PWL ramp.
+        t1 = waveform.delay
+        t2 = waveform.delay + max(waveform.rise, 1e-15)
+        return (f"PWL(0 0 {_format_value(t1)} 0 "
+                f"{_format_value(t2)} {_format_value(waveform.level)})")
+    if isinstance(waveform, Pulse):
+        return (f"PULSE({_format_value(waveform.v1)} "
+                f"{_format_value(waveform.v2)} "
+                f"{_format_value(waveform.delay)} "
+                f"{_format_value(max(waveform.rise, 1e-15))} "
+                f"{_format_value(max(waveform.fall, 1e-15))} "
+                f"{_format_value(waveform.width)} "
+                f"{_format_value(waveform.period)})")
+    if isinstance(waveform, PiecewiseLinear):
+        points = " ".join(f"{_format_value(t)} {_format_value(v)}"
+                          for t, v in waveform.points)
+        return f"PWL({points})"
+    if isinstance(waveform, Sine):
+        return (f"SIN({_format_value(waveform.offset)} "
+                f"{_format_value(waveform.amplitude)} "
+                f"{_format_value(waveform.frequency)} "
+                f"{_format_value(waveform.delay)})")
+    raise NetlistError(
+        f"waveform {type(waveform).__name__} has no SPICE mapping")
+
+
+#: KP (A/V^2) used for the LEVEL=1 model cards; W/L is set to 2 beta/KP so
+#: the square-law prefactor KP/2 * W/L equals beta/... see card emission.
+_MODEL_KP = 1e-4
+
+
+def to_spice(circuit: Circuit, *, t_end: float | None = None,
+             dt: float | None = None) -> SpiceExport:
+    """Render the circuit as a SPICE deck; optionally add a .TRAN card."""
+    lines: List[str] = [f"* {circuit.title}"]
+    unsupported: List[str] = []
+    models: dict[str, str] = {}
+
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            lines.append(f"{_sanitize(element.name, 'R')} "
+                         f"{_node(element.a)} {_node(element.b)} "
+                         f"{_format_value(element.resistance)}")
+        elif isinstance(element, Capacitor):
+            card = (f"{_sanitize(element.name, 'C')} "
+                    f"{_node(element.a)} {_node(element.b)} "
+                    f"{_format_value(element.capacitance)}")
+            if element.initial_voltage is not None:
+                card += f" IC={_format_value(element.initial_voltage)}"
+            lines.append(card)
+        elif isinstance(element, Inductor):
+            card = (f"{_sanitize(element.name, 'L')} "
+                    f"{_node(element.a)} {_node(element.b)} "
+                    f"{_format_value(element.inductance)}")
+            if element.initial_current:
+                card += f" IC={_format_value(element.initial_current)}"
+            lines.append(card)
+        elif isinstance(element, MutualInductance):
+            lines.append(f"{_sanitize(element.name, 'K')} "
+                         f"{_sanitize(element.inductor_a, 'L')} "
+                         f"{_sanitize(element.inductor_b, 'L')} "
+                         f"{_format_value(element.coupling)}")
+        elif isinstance(element, VoltageSource):
+            lines.append(f"{_sanitize(element.name, 'V')} "
+                         f"{_node(element.a)} {_node(element.b)} "
+                         f"{_source_spec(element.waveform)}")
+        elif isinstance(element, CurrentSource):
+            lines.append(f"{_sanitize(element.name, 'I')} "
+                         f"{_node(element.a)} {_node(element.b)} "
+                         f"{_source_spec(element.waveform)}")
+        elif isinstance(element, Mosfet):
+            polarity = "nmos" if element.polarity > 0 else "pmos"
+            model_name = (f"m{polarity}_{element.vth:.3g}_"
+                          f"{element.lam:.3g}").replace(".", "p") \
+                .replace("-", "m")
+            vto = element.vth if element.polarity > 0 else -element.vth
+            models[model_name] = (
+                f".model {model_name} {polarity} (LEVEL=1 "
+                f"VTO={_format_value(vto)} KP={_format_value(_MODEL_KP)} "
+                f"LAMBDA={_format_value(element.lam)})")
+            # LEVEL=1: Id = KP/2 (W/L)(vgs-vt)^2; our beta multiplies the
+            # full square law, so W/L = 2 beta / KP ... the library's
+            # triode form matches LEVEL=1 with this width ratio.
+            w_over_l = element.beta / _MODEL_KP
+            lines.append(f"{_sanitize(element.name, 'M')} "
+                         f"{_node(element.drain)} {_node(element.gate)} "
+                         f"{_node(element.source)} {_node(element.source)} "
+                         f"{model_name} W={_format_value(w_over_l)}u L=1u")
+        elif isinstance(element, SwitchInverter):
+            unsupported.append(element.name)
+            lines.append(f"* unsupported behavioral inverter "
+                         f"{element.name}: {element.input_node} -> "
+                         f"{element.output_node}")
+        else:
+            unsupported.append(element.name)
+            lines.append(f"* unsupported element {element.name} "
+                         f"({type(element).__name__})")
+
+    lines.extend(sorted(models.values()))
+    if t_end is not None and dt is not None:
+        lines.append(f".tran {_format_value(dt)} {_format_value(t_end)} UIC")
+    lines.append(".end")
+    return SpiceExport(text="\n".join(lines) + "\n", unsupported=unsupported)
+
+
+def write_spice(circuit: Circuit, path: str, **kwargs) -> SpiceExport:
+    """Render and write a SPICE deck to ``path``; returns the export."""
+    export = to_spice(circuit, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(export.text)
+    return export

@@ -1,0 +1,102 @@
+"""Calibrated inverter description and inverter sub-circuit builders.
+
+:class:`InverterCalibration` carries everything needed to instantiate a
+size-k inverter consistent with the paper's driver abstraction: linear
+input capacitance c_0 k, linear output parasitic c_p k, and an output
+stage whose effective resistance is r_s / k.  The calibration itself
+(fitting beta so the simulated inverter matches Table 1's r_s) lives in
+:mod:`repro.tech.characterize`; this module only *uses* the result, so the
+dependency between the technology layer and the circuit layer stays
+one-directional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import DriverParams
+from ..errors import ParameterError
+from .behavioral import SwitchInverter
+from .mosfet import DEFAULT_LAMBDA, Mosfet
+from .netlist import GROUND, Circuit
+
+
+@dataclass(frozen=True)
+class InverterCalibration:
+    """Simulator inverter parameters calibrated to a technology node.
+
+    ``beta`` is the per-minimum-size transconductance (A/V^2) used for
+    both the NMOS and PMOS devices (symmetric inverter, switching
+    threshold at VDD/2); a size-k inverter uses ``beta * k``, gate
+    capacitance ``c_0 * k`` and output parasitic ``c_p * k``.
+    """
+
+    vdd: float
+    vth: float
+    beta: float
+    lam: float
+    driver: DriverParams
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise ParameterError(f"vdd must be positive, got {self.vdd}")
+        if not 0.0 < self.vth < self.vdd:
+            raise ParameterError(
+                f"vth must lie in (0, vdd), got {self.vth} vs vdd={self.vdd}")
+        if self.beta <= 0.0:
+            raise ParameterError(f"beta must be positive, got {self.beta}")
+
+    def scaled_beta(self, k: float) -> float:
+        """Transconductance of a size-k inverter."""
+        if k <= 0.0:
+            raise ParameterError(f"inverter size must be positive, got {k}")
+        return self.beta * k
+
+
+def analytic_beta(vdd: float, vth: float, r_s: float) -> float:
+    """Analytic seed: beta with R_eff ~= 0.75 VDD / Id_sat equal to r_s."""
+    if vdd <= vth:
+        raise ParameterError(f"vdd ({vdd}) must exceed vth ({vth})")
+    return 1.5 * vdd / (r_s * (vdd - vth) ** 2)
+
+
+def add_mosfet_inverter(circuit: Circuit, name: str, input_node: str,
+                        output_node: str, vdd_node: str,
+                        calibration: InverterCalibration,
+                        k: float = 1.0,
+                        lam: float | None = None) -> None:
+    """Add a size-k CMOS inverter (two MOSFETs + calibrated linear caps)."""
+    beta = calibration.scaled_beta(k)
+    lam_value = calibration.lam if lam is None else lam
+    circuit.add(Mosfet(name=f"{name}.MN", drain=output_node, gate=input_node,
+                       source=GROUND, polarity=1, vth=calibration.vth,
+                       beta=beta, lam=lam_value))
+    circuit.add(Mosfet(name=f"{name}.MP", drain=output_node, gate=input_node,
+                       source=vdd_node, polarity=-1, vth=calibration.vth,
+                       beta=beta, lam=lam_value))
+    circuit.capacitor(f"{name}.CG", input_node, GROUND,
+                      calibration.driver.c_0 * k)
+    circuit.capacitor(f"{name}.CP", output_node, GROUND,
+                      calibration.driver.c_p * k)
+
+
+def add_switch_inverter(circuit: Circuit, name: str, input_node: str,
+                        output_node: str, calibration: InverterCalibration,
+                        k: float = 1.0, *,
+                        width_fraction: float = 0.02) -> None:
+    """Add a size-k behavioral switch inverter with the calibrated loading."""
+    vdd = calibration.vdd
+    circuit.add(SwitchInverter(
+        name=name, input_node=input_node, output_node=output_node,
+        vdd=vdd, threshold=0.5 * vdd,
+        r_out=calibration.driver.r_s / k,
+        width=width_fraction * vdd))
+    circuit.capacitor(f"{name}.CG", input_node, GROUND,
+                      calibration.driver.c_0 * k)
+    circuit.capacitor(f"{name}.CP", output_node, GROUND,
+                      calibration.driver.c_p * k)
+
+
+#: Default channel-length-modulation coefficient, re-exported for callers.
+__all__ = ["InverterCalibration", "analytic_beta", "add_mosfet_inverter",
+           "add_switch_inverter", "DEFAULT_LAMBDA"]

@@ -1,0 +1,212 @@
+"""Modified nodal analysis: system structure, stamps and DC solve.
+
+The unknown vector is x = [node voltages | branch currents], with one
+branch current per inductor and per voltage source.  KCL rows come first
+(one per non-ground node), then one constitutive row per branch.
+
+All companion-model stamping for transient analysis lives in
+:mod:`repro.circuits.transient`; this module owns the index maps, the
+static (resistive + topological) stamps shared by DC and transient, and
+the Newton DC operating-point solve with gmin continuation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..errors import NetlistError, SimulationError
+from .coupling import MutualInductance
+from .elements import (Capacitor, CurrentSource, Inductor, NonlinearDevice,
+                       Resistor, VoltageSource)
+from .netlist import GROUND, Circuit
+
+#: Conductance from every node to ground, for numerical robustness.
+DEFAULT_GMIN = 1e-12
+
+
+class MnaStructure:
+    """Index maps and element categorization for one circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.node_names: List[str] = circuit.nodes
+        self._node_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)}
+        self._node_index[GROUND] = -1
+
+        self.resistors = circuit.elements_of_type(Resistor)
+        self.capacitors = circuit.elements_of_type(Capacitor)
+        self.inductors = circuit.elements_of_type(Inductor)
+        self.voltage_sources = circuit.elements_of_type(VoltageSource)
+        self.current_sources = circuit.elements_of_type(CurrentSource)
+        self.nonlinear = circuit.elements_of_type(NonlinearDevice)
+        self.mutuals = circuit.elements_of_type(MutualInductance)
+
+        self.n_nodes = len(self.node_names)
+        branch_elements = [*self.inductors, *self.voltage_sources]
+        self._branch_index: Dict[str, int] = {
+            e.name: self.n_nodes + j for j, e in enumerate(branch_elements)}
+        self.n_branches = len(branch_elements)
+        self.size = self.n_nodes + self.n_branches
+
+        inductor_by_name = {e.name: e for e in self.inductors}
+        for mutual in self.mutuals:
+            for name in (mutual.inductor_a, mutual.inductor_b):
+                if name not in inductor_by_name:
+                    raise NetlistError(
+                        f"mutual {mutual.name} references unknown inductor "
+                        f"{name!r}")
+        #: (row_a, row_b, M) triples resolved for the transient stamps.
+        self.mutual_terms = [
+            (self._branch_index[m.inductor_a], self._branch_index[m.inductor_b],
+             m.mutual_inductance(inductor_by_name[m.inductor_a].inductance,
+                                 inductor_by_name[m.inductor_b].inductance))
+            for m in self.mutuals]
+
+    # ------------------------------------------------------------------
+    def node_index(self, node: str) -> int:
+        """Row/column of a node's KCL equation; -1 for ground."""
+        return self._node_index[node]
+
+    def branch_row(self, element_name: str) -> int:
+        """Row/column of a branch element's current unknown."""
+        return self._branch_index[element_name]
+
+    def voltage_getter(self, x: np.ndarray) -> Callable[[str], float]:
+        """Return a node-name -> voltage lookup bound to solution vector x."""
+        index = self._node_index
+
+        def voltage(node: str) -> float:
+            i = index[node]
+            return 0.0 if i < 0 else float(x[i])
+
+        return voltage
+
+    # ------------------------------------------------------------------
+    # Shared stamps.
+    # ------------------------------------------------------------------
+    def stamp_conductance(self, matrix: np.ndarray, a: int, b: int,
+                          g: float) -> None:
+        """Stamp a conductance g between rows/cols a and b (-1 = ground)."""
+        if a >= 0:
+            matrix[a, a] += g
+            if b >= 0:
+                matrix[a, b] -= g
+                matrix[b, a] -= g
+        if b >= 0:
+            matrix[b, b] += g
+
+    def stamp_static(self, matrix: np.ndarray, *, gmin: float) -> None:
+        """Add resistor conductances, source/branch topology and gmin.
+
+        The inductor/voltage-source *constitutive* diagonal terms are left
+        to the caller (they differ between DC and transient); only the KCL
+        coupling (+-1 in the branch current column) and the +-1 voltage
+        terms of the branch rows are stamped here, because those are common
+        to every analysis.
+        """
+        for resistor in self.resistors:
+            self.stamp_conductance(matrix,
+                                   self.node_index(resistor.a),
+                                   self.node_index(resistor.b),
+                                   resistor.conductance)
+        for element in (*self.inductors, *self.voltage_sources):
+            row = self.branch_row(element.name)
+            ia = self.node_index(element.a)
+            ib = self.node_index(element.b)
+            if ia >= 0:
+                matrix[ia, row] += 1.0      # current leaves node a
+                matrix[row, ia] += 1.0      # +v(a) in branch equation
+            if ib >= 0:
+                matrix[ib, row] -= 1.0
+                matrix[row, ib] -= 1.0
+        if gmin > 0.0:
+            for i in range(self.n_nodes):
+                matrix[i, i] += gmin
+
+    def stamp_current_sources(self, rhs: np.ndarray, t: float) -> None:
+        """Add independent current-source contributions at time t."""
+        for source in self.current_sources:
+            value = source.waveform(t)
+            ia = self.node_index(source.a)
+            ib = self.node_index(source.b)
+            if ia >= 0:
+                rhs[ia] -= value
+            if ib >= 0:
+                rhs[ib] += value
+
+    def stamp_nonlinear(self, x: np.ndarray, matrix: np.ndarray,
+                        rhs: np.ndarray) -> None:
+        """Let every nonlinear device add its linearized stamp at iterate x."""
+        voltages = self.voltage_getter(x)
+        for device in self.nonlinear:
+            device.stamp(voltages, self.node_index, matrix, rhs)
+
+
+def dc_operating_point(circuit: Circuit, *, t: float = 0.0,
+                       gmin: float = DEFAULT_GMIN,
+                       max_iterations: int = 200,
+                       abstol: float = 1e-9,
+                       reltol: float = 1e-6) -> Dict[str, float]:
+    """Newton DC operating point: capacitors open, inductors shorted.
+
+    Uses gmin continuation (large-to-small shunt conductances) when the
+    plain Newton iteration fails, which handles the strongly nonlinear
+    CMOS circuits built by :mod:`repro.circuits.builders`.
+
+    Returns
+    -------
+    dict
+        Node name -> voltage (ground included as 0.0).
+    """
+    structure = MnaStructure(circuit)
+    gmin_schedule = [1e-3, 1e-5, 1e-7, 1e-9, gmin] if gmin < 1e-9 else [gmin]
+    x = np.zeros(structure.size)
+    last_error: SimulationError | None = None
+    for g in gmin_schedule:
+        try:
+            x = _dc_newton(structure, x, t=t, gmin=g,
+                           max_iterations=max_iterations,
+                           abstol=abstol, reltol=reltol)
+            last_error = None
+        except SimulationError as exc:
+            last_error = exc
+    if last_error is not None:
+        raise last_error
+    result = {GROUND: 0.0}
+    for name in structure.node_names:
+        result[name] = float(x[structure.node_index(name)])
+    return result
+
+
+def _dc_newton(structure: MnaStructure, x0: np.ndarray, *, t: float,
+               gmin: float, max_iterations: int, abstol: float,
+               reltol: float) -> np.ndarray:
+    base = np.zeros((structure.size, structure.size))
+    structure.stamp_static(base, gmin=gmin)
+    # DC constitutive rows: inductor => v(a) - v(b) = 0 (already stamped);
+    # voltage source rows get the waveform value on the RHS.
+    rhs_base = np.zeros(structure.size)
+    for source in structure.voltage_sources:
+        rhs_base[structure.branch_row(source.name)] = source.waveform(t)
+    structure.stamp_current_sources(rhs_base, t)
+
+    x = x0.copy()
+    for _ in range(max_iterations):
+        matrix = base.copy()
+        rhs = rhs_base.copy()
+        structure.stamp_nonlinear(x, matrix, rhs)
+        try:
+            x_new = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(f"singular MNA matrix in DC solve: {exc}") \
+                from exc
+        delta = np.abs(x_new - x)
+        x = x_new
+        if np.all(delta <= abstol + reltol * np.abs(x)):
+            return x
+    raise SimulationError(
+        f"DC operating point did not converge in {max_iterations} iterations "
+        f"(gmin={gmin:g})")

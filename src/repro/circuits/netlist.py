@@ -1,0 +1,157 @@
+"""Netlist container for the MNA simulator.
+
+A :class:`Circuit` is an ordered collection of uniquely named elements.
+Nodes are created implicitly the first time an element references them;
+the ground node is the name ``"0"`` (alias :data:`GROUND`) and is always
+present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..errors import NetlistError
+from .elements import (Capacitor, CurrentSource, Element, Inductor,
+                       NonlinearDevice, Resistor, VoltageSource, Waveform)
+from .waveforms import DC
+
+#: Canonical name of the ground (reference) node.
+GROUND = "0"
+
+
+class Circuit:
+    """A named collection of circuit elements with implicit node creation."""
+
+    def __init__(self, title: str = "untitled") -> None:
+        self.title = title
+        self._elements: Dict[str, Element] = {}
+        self._nodes: List[str] = []
+        self._node_set = {GROUND}
+
+    # ------------------------------------------------------------------
+    # Element management.
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add an element; returns it for chaining.
+
+        Raises
+        ------
+        NetlistError
+            If an element of the same name already exists.
+        """
+        if element.name in self._elements:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        for node in element.nodes:
+            self._register_node(node)
+        self._elements[element.name] = element
+        return element
+
+    def _register_node(self, node: str) -> None:
+        if not node:
+            raise NetlistError("node names must be non-empty strings")
+        if node not in self._node_set:
+            self._node_set.add(node)
+            self._nodes.append(node)
+
+    # Convenience constructors -----------------------------------------
+    def resistor(self, name: str, a: str, b: str, resistance: float) -> Resistor:
+        """Add a resistor (ohms)."""
+        return self.add(Resistor(name=name, a=a, b=b, resistance=resistance))  # type: ignore[return-value]
+
+    def capacitor(self, name: str, a: str, b: str, capacitance: float,
+                  initial_voltage: float | None = None) -> Capacitor:
+        """Add a capacitor (farads)."""
+        return self.add(Capacitor(name=name, a=a, b=b,
+                                  capacitance=capacitance,
+                                  initial_voltage=initial_voltage))  # type: ignore[return-value]
+
+    def inductor(self, name: str, a: str, b: str, inductance: float,
+                 initial_current: float = 0.0) -> Inductor:
+        """Add an inductor (henries)."""
+        return self.add(Inductor(name=name, a=a, b=b, inductance=inductance,
+                                 initial_current=initial_current))  # type: ignore[return-value]
+
+    def mutual(self, name: str, inductor_a: str, inductor_b: str,
+               coupling: float):
+        """Add a mutual-inductance coupling between two named inductors."""
+        from .coupling import MutualInductance
+        return self.add(MutualInductance(name=name, inductor_a=inductor_a,
+                                         inductor_b=inductor_b,
+                                         coupling=coupling))
+
+    def voltage_source(self, name: str, a: str, b: str,
+                       waveform: Waveform | float) -> VoltageSource:
+        """Add a voltage source; a bare float becomes a DC source."""
+        if isinstance(waveform, (int, float)):
+            waveform = DC(float(waveform))
+        return self.add(VoltageSource(name=name, a=a, b=b, waveform=waveform))  # type: ignore[return-value]
+
+    def current_source(self, name: str, a: str, b: str,
+                       waveform: Waveform | float) -> CurrentSource:
+        """Add a current source; a bare float becomes a DC source."""
+        if isinstance(waveform, (int, float)):
+            waveform = DC(float(waveform))
+        return self.add(CurrentSource(name=name, a=a, b=b, waveform=waveform))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> List[Element]:
+        """All elements in insertion order."""
+        return list(self._elements.values())
+
+    @property
+    def nodes(self) -> List[str]:
+        """All non-ground nodes in first-reference order."""
+        return list(self._nodes)
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def elements_of_type(self, kind: type) -> List[Element]:
+        """All elements that are instances of ``kind``, in insertion order."""
+        return [e for e in self._elements.values() if isinstance(e, kind)]
+
+    def validate(self) -> None:
+        """Check structural sanity of the netlist.
+
+        Raises
+        ------
+        NetlistError
+            If the circuit has no elements, or a non-ground node is
+            referenced by only one element terminal (dangling), unless it
+            belongs to a nonlinear device (whose gate may legitimately be
+            high-impedance only through device capacitances).
+        """
+        if not self._elements:
+            raise NetlistError("circuit has no elements")
+        touch_count: Dict[str, int] = {}
+        for element in self._elements.values():
+            for node in element.nodes:
+                touch_count[node] = touch_count.get(node, 0) + 1
+        dangling = [n for n, count in touch_count.items()
+                    if n != GROUND and count < 2]
+        if dangling:
+            raise NetlistError(
+                f"dangling nodes (single connection): {sorted(dangling)}")
+
+    def summary(self) -> str:
+        """One-line inventory, e.g. '12R 8C 4L 1V 0I 5NL, 18 nodes'."""
+        kinds: Iterable[tuple[str, type]] = (
+            ("R", Resistor), ("C", Capacitor), ("L", Inductor),
+            ("V", VoltageSource), ("I", CurrentSource),
+            ("NL", NonlinearDevice),
+        )
+        parts = [f"{len(self.elements_of_type(cls))}{tag}" for tag, cls in kinds]
+        return f"{' '.join(parts)}, {len(self._nodes)} nodes"

@@ -1,0 +1,126 @@
+"""Source waveforms for the transient simulator.
+
+Each waveform is a callable ``value = w(t)`` returning volts (for voltage
+sources) or amperes (for current sources).  The set mirrors the SPICE
+primitives the paper's experiments need: DC, step, pulse trains (for the
+square-wave-excited buffered line of Sec. 3.3.1), piecewise linear and
+sine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class DC:
+    """Constant value."""
+
+    value: float
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Step:
+    """0 before ``delay``, then a linear ramp of ``rise`` seconds to ``level``."""
+
+    level: float
+    delay: float = 0.0
+    rise: float = 0.0
+
+    def __call__(self, t: float) -> float:
+        if t <= self.delay:
+            return 0.0
+        if self.rise <= 0.0 or t >= self.delay + self.rise:
+            return self.level
+        return self.level * (t - self.delay) / self.rise
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """SPICE-style periodic pulse.
+
+    Attributes follow the SPICE PULSE card: initial value v1, pulsed value
+    v2, delay, rise time, fall time, pulse width and period.
+    """
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 1e-9
+    period: float = 2e-9
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ParameterError(f"pulse period must be positive, got {self.period}")
+        if self.rise < 0.0 or self.fall < 0.0 or self.width < 0.0:
+            raise ParameterError("pulse rise/fall/width must be non-negative")
+        if self.rise + self.width + self.fall > self.period:
+            raise ParameterError("pulse rise + width + fall exceeds period")
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        phase = math.fmod(t - self.delay, self.period)
+        if phase < self.rise:
+            if self.rise == 0.0:
+                return self.v2
+            return self.v1 + (self.v2 - self.v1) * phase / self.rise
+        phase -= self.rise
+        if phase < self.width:
+            return self.v2
+        phase -= self.width
+        if phase < self.fall:
+            if self.fall == 0.0:
+                return self.v1
+            return self.v2 + (self.v1 - self.v2) * phase / self.fall
+        return self.v1
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """Linear interpolation through (time, value) points; clamped outside."""
+
+    points: Sequence[tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        times = [p[0] for p in self.points]
+        if len(times) < 1:
+            raise ParameterError("PWL waveform needs at least one point")
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ParameterError("PWL times must be strictly increasing")
+
+    def __call__(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        for (t1, v1), (t2, v2) in zip(pts, pts[1:]):
+            if t1 <= t <= t2:
+                return v1 + (v2 - v1) * (t - t1) / (t2 - t1)
+        raise AssertionError("unreachable: t inside PWL range but no segment")
+
+
+@dataclass(frozen=True)
+class Sine:
+    """offset + amplitude * sin(2 pi freq (t - delay)), zero before delay."""
+
+    offset: float
+    amplitude: float
+    frequency: float
+    delay: float = 0.0
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.frequency * (t - self.delay))

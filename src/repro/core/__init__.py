@@ -1,0 +1,61 @@
+"""Core analysis and optimization of distributed RLC interconnects.
+
+This package implements the paper's primary contribution:
+
+* :mod:`~repro.core.params` — stage parameter containers,
+* :mod:`~repro.core.moments` — second-order Padé moments b1, b2,
+* :mod:`~repro.core.poles` — pole pair and sizing derivatives,
+* :mod:`~repro.core.response` — two-pole step response and SI metrics,
+* :mod:`~repro.core.delay` — threshold-crossing delay solver (Eq. 3),
+* :mod:`~repro.core.critical` — critical inductance l_crit (Eq. 4),
+* :mod:`~repro.core.elmore` — RC/Elmore baselines and closed-form optima,
+* :mod:`~repro.core.abcd`, :mod:`~repro.core.transfer` — exact H(s) (Eq. 1),
+* :mod:`~repro.core.optimize` — repeater-insertion optimizer (Eqs. 7-8),
+* :mod:`~repro.core.sweep` — inductance sweeps powering Figs. 4-8.
+"""
+
+from .critical import critical_inductance, damping_margin
+from .delay import DelayResult, newton_delay, stage_delay, threshold_delay
+from .elmore import (RCOptimum, driver_from_rc_optimum, elmore_stage_delay,
+                     elmore_total_delay, rc_optimum)
+from .line_theory import (LineRegime, attenuation, characteristic_impedance,
+                          classify_regime, critical_length_window,
+                          lc_transition_frequency, phase_velocity,
+                          propagation_constant)
+from .staging import StagingPlan, plan_staging
+from .wire_sizing import (WireSizingResult, line_from_geometry,
+                          optimize_wire_width)
+from .moments import Moments, compute_moments, moments_from_lumped
+from .optimize import (OptimizerMethod, RepeaterOptimum, optimize_repeater,
+                       stage_delay_per_length, stationarity_residuals)
+from .params import DriverParams, LineParams, SizedDriver, Stage
+from .poles import Damping, PolePair, classify_damping, compute_poles
+from .response import StepResponse, canonical_response
+from .sensitivity import DelaySensitivities, delay_sensitivities
+from .sweep import InductanceSweep, single_optimum, sweep_inductance
+from .tree import ROOT, RCTree
+from .transfer import (exact_transfer, exact_transfer_via_abcd,
+                       pade_transfer, transfer_error_at)
+
+__all__ = [
+    "critical_inductance", "damping_margin",
+    "DelayResult", "newton_delay", "stage_delay", "threshold_delay",
+    "RCOptimum", "driver_from_rc_optimum", "elmore_stage_delay",
+    "elmore_total_delay", "rc_optimum",
+    "Moments", "compute_moments", "moments_from_lumped",
+    "OptimizerMethod", "RepeaterOptimum", "optimize_repeater",
+    "stage_delay_per_length", "stationarity_residuals",
+    "DriverParams", "LineParams", "SizedDriver", "Stage",
+    "Damping", "PolePair", "classify_damping", "compute_poles",
+    "StepResponse", "canonical_response",
+    "DelaySensitivities", "delay_sensitivities",
+    "InductanceSweep", "single_optimum", "sweep_inductance",
+    "ROOT", "RCTree",
+    "LineRegime", "attenuation", "characteristic_impedance",
+    "classify_regime", "critical_length_window",
+    "lc_transition_frequency", "phase_velocity", "propagation_constant",
+    "StagingPlan", "plan_staging",
+    "WireSizingResult", "line_from_geometry", "optimize_wire_width",
+    "exact_transfer", "exact_transfer_via_abcd", "pade_transfer",
+    "transfer_error_at",
+]

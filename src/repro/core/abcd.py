@@ -1,0 +1,119 @@
+"""ABCD (chain) two-port algebra for driver-line-load cascades.
+
+The paper builds the exact transfer function (Eq. 1) by cascading the ABCD
+matrices of a series driver resistance, a shunt parasitic capacitance, a
+uniform RLC transmission line and a shunt load capacitance.  This module
+provides exactly those blocks plus the cascade product, in fully complex
+arithmetic, so both the paper's closed form and an independent matrix
+product are available (and are cross-checked in the tests).
+"""
+
+from __future__ import annotations
+
+import cmath
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .params import LineParams
+
+#: Below this |theta*h| the line matrix entries switch to series expansions
+#: to avoid catastrophic cancellation / 0*inf at s -> 0.
+_SERIES_THRESHOLD = 1e-6
+
+
+@dataclass(frozen=True)
+class ABCDMatrix:
+    """Chain matrix [[a, b], [c, d]] relating (V1, I1) to (V2, I2)."""
+
+    a: complex
+    b: complex
+    c: complex
+    d: complex
+
+    def cascade(self, other: "ABCDMatrix") -> "ABCDMatrix":
+        """Return self @ other — ``self`` is closer to the source."""
+        return ABCDMatrix(
+            a=self.a * other.a + self.b * other.c,
+            b=self.a * other.b + self.b * other.d,
+            c=self.c * other.a + self.d * other.c,
+            d=self.c * other.b + self.d * other.d,
+        )
+
+    def __matmul__(self, other: "ABCDMatrix") -> "ABCDMatrix":
+        return self.cascade(other)
+
+    @property
+    def determinant(self) -> complex:
+        """a d - b c; equals 1 for any reciprocal two-port."""
+        return self.a * self.d - self.b * self.c
+
+    def voltage_transfer_open(self) -> complex:
+        """V2/V1 with the output port open-circuited: 1/a."""
+        return 1.0 / self.a
+
+    def voltage_transfer_loaded(self, z_load: complex) -> complex:
+        """V2/V1 with the output port terminated by impedance ``z_load``."""
+        return 1.0 / (self.a + self.b / z_load)
+
+
+def identity() -> ABCDMatrix:
+    """The identity two-port."""
+    return ABCDMatrix(1.0, 0.0, 0.0, 1.0)
+
+
+def series_impedance(z: complex) -> ABCDMatrix:
+    """A series element of impedance z: [[1, z], [0, 1]]."""
+    return ABCDMatrix(1.0, z, 0.0, 1.0)
+
+
+def shunt_admittance(y: complex) -> ABCDMatrix:
+    """A shunt element of admittance y: [[1, 0], [y, 1]]."""
+    return ABCDMatrix(1.0, 0.0, y, 1.0)
+
+
+def series_resistor(resistance: float) -> ABCDMatrix:
+    """Series resistor of the given resistance (ohms)."""
+    return series_impedance(complex(resistance))
+
+
+def shunt_capacitor(capacitance: float, s: complex) -> ABCDMatrix:
+    """Shunt capacitor of the given capacitance (farads) at frequency s."""
+    return shunt_admittance(s * capacitance)
+
+
+def rlc_line(line: LineParams, length: float, s: complex) -> ABCDMatrix:
+    """Exact chain matrix of a uniform RLC line of the given length.
+
+    Entries are cosh(theta h), Z0 sinh(theta h), sinh(theta h)/Z0 and
+    cosh(theta h) with theta = sqrt((r + s l) s c) and
+    Z0 = sqrt((r + s l)/(s c)).  Near s = 0 (where Z0 diverges but the
+    products stay finite) series expansions of the same entries are used.
+    """
+    if length <= 0.0:
+        raise ParameterError(f"line length must be positive, got {length}")
+    z_per_len = line.r + s * line.l         # series impedance per unit length
+    y_per_len = s * line.c                  # shunt admittance per unit length
+    zy = z_per_len * y_per_len
+    theta_h = cmath.sqrt(zy) * length
+    # b entry needs Z0 sinh(theta h) = z_per_len * length * sinh(u)/u,
+    # c entry needs sinh(theta h)/Z0 = y_per_len * length * sinh(u)/u,
+    # both of which are regular at u = 0.
+    u = theta_h
+    if abs(u) < _SERIES_THRESHOLD:
+        u2 = u * u
+        sinh_over_u = 1.0 + u2 / 6.0 + u2 * u2 / 120.0
+        cosh_u = 1.0 + u2 / 2.0 + u2 * u2 / 24.0
+    else:
+        sinh_over_u = cmath.sinh(u) / u
+        cosh_u = cmath.cosh(u)
+    b = z_per_len * length * sinh_over_u
+    c = y_per_len * length * sinh_over_u
+    return ABCDMatrix(a=cosh_u, b=b, c=c, d=cosh_u)
+
+
+def rc_line(resistance_per_length: float, capacitance_per_length: float,
+            length: float, s: complex) -> ABCDMatrix:
+    """Chain matrix of a purely RC line (inductance forced to zero)."""
+    line = LineParams(r=resistance_per_length, l=0.0,
+                      c=capacitance_per_length)
+    return rlc_line(line, length, s)

@@ -1,0 +1,67 @@
+"""Critical line inductance l_crit (paper Eq. 4).
+
+For fixed segment length h and driver size k the two-pole system is
+critically damped when b1^2 - 4 b2 = 0.  Since b1 does not depend on the
+line inductance l while b2 is affine in it,
+
+    b2 = l (c h^2/2 + C_L h) + b2_rest,
+
+the critical inductance has the closed form
+
+    l_crit = (b1^2/4 - b2_rest) / (c h^2/2 + C_L h)
+
+with b2_rest collecting every l-independent term of b2.  The system is
+overdamped for l < l_crit and underdamped for l > l_crit.  Figure 4 of the
+paper evaluates l_crit at the RLC-optimal (h, k) and shows it is of the
+same order as practical line inductances — which is precisely why the
+Kahng-Muddu closed-form delay (valid only far from critical damping) cannot
+drive the optimization.
+"""
+
+from __future__ import annotations
+
+from .params import Stage
+
+
+def critical_inductance(stage: Stage) -> float:
+    """Line inductance per unit length that makes the stage critically damped.
+
+    The stage's own ``line.l`` is ignored: the returned value is the
+    inductance that *would* make this (h, k) configuration critically
+    damped.  The result can be negative when the configuration is
+    underdamped even with zero inductance (does not occur for physical
+    driver/line parameters, but the formula is returned unclamped so that
+    callers can detect it).
+    """
+    r, c = stage.line.r, stage.line.c
+    h = stage.h
+    driver = stage.sized_driver
+    r_series = driver.r_series
+    c_par = driver.c_parasitic
+    c_load = driver.c_load
+
+    rc = r * c
+    b1 = (r_series * (c_par + c_load)
+          + 0.5 * rc * h * h
+          + r_series * c * h
+          + c_load * r * h)
+
+    b2_rest = (rc * rc * h ** 4 / 24.0
+               + 0.5 * r_series * (c_par + c_load) * rc * h * h
+               + (r_series * c * h + c_load * r * h) * rc * h * h / 6.0
+               + r_series * c_par * c_load * r * h)
+
+    l_coefficient = 0.5 * c * h * h + c_load * h
+    return (0.25 * b1 * b1 - b2_rest) / l_coefficient
+
+
+def damping_margin(stage: Stage) -> float:
+    """Ratio l / l_crit for the stage's actual inductance.
+
+    Values below one mean overdamped, above one underdamped.  Useful as a
+    quick signal-integrity screen before running the full response.
+    """
+    l_crit = critical_inductance(stage)
+    if l_crit <= 0.0:
+        return float("inf")
+    return stage.line.l / l_crit

@@ -1,0 +1,120 @@
+"""Elmore (RC) delay and the closed-form RC-optimal repeater insertion.
+
+These are the inductance-blind baselines of Sec. 3.1.  For a line of total
+length L broken into L/h segments, each driven by a size-k repeater,
+
+    t_Elmore = (L/h) [ r_s/k (c_p k + c_0 k) + (r_s/k) c h
+                       + r h c_0 k + r c h^2 / 2 ]
+
+which is minimized by
+
+    h_optRC  = sqrt(2 r_s (c_0 + c_p) / (r c))
+    k_optRC  = sqrt(r_s c / (r c_0))
+    tau_optRC = 2 r_s (c_0 + c_p) (1 + sqrt(2 c_0 / (c_0 + c_p)))
+
+tau_optRC is independent of the wiring level (r, c) and is therefore a pure
+technology figure of merit; Table 1 of the paper uses these identities to
+back out r_s, c_0, c_p from SPICE-characterized optima (see
+:mod:`repro.tech.characterize` for our simulator-based equivalent).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .params import DriverParams, LineParams, Stage
+
+
+def elmore_stage_delay(stage: Stage) -> float:
+    """Elmore delay of one buffered segment (equals the Padé moment b1)."""
+    r, c = stage.line.r, stage.line.c
+    h = stage.h
+    drv = stage.sized_driver
+    return (drv.r_series * (drv.c_parasitic + drv.c_load)
+            + drv.r_series * c * h
+            + r * h * drv.c_load
+            + 0.5 * r * c * h * h)
+
+
+def elmore_total_delay(line: LineParams, driver: DriverParams,
+                       total_length: float, h: float, k: float) -> float:
+    """Elmore delay of a length-L line split into L/h buffered segments."""
+    if total_length <= 0.0:
+        raise ParameterError(f"total length must be positive, got {total_length}")
+    stage = Stage(line=line, driver=driver, h=h, k=k)
+    return (total_length / h) * elmore_stage_delay(stage)
+
+
+@dataclass(frozen=True)
+class RCOptimum:
+    """Closed-form RC-optimal repeater insertion for a technology/layer.
+
+    Attributes
+    ----------
+    h_opt:
+        Optimal segment length in metres.
+    k_opt:
+        Optimal repeater size (multiple of minimum size).
+    tau_opt:
+        Elmore delay of one optimal segment, in seconds.
+    """
+
+    h_opt: float
+    k_opt: float
+    tau_opt: float
+
+    @property
+    def delay_per_length(self) -> float:
+        """Optimal Elmore delay per unit length tau_opt / h_opt, in s/m."""
+        return self.tau_opt / self.h_opt
+
+
+def rc_optimum(line: LineParams, driver: DriverParams) -> RCOptimum:
+    """Compute (h_optRC, k_optRC, tau_optRC) from the closed forms above."""
+    r, c = line.r, line.c
+    r_s, c_p, c_0 = driver.r_s, driver.c_p, driver.c_0
+    h_opt = math.sqrt(2.0 * r_s * (c_0 + c_p) / (r * c))
+    k_opt = math.sqrt(r_s * c / (r * c_0))
+    tau_opt = 2.0 * r_s * (c_0 + c_p) * (1.0 + math.sqrt(2.0 * c_0 / (c_0 + c_p)))
+    return RCOptimum(h_opt=h_opt, k_opt=k_opt, tau_opt=tau_opt)
+
+
+def driver_from_rc_optimum(line: LineParams, h_opt: float, k_opt: float,
+                           tau_opt: float) -> DriverParams:
+    """Invert the RC-optimum identities to recover (r_s, c_p, c_0).
+
+    This is exactly how the paper derives Table 1's device parameters from
+    SPICE-measured optima: the three closed forms above are three equations
+    in the three unknowns r_s, c_p, c_0.
+
+    Derivation: from h_opt and k_opt,
+
+        r_s (c_0 + c_p) = r c h_opt^2 / 2        (A)
+        r_s c           = r c_0 k_opt^2          (B)
+
+    and substituting (A) into tau_opt gives sqrt(2 c_0/(c_0+c_p)), hence
+    c_0/(c_0+c_p); together with (B) all three parameters follow.
+    """
+    r, c = line.r, line.c
+    a = 0.5 * r * c * h_opt * h_opt            # = r_s (c_0 + c_p)
+    ratio_term = tau_opt / (2.0 * a) - 1.0     # = sqrt(2 c_0 / (c_0 + c_p))
+    if ratio_term <= 0.0:
+        raise ParameterError(
+            "inconsistent RC optimum: tau_opt must exceed r c h_opt^2")
+    c0_fraction = 0.5 * ratio_term * ratio_term    # = c_0 / (c_0 + c_p)
+    if c0_fraction > 1.0 + 1e-9:
+        raise ParameterError(
+            "inconsistent RC optimum: implies negative parasitic capacitance")
+    # c_p = 0 is a legitimate boundary (c0_fraction exactly 1); clamp the
+    # float round-off that can push it infinitesimally above.
+    c0_fraction = min(c0_fraction, 1.0)
+    # (B): r_s c = r c_0 k^2  =>  r_s = r c_0 k^2 / c, and (A) closes it.
+    # Let S = c_0 + c_p.  Then c_0 = c0_fraction * S and
+    # a = r_s S = (r k^2 / c) c0_fraction S^2  =>  S^2 = a c / (r k^2 c0_fraction).
+    s_total = math.sqrt(a * c / (r * k_opt * k_opt * c0_fraction))
+    c_0 = c0_fraction * s_total
+    c_p = max(0.0, s_total - c_0)
+    r_s = a / s_total
+    return DriverParams(r_s=r_s, c_p=c_p, c_0=c_0)

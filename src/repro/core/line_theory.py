@@ -1,0 +1,132 @@
+"""Transmission-line quantities of a uniform RLC line.
+
+The paper frames the inductance problem in transmission-line terms: the
+line's characteristic impedance Z0(s) = sqrt((r + s l)/(s c)) and
+propagation constant gamma(s) = sqrt((r + s l) s c) decide whether a wire
+behaves like a diffusive RC net or a wave-carrying LC line.  This module
+evaluates those quantities, their classical asymptotes, and the standard
+regime diagnostics:
+
+* attenuation alpha(omega) and phase beta(omega) per metre,
+* phase velocity and time of flight,
+* the RC/LC transition frequency omega_LC = r/l where the reactive part
+  of the series impedance overtakes the resistance,
+* the "transmission-line effects matter" length window of Deutsch et
+  al. [6]:  t_flight > rise_time/2  together with  attenuated swing
+  still significant (R_total < ~2 Z0).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .params import LineParams
+
+
+def characteristic_impedance(line: LineParams, omega: float) -> complex:
+    """Z0(j omega) = sqrt((r + j omega l)/(j omega c)), ohms."""
+    _check_omega(omega)
+    s = 1j * omega
+    return cmath.sqrt((line.r + s * line.l) / (s * line.c))
+
+
+def propagation_constant(line: LineParams, omega: float) -> complex:
+    """gamma(j omega) = alpha + j beta = sqrt((r + j omega l) j omega c).
+
+    alpha is attenuation (Np/m), beta the phase constant (rad/m); the
+    principal square root keeps both non-negative.
+    """
+    _check_omega(omega)
+    s = 1j * omega
+    return cmath.sqrt((line.r + s * line.l) * (s * line.c))
+
+
+def attenuation(line: LineParams, omega: float) -> float:
+    """alpha(omega) in nepers per metre."""
+    return propagation_constant(line, omega).real
+
+
+def phase_velocity(line: LineParams, omega: float) -> float:
+    """omega / beta(omega) in m/s; approaches 1/sqrt(l c) at high omega."""
+    beta = propagation_constant(line, omega).imag
+    if beta == 0.0:
+        raise ParameterError("phase constant vanished; omega too small")
+    return omega / beta
+
+
+def lc_transition_frequency(line: LineParams) -> float:
+    """omega at which |j omega l| = r, i.e. omega_LC = r/l (rad/s).
+
+    Below it the line is RC-diffusive; above it inductance dominates the
+    series impedance.  Infinite for a zero-inductance line.
+    """
+    if line.l == 0.0:
+        return math.inf
+    return line.r / line.l
+
+
+@dataclass(frozen=True)
+class LineRegime:
+    """Diagnostics of one (line, length, rise-time) operating point."""
+
+    time_of_flight: float          #: h sqrt(l c), seconds
+    total_resistance: float        #: r h, ohms
+    z0_lossless: float             #: sqrt(l/c), ohms
+    flight_criterion: bool         #: t_flight > rise_time / 2
+    attenuation_criterion: bool    #: r h < 2 sqrt(l/c)
+
+    @property
+    def transmission_line_effects(self) -> bool:
+        """Both Deutsch-style criteria met: reflections will be visible."""
+        return self.flight_criterion and self.attenuation_criterion
+
+
+def classify_regime(line: LineParams, length: float,
+                    rise_time: float) -> LineRegime:
+    """Apply the classical 'when do transmission-line effects matter' test.
+
+    After Deutsch et al. [paper ref. 6]: inductance matters when the line
+    is long enough that the signal edge resolves the flight time
+    (t_flight > t_rise/2) yet short/fat enough that resistive attenuation
+    has not already killed the wave (R_total < 2 Z0).
+    """
+    if length <= 0.0:
+        raise ParameterError(f"length must be positive, got {length}")
+    if rise_time <= 0.0:
+        raise ParameterError(f"rise time must be positive, got {rise_time}")
+    if line.l == 0.0:
+        return LineRegime(time_of_flight=0.0,
+                          total_resistance=line.r * length,
+                          z0_lossless=0.0, flight_criterion=False,
+                          attenuation_criterion=False)
+    t_flight = length * line.time_of_flight_per_length
+    z0 = line.characteristic_impedance_lossless
+    return LineRegime(
+        time_of_flight=t_flight,
+        total_resistance=line.r * length,
+        z0_lossless=z0,
+        flight_criterion=t_flight > 0.5 * rise_time,
+        attenuation_criterion=line.r * length < 2.0 * z0)
+
+
+def critical_length_window(line: LineParams, rise_time: float
+                           ) -> tuple[float, float]:
+    """(h_min, h_max) between which transmission-line effects matter.
+
+    h_min comes from the flight criterion, h_max from the attenuation
+    criterion; an empty window (h_min >= h_max) means the wire never shows
+    visible reflections at this rise time.
+    """
+    if line.l == 0.0:
+        return (math.inf, math.inf)
+    h_min = 0.5 * rise_time / line.time_of_flight_per_length
+    h_max = 2.0 * line.characteristic_impedance_lossless / line.r
+    return (h_min, h_max)
+
+
+def _check_omega(omega: float) -> None:
+    if omega <= 0.0:
+        raise ParameterError(f"omega must be positive, got {omega}")

@@ -1,0 +1,120 @@
+"""Second-order Padé moments of the driver-interconnect-load stage.
+
+The paper (following Kahng & Muddu [23]) approximates the exact transfer
+function (Eq. 1) by the two-pole form
+
+    H(s) ~= 1 / (1 + s b1 + s^2 b2)                                 (Eq. 2)
+
+with
+
+    b1 = R_S (C_P + C_L) + r c h^2 / 2 + R_S c h + C_L r h
+    b2 = l c h^2 / 2 + r^2 c^2 h^4 / 24 + R_S (C_P + C_L) r c h^2 / 2
+         + (R_S c h + C_L r h) r c h^2 / 6 + C_L l h + R_S C_P C_L r h
+
+For the repeater-insertion optimizer the paper additionally needs the
+partial derivatives of b1 and b2 with respect to the segment length ``h``
+and the repeater size ``k`` (with R_S = r_s/k, C_P = c_p k, C_L = c_0 k).
+These derivatives are computed here in closed form; the test suite checks
+them against central finite differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import Stage
+
+
+@dataclass(frozen=True)
+class Moments:
+    """Padé moments b1, b2 of a stage and their h/k partial derivatives.
+
+    ``b1`` has units of seconds and equals the Elmore delay of the stage;
+    ``b2`` has units of seconds squared and carries the entire inductance
+    dependence of the two-pole model.
+    """
+
+    b1: float
+    b2: float
+    db1_dh: float
+    db1_dk: float
+    db2_dh: float
+    db2_dk: float
+
+    @property
+    def discriminant(self) -> float:
+        """b1^2 - 4 b2: sign selects over- (>0) vs under-damped (<0)."""
+        return self.b1 * self.b1 - 4.0 * self.b2
+
+
+def compute_moments(stage: Stage) -> Moments:
+    """Evaluate b1, b2 and their partial derivatives for a stage.
+
+    Parameters
+    ----------
+    stage:
+        Driver-interconnect-load configuration (SI units).
+
+    Returns
+    -------
+    Moments
+        b1 (s), b2 (s^2) and the four partials w.r.t. h (m) and k
+        (dimensionless size).
+    """
+    r, l, c = stage.line.r, stage.line.l, stage.line.c
+    r_s, c_p, c_0 = stage.driver.r_s, stage.driver.c_p, stage.driver.c_0
+    h, k = stage.h, stage.k
+
+    # b1 = r_s (c_p + c_0) + r c h^2/2 + (r_s c / k) h + c_0 r k h
+    b1 = (r_s * (c_p + c_0)
+          + 0.5 * r * c * h * h
+          + r_s * c * h / k
+          + c_0 * r * h * k)
+
+    # b2 = l c h^2/2 + r^2 c^2 h^4/24 + r_s (c_p + c_0) r c h^2/2
+    #      + (r_s c h/k + c_0 r h k) r c h^2/6 + c_0 k l h + r_s c_p c_0 k r h
+    rc = r * c
+    b2 = (0.5 * l * c * h * h
+          + rc * rc * h ** 4 / 24.0
+          + 0.5 * r_s * (c_p + c_0) * rc * h * h
+          + (r_s * c / k + c_0 * r * k) * rc * h ** 3 / 6.0
+          + c_0 * k * l * h
+          + r_s * c_p * c_0 * k * r * h)
+
+    db1_dh = rc * h + r_s * c / k + c_0 * r * k
+    db1_dk = -r_s * c * h / (k * k) + c_0 * r * h
+
+    db2_dh = (l * c * h
+              + rc * rc * h ** 3 / 6.0
+              + r_s * (c_p + c_0) * rc * h
+              + (r_s * c / k + c_0 * r * k) * rc * h * h / 2.0
+              + c_0 * k * l
+              + r_s * c_p * c_0 * k * r)
+    db2_dk = ((-r_s * c / (k * k) + c_0 * r) * rc * h ** 3 / 6.0
+              + c_0 * l * h
+              + r_s * c_p * c_0 * r * h)
+
+    return Moments(b1=b1, b2=b2, db1_dh=db1_dh, db1_dk=db1_dk,
+                   db2_dh=db2_dh, db2_dk=db2_dk)
+
+
+def moments_from_lumped(*, r_series: float, c_parasitic: float,
+                        c_load: float, r: float, l: float, c: float,
+                        h: float) -> tuple[float, float]:
+    """Evaluate (b1, b2) from explicit lumped driver values.
+
+    This variant does not assume the ``r_s/k`` / ``c_p k`` / ``c_0 k``
+    sizing law, so it can describe a stage whose load is *not* an identical
+    repeater (e.g. a fixed receiver capacitance).  It returns only the
+    moments, not the sizing derivatives.
+    """
+    rs, cp, cl = r_series, c_parasitic, c_load
+    rc = r * c
+    b1 = rs * (cp + cl) + 0.5 * rc * h * h + rs * c * h + cl * r * h
+    b2 = (0.5 * l * c * h * h
+          + rc * rc * h ** 4 / 24.0
+          + 0.5 * rs * (cp + cl) * rc * h * h
+          + (rs * c * h + cl * r * h) * rc * h * h / 6.0
+          + cl * l * h
+          + rs * cp * cl * r * h)
+    return b1, b2

@@ -1,0 +1,181 @@
+"""Parameter containers for the driver-interconnect-load stage.
+
+The paper's Figure 1 structure is a repeater of size ``k`` (series
+resistance ``r_s / k``, output parasitic capacitance ``c_p * k``) driving a
+uniform distributed RLC line of length ``h`` terminated by the input
+capacitance of an identical repeater (``c_0 * k``).  These containers carry
+that configuration in SI units and expose the derived lumped element values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class LineParams:
+    """Per-unit-length parameters of a uniform RLC line (SI units).
+
+    Attributes
+    ----------
+    r:
+        Resistance per unit length in ohm/m.
+    l:
+        Inductance per unit length in H/m.  May be zero (RC line).
+    c:
+        Capacitance per unit length in F/m.
+    """
+
+    r: float
+    l: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if self.r <= 0.0:
+            raise ParameterError(f"line resistance must be positive, got {self.r}")
+        if self.l < 0.0:
+            raise ParameterError(f"line inductance must be >= 0, got {self.l}")
+        if self.c <= 0.0:
+            raise ParameterError(f"line capacitance must be positive, got {self.c}")
+
+    def with_inductance(self, l: float) -> "LineParams":
+        """Return a copy with the inductance per unit length replaced."""
+        return replace(self, l=l)
+
+    def with_capacitance(self, c: float) -> "LineParams":
+        """Return a copy with the capacitance per unit length replaced."""
+        return replace(self, c=c)
+
+    @property
+    def characteristic_impedance_lossless(self) -> float:
+        """Lossless characteristic impedance sqrt(l/c) in ohms.
+
+        This is the high-frequency limit of Z0 = sqrt((r + s l) / (s c)); the
+        paper's k_opt asymptote matches the driver output impedance to it.
+        """
+        return math.sqrt(self.l / self.c)
+
+    @property
+    def time_of_flight_per_length(self) -> float:
+        """Wave propagation time per unit length sqrt(l c) in s/m."""
+        return math.sqrt(self.l * self.c)
+
+    def damping_factor(self, length: float) -> float:
+        """Dimensionless line damping r·h/2 · sqrt(c·h / (l·h)) for length h.
+
+        Values well above one indicate RC-dominated behaviour; values below
+        one indicate a strongly inductive (transmission-line) regime.
+        """
+        if self.l == 0.0:
+            return math.inf
+        return 0.5 * self.r * length * math.sqrt(self.c / self.l)
+
+
+@dataclass(frozen=True)
+class DriverParams:
+    """Minimum-sized repeater parameters for a technology (SI units).
+
+    Attributes
+    ----------
+    r_s:
+        Output resistance of a minimum-sized repeater in ohms.
+    c_p:
+        Output parasitic capacitance of a minimum-sized repeater in farads.
+    c_0:
+        Input capacitance of a minimum-sized repeater in farads.
+    """
+
+    r_s: float
+    c_p: float
+    c_0: float
+
+    def __post_init__(self) -> None:
+        if self.r_s <= 0.0:
+            raise ParameterError(f"driver resistance must be positive, got {self.r_s}")
+        if self.c_p < 0.0:
+            raise ParameterError(f"parasitic capacitance must be >= 0, got {self.c_p}")
+        if self.c_0 <= 0.0:
+            raise ParameterError(f"input capacitance must be positive, got {self.c_0}")
+
+    def sized(self, k: float) -> "SizedDriver":
+        """Return the lumped element values for a driver of size ``k``."""
+        if k <= 0.0:
+            raise ParameterError(f"driver size must be positive, got {k}")
+        return SizedDriver(r_series=self.r_s / k, c_parasitic=self.c_p * k,
+                           c_load=self.c_0 * k)
+
+    @property
+    def intrinsic_delay(self) -> float:
+        """Intrinsic time constant r_s (c_0 + c_p) of the repeater in seconds."""
+        return self.r_s * (self.c_0 + self.c_p)
+
+
+@dataclass(frozen=True)
+class SizedDriver:
+    """Lumped element values of a repeater scaled to a specific size.
+
+    Attributes
+    ----------
+    r_series:
+        Series output resistance R_S in ohms.
+    c_parasitic:
+        Output parasitic capacitance C_P in farads.
+    c_load:
+        Input (load) capacitance C_L of the identical next repeater in farads.
+    """
+
+    r_series: float
+    c_parasitic: float
+    c_load: float
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One buffered segment: driver of size ``k`` + line of length ``h`` + load.
+
+    This is the unit the whole paper analyses: delay is computed per stage
+    and the repeater-insertion optimizer minimizes (stage delay)/(stage
+    length).
+    """
+
+    line: LineParams
+    driver: DriverParams
+    h: float
+    k: float
+
+    def __post_init__(self) -> None:
+        if self.h <= 0.0:
+            raise ParameterError(f"segment length must be positive, got {self.h}")
+        if self.k <= 0.0:
+            raise ParameterError(f"driver size must be positive, got {self.k}")
+
+    @property
+    def sized_driver(self) -> SizedDriver:
+        """Lumped R_S, C_P, C_L for this stage."""
+        return self.driver.sized(self.k)
+
+    @property
+    def total_line_resistance(self) -> float:
+        """Total line resistance r·h in ohms."""
+        return self.line.r * self.h
+
+    @property
+    def total_line_inductance(self) -> float:
+        """Total line inductance l·h in henries."""
+        return self.line.l * self.h
+
+    @property
+    def total_line_capacitance(self) -> float:
+        """Total line capacitance c·h in farads."""
+        return self.line.c * self.h
+
+    def with_geometry(self, h: float, k: float) -> "Stage":
+        """Return a copy with the segment length and driver size replaced."""
+        return replace(self, h=h, k=k)
+
+    def with_inductance(self, l: float) -> "Stage":
+        """Return a copy with the line inductance per unit length replaced."""
+        return replace(self, line=self.line.with_inductance(l))

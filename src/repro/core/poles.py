@@ -1,0 +1,129 @@
+"""Poles of the two-pole transfer function and their sizing derivatives.
+
+The Padé-approximated transfer function H(s) = 1/(1 + s b1 + s^2 b2) has
+poles
+
+    s_{1,2} = (-b1 +- sqrt(b1^2 - 4 b2)) / (2 b2)
+
+which are real (overdamped), coincident (critically damped) or complex
+conjugate (underdamped) depending on the sign of the discriminant
+b1^2 - 4 b2.  The optimizer additionally needs d s_{1,2} / d{h,k}, which the
+paper gives as
+
+    ds/dx = 1/(2 b2) [ -db1/dx +- (b1 db1/dx - 2 db2/dx)/sqrt(b1^2-4b2) ]
+            - (s_{1,2} / b2) db2/dx
+
+All pole arithmetic here is complex so that the same code path covers all
+three damping regimes; physically real results are recovered downstream by
+taking real parts (the residual imaginary parts are checked in tests).
+"""
+
+from __future__ import annotations
+
+import cmath
+import enum
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .moments import Moments
+
+
+class Damping(enum.Enum):
+    """Damping regime of the two-pole system."""
+
+    OVERDAMPED = "overdamped"
+    CRITICALLY_DAMPED = "critically_damped"
+    UNDERDAMPED = "underdamped"
+
+
+#: Relative tolerance on the discriminant used to declare critical damping.
+CRITICAL_RTOL = 1e-9
+
+
+def classify_damping(b1: float, b2: float, *,
+                     rtol: float = CRITICAL_RTOL) -> Damping:
+    """Classify the damping regime from the moments.
+
+    The discriminant is compared against ``rtol * b1**2`` so that the
+    classification is scale invariant (b1 and sqrt(b2) share units of time).
+    """
+    disc = b1 * b1 - 4.0 * b2
+    if abs(disc) <= rtol * b1 * b1:
+        return Damping.CRITICALLY_DAMPED
+    return Damping.OVERDAMPED if disc > 0.0 else Damping.UNDERDAMPED
+
+
+@dataclass(frozen=True)
+class PolePair:
+    """Pole pair of the two-pole model with h/k sensitivities.
+
+    ``s1`` carries the ``+sqrt`` branch and ``s2`` the ``-sqrt`` branch of
+    the quadratic formula; for an overdamped system ``s1`` is therefore the
+    slow (dominant) pole.  All poles have negative real part for physical
+    (positive) b1, b2.
+    """
+
+    s1: complex
+    s2: complex
+    ds1_dh: complex
+    ds1_dk: complex
+    ds2_dh: complex
+    ds2_dk: complex
+    damping: Damping
+
+    @property
+    def natural_frequency(self) -> float:
+        """Undamped natural frequency omega_n = 1/sqrt(b2) = |s1 s2|^0.5."""
+        return abs(self.s1 * self.s2) ** 0.5
+
+    @property
+    def damping_ratio(self) -> float:
+        """Damping ratio zeta = b1 / (2 sqrt(b2)) of the two-pole system."""
+        s1s2 = self.s1 * self.s2          # = 1/b2
+        s1_plus_s2 = self.s1 + self.s2    # = -b1/b2
+        return (-s1_plus_s2 / (2.0 * cmath.sqrt(s1s2))).real
+
+
+def compute_poles(moments: Moments, *,
+                  critical_rtol: float = CRITICAL_RTOL) -> PolePair:
+    """Compute s1, s2 and their h/k derivatives from the Padé moments.
+
+    Raises
+    ------
+    ParameterError
+        If b2 is not positive (the two-pole model needs a genuine second
+        order system; b2 > 0 holds for any physical stage).
+    """
+    b1, b2 = moments.b1, moments.b2
+    if b2 <= 0.0:
+        raise ParameterError(f"two-pole model requires b2 > 0, got {b2}")
+    if b1 <= 0.0:
+        raise ParameterError(f"two-pole model requires b1 > 0, got {b1}")
+
+    disc = complex(b1 * b1 - 4.0 * b2)
+    sqrt_disc = cmath.sqrt(disc)
+    two_b2 = 2.0 * b2
+    s1 = (-b1 + sqrt_disc) / two_b2
+    s2 = (-b1 - sqrt_disc) / two_b2
+
+    def branch_derivative(sign: float, s: complex, db1: float,
+                          db2: float) -> complex:
+        """d/dx of (-b1 +- sqrt(disc))/(2 b2) by the chain rule."""
+        if sqrt_disc == 0.0:
+            # Exactly critically damped: the +-sqrt term is singular.  Use
+            # the derivative of the double root -b1/(2 b2) instead; callers
+            # that need to optimize *through* the critical point fall back
+            # to direct minimization (see repro.core.optimize).
+            return -db1 / two_b2 + b1 * db2 / (two_b2 * b2)
+        numerator = -db1 + sign * (b1 * db1 - 2.0 * db2) / sqrt_disc
+        return numerator / two_b2 - s * db2 / b2
+
+    ds1_dh = branch_derivative(+1.0, s1, moments.db1_dh, moments.db2_dh)
+    ds1_dk = branch_derivative(+1.0, s1, moments.db1_dk, moments.db2_dk)
+    ds2_dh = branch_derivative(-1.0, s2, moments.db1_dh, moments.db2_dh)
+    ds2_dk = branch_derivative(-1.0, s2, moments.db1_dk, moments.db2_dk)
+
+    return PolePair(s1=s1, s2=s2,
+                    ds1_dh=ds1_dh, ds1_dk=ds1_dk,
+                    ds2_dh=ds2_dh, ds2_dk=ds2_dk,
+                    damping=classify_damping(b1, b2, rtol=critical_rtol))

@@ -1,0 +1,205 @@
+"""Time-domain step response of the two-pole model.
+
+For distinct poles the unit-step response (paper, Sec. 2.1) is
+
+    v(t) = 1 - s2/(s2 - s1) exp(s1 t) + s1/(s2 - s1) exp(s2 t)
+
+and for a coincident (critically damped) pole p it degenerates to
+
+    v(t) = 1 - (1 - p t) exp(p t).
+
+The evaluation is done in complex arithmetic and is exactly real for
+conjugate pole pairs; tiny imaginary round-off is discarded.  The class also
+measures overshoot and undershoot, the quantities the paper links to
+reliability and logic failures (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .moments import Moments
+from .poles import Damping, PolePair, classify_damping, compute_poles
+
+#: Poles closer (relatively) than this are treated as coincident.
+_COINCIDENT_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class StepResponse:
+    """Normalized (V0 = 1) step response of a two-pole system."""
+
+    s1: complex
+    s2: complex
+
+    @classmethod
+    def from_moments(cls, moments: Moments) -> "StepResponse":
+        """Build the response from Padé moments b1, b2."""
+        poles = compute_poles(moments)
+        return cls(s1=poles.s1, s2=poles.s2)
+
+    @classmethod
+    def from_poles(cls, poles: PolePair) -> "StepResponse":
+        """Build the response from a precomputed pole pair."""
+        return cls(s1=poles.s1, s2=poles.s2)
+
+    @property
+    def _coincident(self) -> bool:
+        return abs(self.s1 - self.s2) <= _COINCIDENT_RTOL * abs(self.s1)
+
+    @property
+    def damping(self) -> Damping:
+        """Damping regime implied by the pole pair."""
+        # b1 = -(s1+s2) b2, b2 = 1/(s1 s2); classification only needs signs.
+        b2 = (1.0 / (self.s1 * self.s2)).real
+        b1 = (-(self.s1 + self.s2) * b2).real
+        return classify_damping(b1, b2)
+
+    @property
+    def damped_frequency(self) -> float:
+        """Oscillation (damped) angular frequency; zero unless underdamped."""
+        return abs(self.s1.imag)
+
+    @property
+    def decay_rate(self) -> float:
+        """Slowest decay rate min |Re(s)| governing the settling tail."""
+        return min(abs(self.s1.real), abs(self.s2.real))
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+    def __call__(self, t):
+        """Evaluate v(t); accepts a scalar or a numpy array, t >= 0."""
+        t_arr = np.asarray(t, dtype=float)
+        if self._coincident:
+            p = 0.5 * (self.s1 + self.s2)
+            v = 1.0 - (1.0 - p * t_arr) * np.exp(p * t_arr)
+        else:
+            denom = self.s2 - self.s1
+            v = (1.0
+                 - (self.s2 / denom) * np.exp(self.s1 * t_arr)
+                 + (self.s1 / denom) * np.exp(self.s2 * t_arr))
+        v_real = np.real(v)
+        if np.isscalar(t) or t_arr.ndim == 0:
+            return float(v_real)
+        return v_real
+
+    def derivative(self, t):
+        """Evaluate dv/dt; accepts a scalar or a numpy array."""
+        t_arr = np.asarray(t, dtype=float)
+        if self._coincident:
+            p = 0.5 * (self.s1 + self.s2)
+            dv = (p * p) * t_arr * np.exp(p * t_arr)
+        else:
+            denom = self.s2 - self.s1
+            s1s2 = self.s1 * self.s2
+            dv = (s1s2 / denom) * (np.exp(self.s2 * t_arr)
+                                   - np.exp(self.s1 * t_arr))
+        dv_real = np.real(dv)
+        if np.isscalar(t) or t_arr.ndim == 0:
+            return float(dv_real)
+        return dv_real
+
+    # ------------------------------------------------------------------
+    # Waveform-quality metrics (Sec. 3.3).
+    # ------------------------------------------------------------------
+    def peak_time(self) -> float:
+        """Time of the first response extremum after the initial rise.
+
+        For an underdamped system this is pi/omega_d (first overshoot peak);
+        for critically/overdamped systems the response is monotonic and
+        ``math.inf`` is returned.
+        """
+        if self.damping is not Damping.UNDERDAMPED:
+            return math.inf
+        return math.pi / self.damped_frequency
+
+    def overshoot(self) -> float:
+        """Peak overshoot max(v) - 1, or 0 for a monotonic response.
+
+        For conjugate poles sigma +- j omega the closed form is
+        exp(sigma pi / omega) (note sigma < 0).
+        """
+        if self.damping is not Damping.UNDERDAMPED:
+            return 0.0
+        sigma = self.s1.real
+        omega = self.damped_frequency
+        return math.exp(sigma * math.pi / omega)
+
+    def undershoot(self) -> float:
+        """Depth of the first undershoot below the final value, >= 0.
+
+        The first minimum after the overshoot peak occurs at 2 pi/omega_d
+        and lies exp(2 sigma pi / omega) below the final value.  This is the
+        dip that can falsely switch a downstream gate (Sec. 3.3.1).
+        """
+        if self.damping is not Damping.UNDERDAMPED:
+            return 0.0
+        sigma = self.s1.real
+        omega = self.damped_frequency
+        return math.exp(2.0 * sigma * math.pi / omega)
+
+    def settling_time(self, tolerance: float = 0.02) -> float:
+        """Conservative time for |v - 1| to stay below ``tolerance``.
+
+        Uses the exact residual envelope: for distinct poles
+        |v(t) - 1| <= A exp(-decay t) with A = (|s1| + |s2|)/|s1 - s2|
+        (which equals 1/sqrt(1 - zeta^2) for a conjugate pair), and for a
+        coincident pole |v(t) - 1| = (1 + |p| t) exp(-|p| t).
+        """
+        if not 0.0 < tolerance < 1.0:
+            raise ValueError("tolerance must be in (0, 1)")
+        if self._coincident:
+            # Solve (1 + x) exp(-x) = tolerance.
+            x = max(1.0, 2.0 * math.log(1.0 / tolerance))
+            for _ in range(60):
+                value = (1.0 + x) * math.exp(-x) - tolerance
+                slope = -x * math.exp(-x)
+                step = value / slope
+                x -= step
+                if abs(step) < 1e-12 * x:
+                    break
+            return x / abs(self.s1.real)
+        amplitude = (abs(self.s1) + abs(self.s2)) / abs(self.s1 - self.s2)
+        return math.log(max(amplitude, 1.0) / tolerance) / self.decay_rate
+
+    def rise_time(self, fractions: tuple[float, float] = (0.1, 0.9)
+                  ) -> float:
+        """Time between the first crossings of the two threshold fractions.
+
+        The 10-90% rise time by default — the signal-slew metric the
+        paper links to inductance (faster edges excite more ringing).
+        Computed with the same first-crossing solver as the delay.
+        """
+        from .delay import threshold_delay
+        f_lo, f_hi = fractions
+        if not 0.0 <= f_lo < f_hi < 1.0:
+            raise ValueError(
+                f"fractions must satisfy 0 <= lo < hi < 1, got {fractions}")
+        t_lo = threshold_delay(self, f_lo, polish_with_newton=False).tau
+        t_hi = threshold_delay(self, f_hi, polish_with_newton=False).tau
+        return t_hi - t_lo
+
+    def sample(self, t_end: float, num: int = 1000) -> tuple[np.ndarray, np.ndarray]:
+        """Return (t, v) arrays of the response on [0, t_end]."""
+        t = np.linspace(0.0, t_end, num)
+        return t, self(t)
+
+
+def canonical_response(damping_ratio: float, omega_n: float) -> StepResponse:
+    """Build a StepResponse from (zeta, omega_n) — used by the Fig. 2 study.
+
+    The corresponding moments are b1 = 2 zeta / omega_n, b2 = 1/omega_n^2.
+    """
+    if damping_ratio <= 0.0 or omega_n <= 0.0:
+        raise ValueError("damping ratio and natural frequency must be positive")
+    zeta, wn = damping_ratio, omega_n
+    disc = complex(zeta * zeta - 1.0)
+    root = cmath.sqrt(disc)
+    s1 = wn * (-zeta + root)
+    s2 = wn * (-zeta - root)
+    return StepResponse(s1=s1, s2=s2)

@@ -1,0 +1,153 @@
+"""Robust repeater insertion under inductance uncertainty (minimax).
+
+Sec. 3.2 of the paper observes that the effective l cannot be targeted,
+and prices one specific hedge: sizing at the Elmore optimum.  The natural
+completion is the *minimax* design — choose (h, k) minimizing the worst
+delay per unit length over the whole plausible inductance interval:
+
+    minimize_{h,k}  max_{l in [l_min, l_max]}  tau(h, k, l) / h.
+
+Because tau is monotone increasing in l at fixed (h, k) (b2 is affine and
+increasing in l while b1 is l-independent; see the test suite), the inner
+maximum is attained at l_max, so the minimax design equals the nominal
+optimum at l_max.  What the robust framing adds is the *regret* analysis:
+how much that hedge costs when the inductance actually lands lower, and
+how it compares to the RC-blind and mid-point sizings.  This module
+computes the minimax optimum, verifies the monotonicity assumption on a
+grid (falling back to an explicit grid-minimax if it ever failed), and
+reports the worst-case regret of any candidate sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from .delay import threshold_delay
+from .optimize import RepeaterOptimum, optimize_repeater
+from .params import DriverParams, LineParams, Stage
+
+
+@dataclass(frozen=True)
+class RobustOptimum:
+    """Minimax repeater sizing over an inductance interval."""
+
+    h_opt: float
+    k_opt: float
+    l_min: float
+    l_max: float
+    worst_delay_per_length: float      #: the minimax objective value
+    worst_case_l: float                #: arg max of the inner problem
+    nominal_at_lmax: RepeaterOptimum   #: the anchoring nominal optimum
+
+    def delay_per_length_at(self, line_zero_l: LineParams,
+                            driver: DriverParams, l: float,
+                            f: float = 0.5) -> float:
+        """Objective of this sizing at a specific inductance."""
+        stage = Stage(line=line_zero_l.with_inductance(l), driver=driver,
+                      h=self.h_opt, k=self.k_opt)
+        return threshold_delay(stage, f, polish_with_newton=False).tau \
+            / self.h_opt
+
+
+def worst_case_delay_per_length(line_zero_l: LineParams,
+                                driver: DriverParams, h: float, k: float,
+                                l_grid: Sequence[float], f: float = 0.5
+                                ) -> tuple[float, float]:
+    """(max objective, argmax l) of a fixed sizing over an l grid."""
+    worst = -1.0
+    worst_l = float(l_grid[0])
+    for l in l_grid:
+        stage = Stage(line=line_zero_l.with_inductance(float(l)),
+                      driver=driver, h=h, k=k)
+        value = threshold_delay(stage, f, polish_with_newton=False).tau / h
+        if value > worst:
+            worst = value
+            worst_l = float(l)
+    return worst, worst_l
+
+
+def optimize_robust(line_zero_l: LineParams, driver: DriverParams, *,
+                    l_min: float, l_max: float, f: float = 0.5,
+                    grid_points: int = 7) -> RobustOptimum:
+    """Minimax sizing over l in [l_min, l_max].
+
+    Exploits the monotonicity of tau in l: the minimax design is the
+    nominal optimum at l_max.  The monotonicity is *checked* on a grid
+    for the returned sizing; if it ever failed (it does not for physical
+    parameters), the reported worst case would simply move to the true
+    grid argmax, keeping the result honest.
+    """
+    if l_min < 0.0 or l_max <= l_min:
+        raise ParameterError(
+            f"need 0 <= l_min < l_max, got [{l_min}, {l_max}]")
+    nominal = optimize_repeater(line_zero_l.with_inductance(l_max), driver,
+                                f)
+    grid = np.linspace(l_min, l_max, grid_points)
+    worst, worst_l = worst_case_delay_per_length(
+        line_zero_l, driver, nominal.h_opt, nominal.k_opt, grid, f)
+    return RobustOptimum(h_opt=nominal.h_opt, k_opt=nominal.k_opt,
+                         l_min=l_min, l_max=l_max,
+                         worst_delay_per_length=worst, worst_case_l=worst_l,
+                         nominal_at_lmax=nominal)
+
+
+@dataclass(frozen=True)
+class RegretRow:
+    """Worst-case performance of one candidate sizing over the interval."""
+
+    label: str
+    h: float
+    k: float
+    worst_delay_per_length: float
+    worst_regret: float       #: max over l of (candidate / best-at-l) - 1
+
+
+def regret_analysis(line_zero_l: LineParams, driver: DriverParams, *,
+                    l_min: float, l_max: float, f: float = 0.5,
+                    grid_points: int = 7) -> list[RegretRow]:
+    """Compare sizings: RC-blind, nominal at l_min/mid/l_max (= minimax).
+
+    For each candidate, the *regret* at l is its objective divided by the
+    true optimum at that l; the worst regret over the interval is the
+    price of committing to that sizing under uncertainty.
+    """
+    from .elmore import rc_optimum
+
+    grid = np.linspace(l_min, l_max, grid_points)
+    best_at = {}
+    warm = None
+    for l in grid:
+        optimum = optimize_repeater(line_zero_l.with_inductance(float(l)),
+                                    driver, f, initial=warm)
+        warm = (optimum.h_opt, optimum.k_opt)
+        best_at[float(l)] = optimum.delay_per_length
+
+    rc = rc_optimum(line_zero_l, driver)
+    candidates = [("rc-blind", rc.h_opt, rc.k_opt)]
+    for label, l_design in (("nominal@l_min", l_min),
+                            ("nominal@mid", 0.5 * (l_min + l_max)),
+                            ("minimax (=nominal@l_max)", l_max)):
+        optimum = optimize_repeater(
+            line_zero_l.with_inductance(l_design), driver, f)
+        candidates.append((label, optimum.h_opt, optimum.k_opt))
+
+    rows = []
+    for label, h, k in candidates:
+        worst_value = -1.0
+        worst_regret = -1.0
+        for l in grid:
+            stage = Stage(line=line_zero_l.with_inductance(float(l)),
+                          driver=driver, h=h, k=k)
+            value = threshold_delay(stage, f,
+                                    polish_with_newton=False).tau / h
+            worst_value = max(worst_value, value)
+            worst_regret = max(worst_regret,
+                               value / best_at[float(l)] - 1.0)
+        rows.append(RegretRow(label=label, h=h, k=k,
+                              worst_delay_per_length=worst_value,
+                              worst_regret=worst_regret))
+    return rows

@@ -1,0 +1,157 @@
+"""Analytic delay sensitivities of the two-pole stage model.
+
+The paper's Sec. 3.2 studies delay under inductance *variation* because
+the effective l of a real wire is input-pattern dependent.  This module
+generalizes that study: implicit differentiation of the delay equation
+(Eq. 3) gives dtau/dp in closed form for every stage parameter
+
+    p in { r, l, c, r_s, c_p, c_0, h, k }
+
+via the chain  p -> (b1, b2) -> (s1, s2) -> tau.  Writing
+F(tau, p) = (1-f)(s2-s1) - s2 e^{s1 tau} + s1 e^{s2 tau} = 0,
+
+    dtau/dp = - (dF/dp) / (dF/dtau),
+    dF/dtau = s1 s2 (e^{s2 tau} - e^{s1 tau}),
+    dF/dp   = (1-f)(s2' - s1') - s2' e^{s1 tau} - s2 tau s1' e^{s1 tau}
+              + s1' e^{s2 tau} + s1 tau s2' e^{s2 tau},
+
+with s' obtained from (b1', b2') by differentiating the quadratic-root
+formula.  At the repeater optimum these sensitivities recover the
+optimizer's stationarity conditions exactly: dtau/dk = 0 and
+dtau/dh = tau/h — which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import cmath
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ParameterError
+from .delay import threshold_delay
+from .moments import compute_moments
+from .params import Stage
+from .poles import compute_poles
+from .response import StepResponse
+
+#: Parameters a sensitivity can be requested for.
+PARAMETERS = ("r", "l", "c", "r_s", "c_p", "c_0", "h", "k")
+
+
+@dataclass(frozen=True)
+class DelaySensitivities:
+    """dtau/dp for every stage parameter, plus tau itself.
+
+    ``absolute[p]`` is dtau/dp in SI units; ``relative[p]`` is the
+    dimensionless elasticity (p/tau) dtau/dp — the % delay change per %
+    parameter change — with entries for p = 0 (e.g. l on an RC line)
+    reported as 0.
+    """
+
+    tau: float
+    threshold: float
+    absolute: Dict[str, float]
+    relative: Dict[str, float]
+
+    def dominant(self) -> str:
+        """Parameter with the largest |relative| sensitivity."""
+        return max(self.relative, key=lambda p: abs(self.relative[p]))
+
+
+def moment_parameter_derivatives(stage: Stage) -> Dict[str, Tuple[float, float]]:
+    """(db1/dp, db2/dp) for every parameter p of the stage.
+
+    Closed-form partial derivatives of
+
+        b1 = r_s(c_p+c_0) + r c h^2/2 + r_s c h / k + c_0 r h k
+        b2 = l c h^2/2 + r^2 c^2 h^4/24 + r_s(c_p+c_0) r c h^2/2
+             + (r_s c h/k + c_0 r h k) r c h^2/6 + c_0 k l h
+             + r_s c_p c_0 k r h
+    """
+    r, l, c = stage.line.r, stage.line.l, stage.line.c
+    r_s, c_p, c_0 = stage.driver.r_s, stage.driver.c_p, stage.driver.c_0
+    h, k = stage.h, stage.k
+    moments = compute_moments(stage)
+
+    h2, h3, h4 = h * h, h ** 3, h ** 4
+    rc = r * c
+    mixed = r_s * c / k + c_0 * r * k          # the (R_S c + C_L r) density
+
+    db1 = {
+        "r": 0.5 * c * h2 + c_0 * h * k,
+        "l": 0.0,
+        "c": 0.5 * r * h2 + r_s * h / k,
+        "r_s": (c_p + c_0) + c * h / k,
+        "c_p": r_s,
+        "c_0": r_s + r * h * k,
+        "h": moments.db1_dh,
+        "k": moments.db1_dk,
+    }
+    db2 = {
+        "r": (2.0 * r * c * c * h4 / 24.0
+              + 0.5 * r_s * (c_p + c_0) * c * h2
+              + (c_0 * k) * rc * h3 / 6.0 + mixed * c * h3 / 6.0
+              + r_s * c_p * c_0 * k * h),
+        "l": 0.5 * c * h2 + c_0 * k * h,
+        "c": (0.5 * l * h2
+              + 2.0 * c * r * r * h4 / 24.0
+              + 0.5 * r_s * (c_p + c_0) * r * h2
+              + (r_s / k) * rc * h3 / 6.0 + mixed * r * h3 / 6.0),
+        "r_s": ((c_p + c_0) * 0.5 * rc * h2
+                + (c / k) * rc * h3 / 6.0
+                + c_p * c_0 * k * r * h),
+        "c_p": r_s * 0.5 * rc * h2 + r_s * c_0 * k * r * h,
+        "c_0": (r_s * 0.5 * rc * h2
+                + (r * k) * rc * h3 / 6.0
+                + k * l * h
+                + r_s * c_p * k * r * h),
+        "h": moments.db2_dh,
+        "k": moments.db2_dk,
+    }
+    return {p: (db1[p], db2[p]) for p in PARAMETERS}
+
+
+def _pole_derivative(b1: float, b2: float, s: complex, sign: float,
+                     db1: float, db2: float) -> complex:
+    """d/dp of (-b1 + sign sqrt(b1^2-4b2))/(2 b2) at fixed damping branch."""
+    sqrt_disc = cmath.sqrt(complex(b1 * b1 - 4.0 * b2))
+    two_b2 = 2.0 * b2
+    if sqrt_disc == 0.0:
+        return -db1 / two_b2 + b1 * db2 / (two_b2 * b2)
+    numerator = -db1 + sign * (b1 * db1 - 2.0 * db2) / sqrt_disc
+    return numerator / two_b2 - s * db2 / b2
+
+
+def delay_sensitivities(stage: Stage, f: float = 0.5) -> DelaySensitivities:
+    """Analytic dtau/dp for every stage parameter at threshold f."""
+    if not 0.0 < f < 1.0:
+        raise ParameterError(f"threshold must be in (0, 1), got {f}")
+    moments = compute_moments(stage)
+    poles = compute_poles(moments)
+    response = StepResponse.from_poles(poles)
+    tau = threshold_delay(response, f, polish_with_newton=False).tau
+
+    s1, s2 = poles.s1, poles.s2
+    e1 = cmath.exp(s1 * tau)
+    e2 = cmath.exp(s2 * tau)
+    df_dtau = s1 * s2 * (e2 - e1)
+
+    parameter_values = {
+        "r": stage.line.r, "l": stage.line.l, "c": stage.line.c,
+        "r_s": stage.driver.r_s, "c_p": stage.driver.c_p,
+        "c_0": stage.driver.c_0, "h": stage.h, "k": stage.k,
+    }
+    absolute: Dict[str, float] = {}
+    relative: Dict[str, float] = {}
+    for p, (db1, db2) in moment_parameter_derivatives(stage).items():
+        ds1 = _pole_derivative(moments.b1, moments.b2, s1, +1.0, db1, db2)
+        ds2 = _pole_derivative(moments.b1, moments.b2, s2, -1.0, db1, db2)
+        df_dp = ((1.0 - f) * (ds2 - ds1)
+                 - ds2 * e1 - s2 * tau * ds1 * e1
+                 + ds1 * e2 + s1 * tau * ds2 * e2)
+        dtau_dp = complex(-df_dp / df_dtau)
+        absolute[p] = dtau_dp.real
+        value = parameter_values[p]
+        relative[p] = (value / tau) * dtau_dp.real if value != 0.0 else 0.0
+    return DelaySensitivities(tau=tau, threshold=f, absolute=absolute,
+                              relative=relative)

@@ -1,0 +1,111 @@
+"""Integer repeater staging for a fixed total net length.
+
+The paper minimizes delay *per unit length* with continuous (h, k); a
+real net of length L needs an integer number of stages N = L/h.  This
+module quantizes the continuous optimum: it evaluates the true total
+delay N tau(L/N, k_N) for the integer stage counts bracketing the
+continuous solution (re-optimizing k at each candidate N), picks the
+best, and reports the quantization penalty — which the tests show is
+second-order, as the flat optimum of Figs. 5-6 suggests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import OptimizationError, ParameterError
+from .delay import threshold_delay
+from .optimize import OptimizerMethod, optimize_repeater
+from .params import DriverParams, LineParams, Stage
+
+
+@dataclass(frozen=True)
+class StagingPlan:
+    """Discrete repeater plan for a net of fixed total length."""
+
+    total_length: float
+    n_stages: int
+    segment_length: float
+    k_opt: float
+    stage_delay: float
+    total_delay: float
+    continuous_bound: float     #: L x (tau/h) of the continuous optimum
+
+    @property
+    def quantization_penalty(self) -> float:
+        """total_delay / continuous_bound (>= 1)."""
+        return self.total_delay / self.continuous_bound
+
+
+def _best_k_for_segment(line: LineParams, driver: DriverParams,
+                        h: float, f: float, k_seed: float) -> tuple[float, float]:
+    """Optimal k (and tau) for a *fixed* segment length h.
+
+    1-D golden-section on k around the continuous optimum's seed.
+    """
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+
+    def tau_of(k: float) -> float:
+        stage = Stage(line=line, driver=driver, h=h, k=k)
+        return threshold_delay(stage, f, polish_with_newton=False).tau
+
+    a, b = 0.05 * k_seed, 20.0 * k_seed
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = tau_of(c), tau_of(d)
+    for _ in range(120):
+        if (b - a) <= 1e-7 * b:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = tau_of(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = tau_of(d)
+    k_best = 0.5 * (a + b)
+    return k_best, tau_of(k_best)
+
+
+def plan_staging(line: LineParams, driver: DriverParams,
+                 total_length: float, *, f: float = 0.5,
+                 max_candidates: int = 3,
+                 method: OptimizerMethod = OptimizerMethod.AUTO
+                 ) -> StagingPlan:
+    """Best integer staging of a net of ``total_length`` metres.
+
+    Evaluates N = floor and ceil of L/h_opt (plus neighbours up to
+    ``max_candidates`` on each side, clipped at N = 1), re-optimizing the
+    repeater size for each candidate segment length.
+    """
+    if total_length <= 0.0:
+        raise ParameterError(
+            f"total length must be positive, got {total_length}")
+    continuous = optimize_repeater(line, driver, f, method=method)
+    bound = total_length * continuous.delay_per_length
+
+    n_center = total_length / continuous.h_opt
+    candidates = sorted({
+        max(1, int(math.floor(n_center)) + offset)
+        for offset in range(-(max_candidates - 1), max_candidates + 1)})
+
+    best: Optional[StagingPlan] = None
+    for n in candidates:
+        h = total_length / n
+        try:
+            k_best, tau = _best_k_for_segment(line, driver, h, f,
+                                              continuous.k_opt)
+        except (OptimizationError, ParameterError):
+            continue
+        plan = StagingPlan(total_length=total_length, n_stages=n,
+                           segment_length=h, k_opt=k_best, stage_delay=tau,
+                           total_delay=n * tau, continuous_bound=bound)
+        if best is None or plan.total_delay < best.total_delay:
+            best = plan
+    if best is None:
+        raise OptimizationError(
+            "no feasible integer staging found (all candidates failed)")
+    return best

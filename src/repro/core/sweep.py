@@ -1,0 +1,146 @@
+"""Inductance sweeps of the repeater-insertion optimum (Figs. 4-8).
+
+Every results figure in the paper is a sweep of the line inductance per
+unit length l over [0, 5) nH/mm with everything else fixed.  This module
+runs the optimizer across such a sweep with warm starting (each optimum
+seeds the next l point, which keeps the Newton solver in its convergence
+basin) and collects all derived quantities the figures need:
+
+* h_optRLC, k_optRLC, tau, tau/h               (Figs. 5, 6)
+* ratios against the closed-form RC optimum    (Figs. 5, 6, 7)
+* l_crit evaluated at the RLC optimum          (Fig. 4)
+* delay of the *RC-sized* stage at each l      (Fig. 8)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import OptimizationError
+from .critical import critical_inductance
+from .delay import threshold_delay
+from .elmore import RCOptimum, rc_optimum
+from .optimize import OptimizerMethod, RepeaterOptimum, optimize_repeater
+from .params import DriverParams, LineParams, Stage
+
+
+@dataclass(frozen=True)
+class InductanceSweep:
+    """Optimizer results across a line-inductance sweep (SI units).
+
+    All arrays are indexed by the sweep points ``l_values`` (H/m).
+    """
+
+    l_values: np.ndarray
+    h_opt: np.ndarray
+    k_opt: np.ndarray
+    tau: np.ndarray
+    delay_per_length: np.ndarray
+    l_crit: np.ndarray
+    rc_reference: RCOptimum
+    threshold: float
+    rc_sized_delay_per_length: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @property
+    def h_ratio(self) -> np.ndarray:
+        """h_optRLC / h_optRC (Fig. 5)."""
+        return self.h_opt / self.rc_reference.h_opt
+
+    @property
+    def k_ratio(self) -> np.ndarray:
+        """k_optRLC / k_optRC (Fig. 6)."""
+        return self.k_opt / self.rc_reference.k_opt
+
+    @property
+    def delay_ratio_vs_rc(self) -> np.ndarray:
+        """(tau/h)_RLC(l) / (tau/h)_RLC(l=0) (Fig. 7).
+
+        The paper normalizes the optimized RLC delay per unit length by the
+        corresponding value without inductance, i.e. the same two-pole
+        optimization at l = 0 (which is slightly below the Elmore optimum,
+        see Fig. 5 discussion).  The sweep must therefore include l = 0 (or
+        a point close to it) as its first entry.
+        """
+        return self.delay_per_length / self.delay_per_length[0]
+
+    @property
+    def mistuning_penalty(self) -> np.ndarray:
+        """Delay ratio of the RC-sized stage over the RLC optimum (Fig. 8)."""
+        return self.rc_sized_delay_per_length / self.delay_per_length
+
+    @property
+    def damping_margin(self) -> np.ndarray:
+        """l / l_crit at the optimum; > 1 means the optimum is underdamped."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self.l_crit > 0.0, self.l_values / self.l_crit,
+                            np.inf)
+
+
+def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
+                     l_values, f: float = 0.5, *,
+                     method: OptimizerMethod = OptimizerMethod.AUTO
+                     ) -> InductanceSweep:
+    """Run the repeater optimizer for each inductance in ``l_values``.
+
+    Parameters
+    ----------
+    line_zero_l:
+        Line parameters whose inductance field is replaced by each sweep
+        value in turn (its own ``l`` is ignored).
+    driver:
+        Minimum-repeater parameters.
+    l_values:
+        Iterable of inductances per unit length in H/m, in ascending order
+        for effective warm starting.
+    f:
+        Delay threshold fraction.
+    """
+    l_array = np.asarray(list(l_values), dtype=float)
+    if l_array.size == 0:
+        raise ValueError("l_values must be non-empty")
+
+    rc_ref = rc_optimum(line_zero_l, driver)
+    n = l_array.size
+    h_opt = np.empty(n)
+    k_opt = np.empty(n)
+    tau = np.empty(n)
+    dpl = np.empty(n)
+    l_crit = np.empty(n)
+    rc_sized_dpl = np.empty(n)
+
+    warm_start = (rc_ref.h_opt, rc_ref.k_opt)
+    for i, l in enumerate(l_array):
+        line = line_zero_l.with_inductance(float(l))
+        try:
+            optimum = optimize_repeater(line, driver, f, method=method,
+                                        initial=warm_start)
+        except OptimizationError:
+            # Re-seed from the RC optimum once before giving up.
+            optimum = optimize_repeater(line, driver, f, method=method,
+                                        initial=(rc_ref.h_opt, rc_ref.k_opt))
+        warm_start = (optimum.h_opt, optimum.k_opt)
+        h_opt[i] = optimum.h_opt
+        k_opt[i] = optimum.k_opt
+        tau[i] = optimum.tau
+        dpl[i] = optimum.delay_per_length
+        optimum_stage = Stage(line=line, driver=driver,
+                              h=optimum.h_opt, k=optimum.k_opt)
+        l_crit[i] = critical_inductance(optimum_stage)
+        rc_stage = Stage(line=line, driver=driver,
+                         h=rc_ref.h_opt, k=rc_ref.k_opt)
+        rc_sized_dpl[i] = (threshold_delay(rc_stage, f,
+                                           polish_with_newton=False).tau
+                           / rc_ref.h_opt)
+
+    return InductanceSweep(l_values=l_array, h_opt=h_opt, k_opt=k_opt,
+                           tau=tau, delay_per_length=dpl, l_crit=l_crit,
+                           rc_reference=rc_ref, threshold=f,
+                           rc_sized_delay_per_length=rc_sized_dpl)
+
+
+def single_optimum(line: LineParams, driver: DriverParams, f: float = 0.5,
+                   **kwargs) -> RepeaterOptimum:
+    """Optimize a single configuration (thin convenience wrapper)."""
+    return optimize_repeater(line, driver, f, **kwargs)

@@ -1,0 +1,105 @@
+"""Exact and Padé transfer functions of the driver-line-load stage.
+
+``exact_transfer`` evaluates the paper's Eq. 1,
+
+    H(s) = 1 / ( [1 + s R_S (C_P + C_L)] cosh(theta h)
+                 + [R_S/Z0 + s C_L Z0 + s^2 R_S C_P C_L Z0] sinh(theta h) )
+
+both directly and (equivalently) as the (1,1) entry of the ABCD cascade of
+Fig. 1; ``pade_transfer`` evaluates the two-pole approximation (Eq. 2).
+Comparing the two — e.g. by numerically inverting the exact H(s)/s with the
+Talbot method in :mod:`repro.analysis.laplace` — quantifies the only model
+error the paper's optimizer incurs.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Callable
+
+from . import abcd
+from .moments import compute_moments
+from .params import Stage
+
+#: Below this |theta*h| the sinh/Z0-style products switch to series form.
+_SERIES_THRESHOLD = 1e-6
+
+#: Above this Re(theta*h) the denominator switches to its e^u asymptote
+#: (cosh/sinh would overflow near Re(u) ~ 710; the relative error of the
+#: asymptote at the threshold is e^{-2*350} ~ 1e-304, i.e. exact).
+_ASYMPTOTIC_THRESHOLD = 350.0
+
+
+def exact_transfer(stage: Stage) -> Callable[[complex], complex]:
+    """Return H(s) of the stage, evaluated from the closed form of Eq. 1.
+
+    The returned callable accepts any complex s (except s exactly on the
+    negative-real branch cut handled by cmath.sqrt, which is benign for the
+    right-half-plane contours used in numerical inversion).
+    """
+    line = stage.line
+    h = stage.h
+    drv = stage.sized_driver
+    r_series, c_par, c_load = drv.r_series, drv.c_parasitic, drv.c_load
+
+    def transfer(s: complex) -> complex:
+        if s == 0.0:
+            return 1.0
+        z = line.r + s * line.l
+        y = s * line.c
+        u = cmath.sqrt(z * y) * h
+        a_coef = 1.0 + s * r_series * (c_par + c_load)
+        # b_coef multiplies sinh(u): R_S/Z0 + (s C_L + s^2 R_S C_P C_L) Z0,
+        # written with the u-regular products y h / u and z h / u.
+        b_coef_times_u = (r_series * y * h
+                          + (s * c_load
+                             + s * s * r_series * c_par * c_load) * z * h)
+        if u.real > _ASYMPTOTIC_THRESHOLD:
+            # cosh u ~ sinh u ~ e^u / 2; H ~ 2 e^{-u} / (A + B), avoiding
+            # the overflow of cosh/sinh for electrically very long lines.
+            return 2.0 * cmath.exp(-u) / (a_coef + b_coef_times_u / u)
+        if abs(u) < _SERIES_THRESHOLD:
+            u2 = u * u
+            sinh_over_u = 1.0 + u2 / 6.0 + u2 * u2 / 120.0
+            cosh_u = 1.0 + u2 / 2.0 + u2 * u2 / 24.0
+        else:
+            sinh_over_u = cmath.sinh(u) / u
+            cosh_u = cmath.cosh(u)
+        denominator = a_coef * cosh_u + b_coef_times_u * sinh_over_u
+        return 1.0 / denominator
+
+    return transfer
+
+
+def exact_transfer_via_abcd(stage: Stage) -> Callable[[complex], complex]:
+    """Return H(s) built as the ABCD cascade of Fig. 1 (cross-check path)."""
+    line = stage.line
+    h = stage.h
+    drv = stage.sized_driver
+
+    def transfer(s: complex) -> complex:
+        if s == 0.0:
+            return 1.0
+        chain = (abcd.series_resistor(drv.r_series)
+                 @ abcd.shunt_capacitor(drv.c_parasitic, s)
+                 @ abcd.rlc_line(line, h, s)
+                 @ abcd.shunt_capacitor(drv.c_load, s))
+        return chain.voltage_transfer_open()
+
+    return transfer
+
+
+def pade_transfer(stage: Stage) -> Callable[[complex], complex]:
+    """Return the two-pole Padé approximation H(s) = 1/(1 + s b1 + s^2 b2)."""
+    moments = compute_moments(stage)
+    b1, b2 = moments.b1, moments.b2
+
+    def transfer(s: complex) -> complex:
+        return 1.0 / (1.0 + s * b1 + s * s * b2)
+
+    return transfer
+
+
+def transfer_error_at(stage: Stage, s: complex) -> float:
+    """|H_exact(s) - H_pade(s)| at a single complex frequency."""
+    return abs(exact_transfer(stage)(s) - pade_transfer(stage)(s))

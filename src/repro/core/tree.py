@@ -1,0 +1,198 @@
+"""RC-tree moment analysis (Elmore and second moments for branched loads).
+
+The driver-line-load stage of the paper is a chain, but real repeater
+sinks often hang off branched routing.  This module computes the first
+two voltage-transfer moments of any RC tree:
+
+    M1(i) = - sum_k R(i ^ k) C_k                 (Elmore delay, negated)
+    M2(i) =   sum_k R(i ^ k) C_k m1(k)
+
+where R(i ^ k) is the resistance of the common path from the root to
+nodes i and k, and m1(k) = -M1(k).  The two-pole Padé mapping
+b1 = -M1, b2 = M1^2 - M2 then feeds any sink into the same delay solver
+(Eq. 3) and step-response machinery the paper uses for the chain — an
+upward-compatible generalization of :func:`repro.core.moments`.
+
+Moments are computed with the classic two-pass linear-time traversal:
+an upward pass accumulating subtree capacitance (and capacitance-weighted
+m1), a downward pass accumulating path quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ParameterError
+from .delay import threshold_delay
+from .response import StepResponse
+
+#: Name of the implicit root (driver output) node.
+ROOT = "root"
+
+
+@dataclass
+class _TreeNode:
+    name: str
+    resistance: float            # resistance from parent to this node
+    capacitance: float
+    parent: Optional[str]
+    children: List[str] = field(default_factory=list)
+    # Filled by the moment passes:
+    subtree_c: float = 0.0
+    subtree_cm1: float = 0.0
+    m1: float = 0.0              # positive Elmore delay at this node
+    m2: float = 0.0              # positive second moment sum
+
+
+class RCTree:
+    """A grounded-capacitance RC tree driven at its root.
+
+    The root models the driver output; give it the driver's output
+    parasitic as ``root_capacitance`` and include the driver resistance
+    as the resistance of the first segment(s) if desired.
+    """
+
+    def __init__(self, root_capacitance: float = 0.0) -> None:
+        if root_capacitance < 0.0:
+            raise ParameterError("root capacitance must be >= 0")
+        self._nodes: Dict[str, _TreeNode] = {
+            ROOT: _TreeNode(name=ROOT, resistance=0.0,
+                            capacitance=root_capacitance, parent=None)}
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, parent: str, resistance: float,
+            capacitance: float) -> None:
+        """Add a node connected to ``parent`` through ``resistance``."""
+        if name in self._nodes:
+            raise ParameterError(f"duplicate tree node {name!r}")
+        if parent not in self._nodes:
+            raise ParameterError(f"unknown parent node {parent!r}")
+        if resistance <= 0.0:
+            raise ParameterError(
+                f"segment resistance must be positive, got {resistance}")
+        if capacitance < 0.0:
+            raise ParameterError(
+                f"node capacitance must be >= 0, got {capacitance}")
+        self._nodes[name] = _TreeNode(name=name, resistance=resistance,
+                                      capacitance=capacitance, parent=parent)
+        self._nodes[parent].children.append(name)
+        self._dirty = True
+
+    def add_chain(self, parent: str, prefix: str, segments: int,
+                  total_resistance: float, total_capacitance: float) -> str:
+        """Add a uniform ``segments``-section chain; returns the leaf name."""
+        if segments < 1:
+            raise ParameterError("need at least one segment")
+        r_seg = total_resistance / segments
+        c_seg = total_capacitance / segments
+        current = parent
+        for i in range(segments):
+            name = f"{prefix}.{i + 1}"
+            self.add(name, current, r_seg, c_seg)
+            current = name
+        return current
+
+    @property
+    def nodes(self) -> List[str]:
+        """All node names including the root."""
+        return list(self._nodes)
+
+    def total_capacitance(self) -> float:
+        """Sum of all node capacitances (farads)."""
+        return sum(n.capacitance for n in self._nodes.values())
+
+    # ------------------------------------------------------------------
+    def _topological_order(self) -> List[str]:
+        order: List[str] = []
+        stack = [ROOT]
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            stack.extend(self._nodes[name].children)
+        return order
+
+    def _compute_moments(self) -> None:
+        if not self._dirty:
+            return
+        order = self._topological_order()
+
+        # Pass A (leaves -> root): subtree capacitance, then Elmore m1 via
+        # a root -> leaves pass: m1(i) = m1(parent) + R_i * C_subtree(i).
+        for name in reversed(order):
+            node = self._nodes[name]
+            node.subtree_c = node.capacitance + sum(
+                self._nodes[ch].subtree_c for ch in node.children)
+        for name in order:
+            node = self._nodes[name]
+            if node.parent is None:
+                node.m1 = 0.0
+            else:
+                parent = self._nodes[node.parent]
+                node.m1 = parent.m1 + node.resistance * node.subtree_c
+
+        # Pass B: m2(i) = sum_k R(i^k) C_k m1(k).  Same structure with the
+        # capacitance replaced by C_k m1(k):
+        for name in reversed(order):
+            node = self._nodes[name]
+            node.subtree_cm1 = node.capacitance * node.m1 + sum(
+                self._nodes[ch].subtree_cm1 for ch in node.children)
+        for name in order:
+            node = self._nodes[name]
+            if node.parent is None:
+                node.m2 = 0.0
+            else:
+                parent = self._nodes[node.parent]
+                node.m2 = parent.m2 + node.resistance * node.subtree_cm1
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def elmore_delay(self, node: str) -> float:
+        """Elmore delay (first moment) from the root to ``node``."""
+        self._compute_moments()
+        return self._node(node).m1
+
+    def second_moment(self, node: str) -> float:
+        """Second transfer moment M2 = sum R(i^k) C_k m1(k) at ``node``."""
+        self._compute_moments()
+        return self._node(node).m2
+
+    def pade_moments(self, node: str) -> tuple[float, float]:
+        """(b1, b2) of the two-pole model at ``node``.
+
+        b1 = m1, b2 = m1^2 - M2.  At sink (downstream) nodes of an RC tree
+        b2 > 0 and the two-pole model applies; at nodes far upstream of
+        large subtrees the [0/2] Padé can degenerate (b2 <= 0, reflecting
+        the strong zero in the local transfer), in which case
+        :meth:`delay` falls back to the dominant-pole closed form.
+        """
+        self._compute_moments()
+        tree_node = self._node(node)
+        b1 = tree_node.m1
+        b2 = b1 * b1 - tree_node.m2
+        return b1, b2
+
+    def delay(self, node: str, f: float = 0.5) -> float:
+        """f*100% delay at ``node`` from the two-pole model.
+
+        Falls back to the single-pole closed form when b2 is numerically
+        zero (a perfectly lumped sink).
+        """
+        import math
+        b1, b2 = self.pade_moments(node)
+        if b1 <= 0.0:
+            raise ParameterError(f"node {node!r} has zero Elmore delay")
+        if b2 <= 1e-12 * b1 * b1:
+            return b1 * math.log(1.0 / (1.0 - f))
+        from .moments import Moments
+        moments = Moments(b1=b1, b2=b2, db1_dh=0.0, db1_dk=0.0,
+                          db2_dh=0.0, db2_dk=0.0)
+        response = StepResponse.from_moments(moments)
+        return threshold_delay(response, f, polish_with_newton=False).tau
+
+    def _node(self, name: str) -> _TreeNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ParameterError(f"unknown tree node {name!r}") from None

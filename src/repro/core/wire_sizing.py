@@ -1,0 +1,136 @@
+"""Wire-width co-optimization on top of the repeater optimizer.
+
+At fixed routing pitch, widening a wire lowers its resistance (r ~ 1/w t)
+but raises both its plate capacitance (~ w) and its lateral coupling
+(the spacing s = pitch - w shrinks).  Feeding the extraction closed forms
+into the paper's exact repeater optimizer therefore yields a genuine
+optimum width: minimize over w the already-(h, k)-minimized delay per
+unit length.  This is the classic wire-sizing co-optimization, driven
+here entirely by this repository's own substrates (extraction models +
+RLC optimizer), with the inductance either held fixed (the paper's
+worst-case framing) or re-estimated per geometry from the loop-inductance
+model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import ParameterError
+from ..extraction.capacitance import total_capacitance
+from ..extraction.geometry import COPPER_RESISTIVITY, Wire
+from ..extraction.inductance import loop_inductance_over_plane
+from .optimize import optimize_repeater
+from .params import DriverParams, LineParams
+
+
+@dataclass(frozen=True)
+class WireSizingResult:
+    """Outcome of the width/(h, k) co-optimization."""
+
+    width: float                 #: optimal wire width (m)
+    line: LineParams             #: extracted line parameters at that width
+    h_opt: float
+    k_opt: float
+    delay_per_length: float
+    evaluations: int             #: golden-section objective evaluations
+
+
+def line_from_geometry(reference: Wire, width: float, pitch: float,
+                       epsilon_r: float, *,
+                       inductance: float | None = None,
+                       resistivity: float = COPPER_RESISTIVITY,
+                       miller_factor: float = 1.0) -> LineParams:
+    """Extract LineParams for a wire of the given width at fixed pitch.
+
+    ``reference`` supplies thickness and height; ``inductance`` fixes l
+    per unit length (paper-style), or ``None`` re-estimates the
+    substrate-return loop inductance for each geometry.
+    """
+    if width <= 0.0:
+        raise ParameterError(f"width must be positive, got {width}")
+    spacing = pitch - width
+    if spacing <= 0.0:
+        raise ParameterError(
+            f"width {width} leaves no spacing at pitch {pitch}")
+    wire = replace(reference, width=width, spacing=spacing)
+    r = wire.resistance_per_length(resistivity)
+    c = total_capacitance(wire, epsilon_r,
+                          miller_factor=miller_factor).total
+    l = loop_inductance_over_plane(wire) if inductance is None else inductance
+    return LineParams(r=r, l=l, c=c)
+
+
+def optimize_wire_width(reference: Wire, pitch: float, epsilon_r: float,
+                        driver: DriverParams, *, f: float = 0.5,
+                        inductance: float | None = None,
+                        miller_factor: float = 1.0,
+                        width_bounds: Optional[tuple[float, float]] = None,
+                        tol: float = 1e-3) -> WireSizingResult:
+    """Minimize delay/length over wire width (outer) and (h, k) (inner).
+
+    Parameters
+    ----------
+    reference:
+        Wire template providing thickness and dielectric height.
+    pitch:
+        Fixed centre-to-centre routing pitch (m); spacing = pitch - w.
+    inductance:
+        Fixed l per unit length (H/m), or None to re-extract the loop
+        inductance per candidate geometry.
+    width_bounds:
+        Search interval; defaults to (0.1, 0.9) x pitch.
+
+    Returns
+    -------
+    WireSizingResult
+
+    Raises
+    ------
+    OptimizationError
+        If the inner repeater optimization fails across the interval.
+    """
+    lo, hi = width_bounds or (0.1 * pitch, 0.9 * pitch)
+    if not 0.0 < lo < hi < pitch:
+        raise ParameterError(
+            f"width bounds ({lo}, {hi}) must satisfy 0 < lo < hi < pitch")
+
+    evaluations = 0
+    cache: dict[float, tuple[float, LineParams, float, float]] = {}
+
+    def objective(width: float) -> float:
+        nonlocal evaluations
+        if width in cache:
+            return cache[width][0]
+        line = line_from_geometry(reference, width, pitch, epsilon_r,
+                                  inductance=inductance,
+                                  miller_factor=miller_factor)
+        optimum = optimize_repeater(line, driver, f)
+        evaluations += 1
+        cache[width] = (optimum.delay_per_length, line, optimum.h_opt,
+                        optimum.k_opt)
+        return optimum.delay_per_length
+
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = objective(c), objective(d)
+    for _ in range(100):
+        if (b - a) <= tol * b:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = objective(d)
+    best_width = c if fc < fd else d
+    dpl, line, h_opt, k_opt = cache[best_width]
+    return WireSizingResult(width=best_width, line=line, h_opt=h_opt,
+                            k_opt=k_opt, delay_per_length=dpl,
+                            evaluations=evaluations)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the numerical solvers from the circuit
+simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An input parameter is outside its physically meaningful domain."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Magnitude of the final residual, when meaningful (else ``None``).
+    """
+
+    def __init__(self, message: str, *, iterations: int = 0,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class DelaySolverError(ConvergenceError):
+    """The threshold-crossing delay of a step response could not be found."""
+
+
+class OptimizationError(ConvergenceError):
+    """The repeater-insertion optimizer failed to converge."""
+
+
+class NetlistError(ReproError):
+    """A circuit netlist is malformed (unknown node, duplicate name, ...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The circuit simulator failed (singular matrix, Newton divergence)."""
+
+
+class ExtractionError(ReproError, ValueError):
+    """A parasitic-extraction model was asked outside its validity range."""

@@ -1,0 +1,24 @@
+"""CSV export of experiment results (for external plotting tools)."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from .base import ExperimentResult
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Render an experiment's table as CSV text (headers + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(result: ExperimentResult, path: str) -> None:
+    """Write an experiment's table to ``path`` as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(result_to_csv(result))

@@ -1,0 +1,52 @@
+"""Extension experiment: robust (minimax) sizing under l uncertainty.
+
+Completes the paper's Sec. 3.2: instead of only pricing the RC-blind
+sizing, compare the worst-case delay and worst-case *regret* of four
+committed sizings over the plausible inductance interval — RC-blind,
+nominal at l_min, nominal at the midpoint, and the minimax design (which,
+by the monotonicity of delay in l, is the nominal optimum at l_max).
+"""
+
+from __future__ import annotations
+
+from .. import units
+from ..core.robust import regret_analysis
+from ..tech.node import get_node
+from .base import ExperimentResult, experiment
+
+
+@experiment("ext_robust",
+            "Minimax repeater sizing under inductance uncertainty "
+            "(extension)")
+def run(node_name: str = "100nm", l_min_nh: float = 0.2,
+        l_max_nh: float = 3.0, grid_points: int = 5) -> ExperimentResult:
+    """Regret table of candidate sizings over [l_min, l_max]."""
+    node = get_node(node_name)
+    rows_data = regret_analysis(node.line, node.driver,
+                                l_min=l_min_nh * units.NH_PER_MM,
+                                l_max=l_max_nh * units.NH_PER_MM,
+                                grid_points=grid_points)
+    headers = ["sizing", "h (mm)", "k", "worst delay (ps/mm)",
+               "worst regret (%)"]
+    rows = [[row.label, units.to_mm(row.h), row.k,
+             row.worst_delay_per_length * 1e9, row.worst_regret * 100.0]
+            for row in rows_data]
+    minimax = next(r for r in rows_data if "minimax" in r.label)
+    rc_blind = next(r for r in rows_data if r.label == "rc-blind")
+    notes = [
+        "delay is monotone in l at fixed sizing, so the minimax design is "
+        "the nominal optimum at l_max",
+        f"hedging with the minimax design caps the regret at "
+        f"{minimax.worst_regret * 100:.1f}% vs "
+        f"{rc_blind.worst_regret * 100:.1f}% for the RC-blind sizing "
+        f"(paper Fig. 8's penalty, generalized)",
+        "minimax minimizes the worst *absolute* delay; the mid-interval "
+        "nominal typically minimizes the worst *regret* — pick by design "
+        "intent",
+    ]
+    return ExperimentResult(
+        experiment_id="ext_robust",
+        title=f"Minimax sizing over l in [{l_min_nh}, {l_max_nh}] nH/mm, "
+              f"{node.name} (extension)",
+        headers=headers, rows=rows, notes=notes,
+        data={"rows": rows_data})

@@ -1,0 +1,41 @@
+"""Figure 4: critical inductance l_crit vs line inductance l.
+
+At the RLC-optimal (h, k) for each l, evaluate Eq. 4's l_crit and compare
+with l itself.  The paper's observations: l and l_crit are of the same
+order of magnitude over the practical range (so the Kahng-Muddu
+asymptotic delay forms do not apply), and the 100 nm node's l_crit is
+smaller than the 250 nm node's (so scaled designs go underdamped sooner).
+"""
+
+from __future__ import annotations
+
+from .. import units
+from .base import ExperimentResult, experiment
+from .sweeps import DEFAULT_POINTS, FIGURE_NODES, node_sweep
+
+
+@experiment("fig4", "Critical inductance at the RLC optimum vs l")
+def run(points: int = DEFAULT_POINTS, f: float = 0.5) -> ExperimentResult:
+    """Tabulate l_crit(l) for both nodes."""
+    headers = ["l (nH/mm)"]
+    columns = []
+    for name in FIGURE_NODES:
+        sweep = node_sweep(name, f, points)
+        headers.append(f"l_crit {name} (nH/mm)")
+        columns.append(sweep)
+    l_nh = units.to_nh_per_mm(columns[0].l_values)
+    rows = []
+    for i in range(len(l_nh)):
+        row = [float(l_nh[i])]
+        row.extend(float(units.to_nh_per_mm(s.l_crit[i])) for s in columns)
+        rows.append(row)
+    sweeps = {name: sweep for name, sweep in zip(FIGURE_NODES, columns)}
+    notes = [
+        "paper: l and l_crit are of the same order over practical l",
+        "paper: l_crit(100nm) < l_crit(250nm) at every l (earlier onset of "
+        "underdamping with scaling)",
+    ]
+    return ExperimentResult(experiment_id="fig4",
+                            title="l_crit at the RLC optimum (paper Fig. 4)",
+                            headers=headers, rows=rows, notes=notes,
+                            data={"sweeps": sweeps})

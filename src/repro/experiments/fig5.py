@@ -1,0 +1,37 @@
+"""Figure 5: h_optRLC / h_optRC as a function of line inductance.
+
+Paper's claims reproduced here: the ratio is slightly below one at l = 0
+(the second-order transfer function shortens the optimum relative to the
+Elmore closed form — invisible to curve-fitted approaches), and it grows
+with l as the line approaches LC behaviour and delay becomes linear in
+length.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from .base import ExperimentResult, experiment
+from .sweeps import DEFAULT_POINTS, FIGURE_NODES, node_sweep
+
+
+@experiment("fig5", "Optimal segment length ratio h_optRLC/h_optRC vs l")
+def run(points: int = DEFAULT_POINTS, f: float = 0.5) -> ExperimentResult:
+    """Tabulate h ratios for both nodes."""
+    headers = ["l (nH/mm)"]
+    sweeps = []
+    for name in FIGURE_NODES:
+        sweeps.append(node_sweep(name, f, points))
+        headers.append(f"h ratio {name}")
+    l_nh = units.to_nh_per_mm(sweeps[0].l_values)
+    rows = [[float(l_nh[i])] + [float(s.h_ratio[i]) for s in sweeps]
+            for i in range(len(l_nh))]
+    notes = [
+        "paper: ratio < 1 at l = 0 (Pade model vs Elmore), rising with l",
+        "paper: the 100nm node's ratio rises faster (greater inductance "
+        "susceptibility)",
+    ]
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="h_optRLC / h_optRC vs line inductance (paper Fig. 5)",
+        headers=headers, rows=rows, notes=notes,
+        data={"sweeps": {n: s for n, s in zip(FIGURE_NODES, sweeps)}})

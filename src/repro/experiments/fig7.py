@@ -1,0 +1,45 @@
+"""Figure 7: optimized RLC delay per unit length, normalized, vs l.
+
+Plots (tau/h)_optRLC(l) / (tau/h)_optRLC(l=0) for 250 nm, 100 nm and the
+control case "100 nm with the 250 nm dielectric" (identical c per unit
+length).  Paper's claims: the ratio reaches ~2x at 250 nm and ~3.5x at
+100 nm across the practical range, and the control case still rises much
+faster than 250 nm — proving the increased susceptibility comes from
+driver scaling (smaller r_s c_0 budget), not from the wire.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from .base import ExperimentResult, experiment
+from .sweeps import CONTROL_NODE, DEFAULT_POINTS, FIGURE_NODES, node_sweep
+
+
+@experiment("fig7", "Normalized optimal delay per unit length vs l")
+def run(points: int = DEFAULT_POINTS, f: float = 0.5,
+        include_control: bool = True) -> ExperimentResult:
+    """Tabulate normalized delay-per-length ratios, incl. the control node."""
+    node_names = list(FIGURE_NODES)
+    if include_control:
+        node_names.append(CONTROL_NODE)
+    headers = ["l (nH/mm)"] + [f"delay ratio {name}" for name in node_names]
+    sweeps = [node_sweep(name, f, points) for name in node_names]
+    l_nh = units.to_nh_per_mm(sweeps[0].l_values)
+    rows = [[float(l_nh[i])] + [float(s.delay_ratio_vs_rc[i]) for s in sweeps]
+            for i in range(len(l_nh))]
+    final = {name: float(s.delay_ratio_vs_rc[-1])
+             for name, s in zip(node_names, sweeps)}
+    notes = [
+        "paper: ratio reaches ~2x (250nm) and ~3.5x (100nm) at the top of "
+        "the range",
+        f"measured at l = {float(l_nh[-1]):.2g} nH/mm: "
+        + ", ".join(f"{k} -> {v:.2f}x" for k, v in final.items()),
+        "control (100nm devices, 250nm dielectric): still rises much faster "
+        "than 250nm, isolating driver scaling as the cause",
+    ]
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="(tau/h)_RLC normalized to l=0 vs inductance (paper Fig. 7)",
+        headers=headers, rows=rows, notes=notes,
+        data={"sweeps": {n: s for n, s in zip(node_names, sweeps)},
+              "final_ratios": final})

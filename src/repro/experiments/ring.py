@@ -1,0 +1,108 @@
+"""Shared ring-oscillator machinery for the Fig. 9-12 experiments.
+
+The three simulation figures all run the same testbench: a five-stage
+ring oscillator at a node's RC-optimal sizing (h_optRC, k_optRC), swept
+over line inductance.  This module owns the calibrated-inverter cache and
+the run helper, so waveform, period and current-density experiments stay
+consistent with each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .. import units
+from ..analysis.waveform import Waveform
+from ..circuits.builders import RingOscillator, build_ring_oscillator
+from ..circuits.inverter import InverterCalibration
+from ..circuits.transient import TransientOptions, TransientResult, simulate
+from ..core.elmore import rc_optimum
+from ..errors import ParameterError
+from ..tech.characterize import calibrate_inverter
+from ..tech.node import TechnologyNode, get_node
+
+#: Default ladder segments for the ring-oscillator lines (speed/accuracy
+#: compromise; the segment-convergence ablation bench quantifies it).
+DEFAULT_RING_SEGMENTS = 10
+
+#: Default simulation length in units of the *naive* period estimate
+#: 2 n_stages tau_optRC.  The real period is 2-3x the naive estimate
+#: (inductive slow-down), and the period measurement needs several full
+#: cycles after the start-up transient, hence the generous budget.
+DEFAULT_PERIOD_BUDGET = 14.0
+
+
+@lru_cache(maxsize=8)
+def calibrated(node_name: str) -> InverterCalibration:
+    """Cached refined inverter calibration for a node."""
+    return calibrate_inverter(get_node(node_name), refine=True)
+
+
+def expected_period(node: TechnologyNode, n_stages: int = 5) -> float:
+    """Rough ring period estimate 2 * n_stages * tau_optRC for sizing runs."""
+    return 2.0 * n_stages * rc_optimum(node.line, node.driver).tau_opt
+
+
+@dataclass(frozen=True)
+class RingRun:
+    """One simulated ring-oscillator run with its probe waveforms."""
+
+    node_name: str
+    l: float                       #: line inductance (H/m)
+    oscillator: RingOscillator
+    result: TransientResult
+    probe_stage: int
+
+    @property
+    def input_waveform(self) -> Waveform:
+        """Voltage at the probed inverter's input (line far end)."""
+        node = self.oscillator.stage_inputs[self.probe_stage]
+        return Waveform(self.result.time, self.result.voltage(node))
+
+    @property
+    def output_waveform(self) -> Waveform:
+        """Voltage at the probed inverter's output (line near end)."""
+        node = self.oscillator.stage_outputs[self.probe_stage]
+        return Waveform(self.result.time, self.result.voltage(node))
+
+    def period(self, *, skip: int = 1) -> float:
+        """Oscillation period measured at the probed output, VDD/2 level."""
+        return self.output_waveform.oscillation_period(
+            0.5 * self.oscillator.vdd, skip=skip, min_cycles=2)
+
+
+def run_ring(node_name: str, l_nh_per_mm: float, *,
+             n_stages: int = 5, segments: int = DEFAULT_RING_SEGMENTS,
+             style: str = "mosfet", probe_stage: int = 2,
+             period_budget: float = DEFAULT_PERIOD_BUDGET,
+             steps_per_period: int = 700) -> RingRun:
+    """Build and simulate the ring oscillator at one inductance value.
+
+    Parameters
+    ----------
+    l_nh_per_mm:
+        Line inductance in the paper's nH/mm unit.
+    period_budget:
+        Simulation length in units of the estimated nominal period.
+    steps_per_period:
+        Time resolution relative to the estimated nominal period.
+    """
+    if l_nh_per_mm < 0.0:
+        raise ParameterError(f"inductance must be >= 0, got {l_nh_per_mm}")
+    node = get_node(node_name)
+    calibration = calibrated(node_name)
+    rc_opt = rc_optimum(node.line, node.driver)
+    line = node.line_with_inductance(l_nh_per_mm * units.NH_PER_MM)
+    oscillator = build_ring_oscillator(calibration, line, rc_opt.h_opt,
+                                       rc_opt.k_opt, n_stages=n_stages,
+                                       segments=segments, style=style)
+    nominal = expected_period(node, n_stages)
+    t_end = period_budget * nominal
+    dt = nominal / steps_per_period
+    result = simulate(oscillator.circuit, t_end, dt,
+                      initial_voltages=oscillator.initial_voltages(),
+                      options=TransientOptions(
+                          max_update=max(1.0, 2.0 * node.vdd)))
+    return RingRun(node_name=node_name, l=line.l, oscillator=oscillator,
+                   result=result, probe_stage=probe_stage)

@@ -1,0 +1,108 @@
+"""Command-line runner for the paper-artifact experiments.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run fig7 fig8
+    repro-experiments run all --fast
+    repro-experiments run fig11 --out results.txt
+
+``--fast`` shrinks sweeps/segment counts so the full suite finishes in a
+couple of minutes; the default settings match the paper's resolution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable
+
+from .base import DESCRIPTIONS, all_experiment_ids, run_experiment
+
+#: Reduced-cost keyword overrides per experiment for --fast runs.
+FAST_OVERRIDES = {
+    "table1": {"simulate": False},
+    "fig4": {"points": 11},
+    "fig5": {"points": 11},
+    "fig6": {"points": 11},
+    "fig7": {"points": 11},
+    "fig8": {"points": 11},
+    "fig9_10": {"period_budget": 10.0, "steps_per_period": 500},
+    "fig11": {"l_values": (1.0, 1.8, 2.2, 3.0), "period_budget": 10.0,
+              "steps_per_period": 500},
+    "fig12": {"l_values": (0.5, 1.5, 2.5), "period_budget": 10.0,
+              "steps_per_period": 500},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of Banerjee & Mehrotra, "
+                    "DAC 2001.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument("ids", nargs="+",
+                            help="experiment ids, or 'all'")
+    run_parser.add_argument("--fast", action="store_true",
+                            help="reduced sweeps for a quick pass")
+    run_parser.add_argument("--out", default=None,
+                            help="also append reports to this file")
+    run_parser.add_argument("--csv-dir", default=None,
+                            help="write each experiment's table as "
+                                 "<id>.csv into this directory")
+    return parser
+
+
+def resolve_ids(requested: Iterable[str]) -> list[str]:
+    """Expand 'all' and validate the requested experiment ids."""
+    available = all_experiment_ids()
+    ids: list[str] = []
+    for item in requested:
+        if item == "all":
+            ids.extend(available)
+        elif item in available:
+            ids.append(item)
+        else:
+            raise SystemExit(
+                f"unknown experiment {item!r}; available: "
+                f"{', '.join(available)}")
+    # De-duplicate, keep order.
+    seen = set()
+    return [i for i in ids if not (i in seen or seen.add(i))]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in all_experiment_ids():
+            print(f"{experiment_id:10s} {DESCRIPTIONS[experiment_id]}")
+        return 0
+
+    reports = []
+    for experiment_id in resolve_ids(args.ids):
+        kwargs = FAST_OVERRIDES.get(experiment_id, {}) if args.fast else {}
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, **kwargs)
+        elapsed = time.perf_counter() - start
+        report = result.format_report() + f"\n[{elapsed:.1f}s]"
+        print(report)
+        print()
+        reports.append(report)
+        if args.csv_dir:
+            import os
+            from .export import write_csv
+            os.makedirs(args.csv_dir, exist_ok=True)
+            write_csv(result, os.path.join(args.csv_dir,
+                                           f"{experiment_id}.csv"))
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write("\n\n".join(reports) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

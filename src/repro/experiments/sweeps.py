@@ -1,0 +1,48 @@
+"""Shared, cached inductance sweeps used by the Fig. 4-8 experiments.
+
+All five optimizer figures plot quantities derived from the same sweep of
+the RLC repeater optimum over l in [0, 5) nH/mm for the two (plus one
+control) technology nodes.  Running the optimizer once per (node, grid)
+and caching keeps the experiment suite fast and guarantees every figure is
+computed from identical optima.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .. import units
+from ..core.sweep import InductanceSweep, sweep_inductance
+from ..tech.node import get_node
+
+#: Default sweep resolution (points across 0..5 nH/mm, inclusive start).
+DEFAULT_POINTS = 26
+
+#: Default sweep ceiling (paper: worst case < 5 nH/mm).
+DEFAULT_MAX_NH_PER_MM = 5.0
+
+
+def default_l_grid(points: int = DEFAULT_POINTS,
+                   max_nh_per_mm: float = DEFAULT_MAX_NH_PER_MM) -> np.ndarray:
+    """Inductance grid in H/m starting at l = 0 (the RC reference point)."""
+    return np.linspace(0.0, max_nh_per_mm, points) * units.NH_PER_MM
+
+
+@lru_cache(maxsize=32)
+def node_sweep(node_name: str, f: float = 0.5,
+               points: int = DEFAULT_POINTS,
+               max_nh_per_mm: float = DEFAULT_MAX_NH_PER_MM
+               ) -> InductanceSweep:
+    """Cached optimizer sweep for a named technology node."""
+    node = get_node(node_name)
+    grid = default_l_grid(points, max_nh_per_mm)
+    return sweep_inductance(node.line, node.driver, grid, f)
+
+
+#: Node names the optimizer figures cover, in plotting order.
+FIGURE_NODES = ("250nm", "100nm")
+
+#: The identical-c control case added in Fig. 7.
+CONTROL_NODE = "100nm-eps3.3"

@@ -1,0 +1,25 @@
+"""Parasitic extraction substitutes (closed-form capacitance/inductance)."""
+
+from .capacitance import (CapacitanceBreakdown, capacitance_range,
+                          parallel_plate, sakurai_coupling,
+                          sakurai_tamaru_ground, total_capacitance)
+from .geometry import COPPER_RESISTIVITY, Wire, wire_from_tech
+from .inductance import (inductance_range, loop_inductance_over_plane,
+                         loop_inductance_with_return_wire,
+                         partial_mutual_inductance, partial_self_inductance,
+                         partial_self_inductance_per_length,
+                         worst_case_inductance)
+from .skin import (effective_area, resistance_at_frequency,
+                   resistance_ratio_table, skin_depth, skin_onset_frequency)
+
+__all__ = [
+    "effective_area", "resistance_at_frequency", "resistance_ratio_table",
+    "skin_depth", "skin_onset_frequency",
+    "CapacitanceBreakdown", "capacitance_range", "parallel_plate",
+    "sakurai_coupling", "sakurai_tamaru_ground", "total_capacitance",
+    "COPPER_RESISTIVITY", "Wire", "wire_from_tech",
+    "inductance_range", "loop_inductance_over_plane",
+    "loop_inductance_with_return_wire", "partial_mutual_inductance",
+    "partial_self_inductance", "partial_self_inductance_per_length",
+    "worst_case_inductance",
+]

@@ -1,0 +1,17 @@
+"""Technology data (Table 1) and simulator-based device characterization."""
+
+from .characterize import (DEFAULT_VTH_FRACTION, InverterCalibration,
+                           VtcReport, add_mosfet_inverter, analytic_beta,
+                           calibrate_inverter, inverter_vtc,
+                           measure_falling_delay, measured_driver_params)
+from .node import (MAX_PRACTICAL_INDUCTANCE, NODE_100NM, NODE_100NM_EPS_250NM,
+                   NODE_250NM, NODES, TechnologyNode, WireGeometrySpec,
+                   get_node)
+
+__all__ = [
+    "DEFAULT_VTH_FRACTION", "InverterCalibration", "VtcReport",
+    "add_mosfet_inverter", "analytic_beta", "calibrate_inverter",
+    "inverter_vtc", "measure_falling_delay", "measured_driver_params",
+    "MAX_PRACTICAL_INDUCTANCE", "NODE_100NM", "NODE_100NM_EPS_250NM",
+    "NODE_250NM", "NODES", "TechnologyNode", "WireGeometrySpec", "get_node",
+]

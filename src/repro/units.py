@@ -1,0 +1,131 @@
+"""Unit constants and converters.
+
+All internal computation in :mod:`repro` uses SI base units:
+
+* length in metres (m)
+* resistance per unit length in ohm/m
+* capacitance per unit length in farad/m
+* inductance per unit length in henry/m
+* time in seconds, capacitance in farads, resistance in ohms
+
+The 2001 paper quotes interconnect parameters in the units customary for
+on-chip wires (ohm/mm, pF/m, nH/mm, mm, ps, fF, kilo-ohm).  The helpers here
+convert between those "paper units" and SI so that every conversion is done
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Physical constants (SI).
+# ---------------------------------------------------------------------------
+
+#: Vacuum permittivity in F/m.
+EPSILON_0 = 8.8541878128e-12
+
+#: Vacuum permeability in H/m.
+MU_0 = 1.25663706212e-6
+
+#: Speed of light in vacuum in m/s.
+C_LIGHT = 2.99792458e8
+
+# ---------------------------------------------------------------------------
+# Scale factors.  Multiplying a value in the named unit by the factor yields
+# the SI value, e.g. ``5 * NH_PER_MM`` is 5 nH/mm expressed in H/m.
+# ---------------------------------------------------------------------------
+
+#: One ohm/mm expressed in ohm/m.
+OHM_PER_MM = 1.0e3
+
+#: One nH/mm expressed in H/m.
+NH_PER_MM = 1.0e-6
+
+#: One pF/m expressed in F/m (pF/m is already the paper's capacitance unit).
+PF_PER_M = 1.0e-12
+
+#: One millimetre in metres.
+MM = 1.0e-3
+
+#: One micrometre in metres.
+UM = 1.0e-6
+
+#: One nanometre in metres.
+NM = 1.0e-9
+
+#: One picosecond in seconds.
+PS = 1.0e-12
+
+#: One nanosecond in seconds.
+NS = 1.0e-9
+
+#: One femtofarad in farads.
+FF = 1.0e-15
+
+#: One picofarad in farads.
+PF = 1.0e-12
+
+#: One kilo-ohm in ohms.
+KOHM = 1.0e3
+
+
+# ---------------------------------------------------------------------------
+# Converters: paper units -> SI.
+# ---------------------------------------------------------------------------
+
+def resistance_per_length_from_ohm_per_mm(value: float) -> float:
+    """Convert a line resistance from ohm/mm to ohm/m."""
+    return value * OHM_PER_MM
+
+
+def inductance_per_length_from_nh_per_mm(value: float) -> float:
+    """Convert a line inductance from nH/mm to H/m."""
+    return value * NH_PER_MM
+
+
+def capacitance_per_length_from_pf_per_m(value: float) -> float:
+    """Convert a line capacitance from pF/m to F/m."""
+    return value * PF_PER_M
+
+
+def length_from_mm(value: float) -> float:
+    """Convert a length from millimetres to metres."""
+    return value * MM
+
+
+# ---------------------------------------------------------------------------
+# Converters: SI -> paper units (for display and report tables).
+# ---------------------------------------------------------------------------
+
+def to_ohm_per_mm(value: float) -> float:
+    """Convert a line resistance from ohm/m to ohm/mm."""
+    return value / OHM_PER_MM
+
+
+def to_nh_per_mm(value: float) -> float:
+    """Convert a line inductance from H/m to nH/mm."""
+    return value / NH_PER_MM
+
+
+def to_pf_per_m(value: float) -> float:
+    """Convert a line capacitance from F/m to pF/m."""
+    return value / PF_PER_M
+
+
+def to_mm(value: float) -> float:
+    """Convert a length from metres to millimetres."""
+    return value / MM
+
+
+def to_ps(value: float) -> float:
+    """Convert a time from seconds to picoseconds."""
+    return value / PS
+
+
+def to_ff(value: float) -> float:
+    """Convert a capacitance from farads to femtofarads."""
+    return value / FF
+
+
+def to_kohm(value: float) -> float:
+    """Convert a resistance from ohms to kilo-ohms."""
+    return value / KOHM

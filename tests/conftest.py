@@ -1,0 +1,58 @@
+"""Shared fixtures: technology nodes, representative stages, tolerances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (NODE_100NM, NODE_250NM, DriverParams, LineParams, Stage,
+                   rc_optimum, units)
+
+
+@pytest.fixture(params=["250nm", "100nm"], ids=["250nm", "100nm"])
+def node(request):
+    """Both Table 1 technology nodes."""
+    return NODE_250NM if request.param == "250nm" else NODE_100NM
+
+
+@pytest.fixture
+def line_rc(node):
+    """The node's top-metal line with zero inductance."""
+    return node.line
+
+
+@pytest.fixture
+def line_rlc(node):
+    """The node's top-metal line with a mid-range inductance (1 nH/mm)."""
+    return node.line_with_inductance(1.0 * units.NH_PER_MM)
+
+
+@pytest.fixture
+def rc_opt(node):
+    """Closed-form RC optimum of the node."""
+    return rc_optimum(node.line, node.driver)
+
+
+@pytest.fixture
+def stage_rc(node, rc_opt):
+    """RC-optimally sized stage with zero line inductance."""
+    return Stage(line=node.line, driver=node.driver,
+                 h=rc_opt.h_opt, k=rc_opt.k_opt)
+
+
+@pytest.fixture
+def stage_rlc(node, line_rlc, rc_opt):
+    """RC-optimally sized stage with 1 nH/mm line inductance (underdamped)."""
+    return Stage(line=line_rlc, driver=node.driver,
+                 h=rc_opt.h_opt, k=rc_opt.k_opt)
+
+
+@pytest.fixture
+def generic_line():
+    """A simple synthetic line for unit tests not tied to Table 1."""
+    return LineParams(r=4000.0, l=0.5e-6, c=150e-12)
+
+
+@pytest.fixture
+def generic_driver():
+    """A simple synthetic driver for unit tests not tied to Table 1."""
+    return DriverParams(r_s=10e3, c_p=5e-15, c_0=1.5e-15)

@@ -1,0 +1,111 @@
+"""Unit tests for the ABCD two-port algebra."""
+
+import cmath
+
+import pytest
+
+from repro import LineParams, ParameterError
+from repro.core import abcd
+
+
+class TestBasicBlocks:
+    def test_identity(self):
+        m = abcd.identity()
+        assert (m.a, m.b, m.c, m.d) == (1.0, 0.0, 0.0, 1.0)
+
+    def test_series_impedance(self):
+        m = abcd.series_impedance(50.0)
+        assert m.b == 50.0
+        assert m.determinant == pytest.approx(1.0)
+
+    def test_shunt_admittance(self):
+        m = abcd.shunt_admittance(0.02)
+        assert m.c == 0.02
+        assert m.determinant == pytest.approx(1.0)
+
+    def test_shunt_capacitor_at_frequency(self):
+        s = 1j * 1e9
+        m = abcd.shunt_capacitor(1e-12, s)
+        assert m.c == pytest.approx(s * 1e-12)
+
+    def test_cascade_is_matrix_product(self):
+        a = abcd.series_impedance(10.0)
+        b = abcd.shunt_admittance(0.1)
+        m = a @ b
+        # [[1, 10], [0, 1]] @ [[1, 0], [0.1, 1]] = [[2, 10], [0.1, 1]]
+        assert m.a == pytest.approx(2.0)
+        assert m.b == pytest.approx(10.0)
+        assert m.c == pytest.approx(0.1)
+        assert m.d == pytest.approx(1.0)
+
+    def test_cascade_not_commutative(self):
+        a = abcd.series_impedance(10.0)
+        b = abcd.shunt_admittance(0.1)
+        assert (a @ b).a != pytest.approx((b @ a).a)
+
+    def test_voltage_transfer_rc_divider(self):
+        """R in series with C to ground: H = 1/(1 + s R C)."""
+        s = 1j * 1e8
+        r, c = 1000.0, 1e-12
+        chain = abcd.series_resistor(r) @ abcd.shunt_capacitor(c, s)
+        assert chain.voltage_transfer_open() == pytest.approx(
+            1.0 / (1.0 + s * r * c))
+
+    def test_voltage_transfer_loaded_divider(self):
+        """Series R loaded by R_L: H = R_L / (R + R_L)."""
+        chain = abcd.series_resistor(100.0)
+        assert chain.voltage_transfer_loaded(300.0) == pytest.approx(0.75)
+
+
+class TestRlcLine:
+    LINE = LineParams(r=4400.0, l=1e-6, c=2e-10)
+
+    def test_reciprocity(self):
+        m = abcd.rlc_line(self.LINE, 0.01, 1j * 1e9)
+        assert m.determinant == pytest.approx(1.0, rel=1e-9)
+
+    def test_symmetry_a_equals_d(self):
+        m = abcd.rlc_line(self.LINE, 0.01, 1j * 1e9)
+        assert m.a == m.d
+
+    def test_two_half_lines_cascade_to_full_line(self):
+        s = 1j * 5e8
+        full = abcd.rlc_line(self.LINE, 0.01, s)
+        half = abcd.rlc_line(self.LINE, 0.005, s)
+        cascaded = half @ half
+        assert cascaded.a == pytest.approx(full.a, rel=1e-10)
+        assert cascaded.b == pytest.approx(full.b, rel=1e-10)
+        assert cascaded.c == pytest.approx(full.c, rel=1e-10)
+
+    def test_small_s_series_branch_continuous(self):
+        """Series expansion and exact form must agree near the threshold."""
+        h = 0.01
+        # |theta h| just above/below the 1e-6 threshold.
+        s_values = [1e-4 + 0j, 2e-4 + 0j]
+        for s in s_values:
+            m = abcd.rlc_line(self.LINE, h, s)
+            # At tiny s, the line reduces to its total R and C:
+            assert m.b == pytest.approx(self.LINE.r * h, rel=1e-3)
+            assert m.c == pytest.approx(s * self.LINE.c * h, rel=1e-3)
+
+    def test_lossless_line_matches_textbook(self):
+        """r -> tiny: entries approach cos(beta h), j Z0 sin(beta h)."""
+        lossless = LineParams(r=1e-6, l=1e-6, c=1e-10)
+        omega = 2e9
+        h = 0.01
+        beta = omega * (lossless.l * lossless.c) ** 0.5
+        z0 = (lossless.l / lossless.c) ** 0.5
+        m = abcd.rlc_line(lossless, h, 1j * omega)
+        assert m.a == pytest.approx(cmath.cos(beta * h), rel=1e-4)
+        assert m.b == pytest.approx(1j * z0 * cmath.sin(beta * h), rel=1e-4)
+
+    def test_rc_line_helper(self):
+        s = 1j * 1e8
+        a = abcd.rc_line(4400.0, 2e-10, 0.01, s)
+        b = abcd.rlc_line(LineParams(r=4400.0, l=0.0, c=2e-10), 0.01, s)
+        assert a.a == pytest.approx(b.a)
+        assert a.b == pytest.approx(b.b)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ParameterError):
+            abcd.rlc_line(self.LINE, 0.0, 1j * 1e9)

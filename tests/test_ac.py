@@ -1,0 +1,155 @@
+"""Unit tests for the AC (phasor) analysis engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Stage, exact_transfer, rc_optimum, units
+from repro.circuits import Circuit, GROUND, Mosfet, build_linear_stage
+from repro.circuits.ac import (AcAnalysis, ac_transfer, bode_magnitude_db,
+                               find_bandwidth)
+from repro.errors import SimulationError
+
+
+def rc_lowpass(r=1000.0, c=1e-12):
+    circuit = Circuit("rc-lowpass")
+    circuit.voltage_source("VIN", "in", GROUND, 0.0)
+    circuit.resistor("R1", "in", "out", r)
+    circuit.capacitor("C1", "out", GROUND, c)
+    return circuit
+
+
+class TestBasics:
+    def test_rc_lowpass_matches_analytic(self):
+        r, c = 1000.0, 1e-12
+        circuit = rc_lowpass(r, c)
+        frequencies = [1e6, 1e8, 1.59e8, 1e10]
+        h = ac_transfer(circuit, input_source="VIN", output_node="out",
+                        frequencies=frequencies)
+        for f, value in zip(frequencies, h):
+            expected = 1.0 / (1.0 + 2j * math.pi * f * r * c)
+            assert value == pytest.approx(expected, rel=1e-9)
+
+    def test_dc_limit_is_unity(self):
+        h = ac_transfer(rc_lowpass(), input_source="VIN",
+                        output_node="out", frequencies=[1.0])
+        assert abs(h[0]) == pytest.approx(1.0, rel=1e-9)
+
+    def test_series_rlc_resonance(self):
+        """Series RLC to ground: |V_C| peaks near 1/(2 pi sqrt(LC))."""
+        r, l, c = 5.0, 1e-9, 1e-12
+        circuit = Circuit("rlc")
+        circuit.voltage_source("VIN", "in", GROUND, 0.0)
+        circuit.resistor("R1", "in", "a", r)
+        circuit.inductor("L1", "a", "b", l)
+        circuit.capacitor("C1", "b", GROUND, c)
+        f0 = 1.0 / (2.0 * math.pi * math.sqrt(l * c))
+        frequencies = np.linspace(0.5 * f0, 1.5 * f0, 201)
+        h = ac_transfer(circuit, input_source="VIN", output_node="b",
+                        frequencies=frequencies)
+        peak_f = frequencies[int(np.argmax(np.abs(h)))]
+        assert peak_f == pytest.approx(f0, rel=0.02)
+        q = math.sqrt(l / c) / r
+        assert np.max(np.abs(h)) == pytest.approx(q, rel=0.05)
+
+    def test_mutual_inductance_changes_response(self):
+        """Coupling two series inductors shifts an LC resonance."""
+        def resonance(k):
+            circuit = Circuit("coupled")
+            circuit.voltage_source("VIN", "in", GROUND, 0.0)
+            circuit.resistor("R1", "in", "a", 5.0)
+            circuit.inductor("L1", "a", "m", 1e-9)
+            circuit.inductor("L2", "m", "b", 1e-9)
+            if k:
+                circuit.mutual("K1", "L1", "L2", k)
+            circuit.capacitor("C1", "b", GROUND, 1e-12)
+            f = np.linspace(1e9, 6e9, 400)
+            h = ac_transfer(circuit, input_source="VIN", output_node="b",
+                            frequencies=f)
+            return f[int(np.argmax(np.abs(h)))]
+
+        # Series aiding: L_eff = 2L(1+k) -> lower resonance.
+        assert resonance(0.5) < resonance(0.0)
+
+    def test_rejects_nonlinear_circuit(self):
+        circuit = Circuit("nl")
+        circuit.voltage_source("VIN", "g", GROUND, 0.0)
+        circuit.voltage_source("VDD", "vdd", GROUND, 1.2)
+        circuit.add(Mosfet(name="M1", drain="vdd", gate="g", source=GROUND,
+                           polarity=1, vth=0.3, beta=1e-4))
+        with pytest.raises(SimulationError, match="linear circuits only"):
+            AcAnalysis(circuit, input_source="VIN")
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(SimulationError, match="not a voltage source"):
+            AcAnalysis(rc_lowpass(), input_source="VZZ")
+
+
+class TestInputImpedance:
+    def test_resistor_input_impedance(self):
+        circuit = Circuit("z")
+        circuit.voltage_source("VIN", "in", GROUND, 0.0)
+        circuit.resistor("R1", "in", GROUND, 123.0)
+        analysis = AcAnalysis(circuit, input_source="VIN")
+        z = analysis.input_impedance([1e9 * 2 * math.pi])
+        assert z[0] == pytest.approx(123.0, rel=1e-9)
+
+    def test_capacitor_input_impedance(self):
+        circuit = Circuit("z")
+        circuit.voltage_source("VIN", "in", GROUND, 0.0)
+        circuit.capacitor("C1", "in", GROUND, 1e-12)
+        circuit.resistor("Rbig", "in", GROUND, 1e12)  # keep netlist valid
+        analysis = AcAnalysis(circuit, input_source="VIN")
+        omega = 2 * math.pi * 1e9
+        z = analysis.input_impedance([omega])
+        expected = 1.0 / (1j * omega * 1e-12)
+        assert z[0] == pytest.approx(expected, rel=1e-3)
+
+
+class TestLadderVsExact:
+    """Frequency-domain cross-validation: ladder H(jw) vs Eq. 1."""
+
+    @pytest.mark.parametrize("l_nh", [0.0, 1.0, 3.0])
+    def test_ladder_matches_exact_transfer(self, l_nh):
+        from repro import NODE_100NM
+        node = NODE_100NM
+        rc = rc_optimum(node.line, node.driver)
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        stage = Stage(line=line, driver=node.driver,
+                      h=rc.h_opt, k=rc.k_opt)
+        # 100 sections: the ladder's dispersion error at 10 GHz (segment
+        # length ~ wavelength/10) drops below 4%; AC solves are cheap.
+        bench = build_linear_stage(stage, segments=100)
+        exact = exact_transfer(stage)
+        # Frequencies up to ~2x the stage bandwidth.
+        frequencies = [1e8, 1e9, 3e9, 1e10]
+        measured = ac_transfer(bench.circuit, input_source="VSTEP",
+                               output_node=bench.output_node,
+                               frequencies=frequencies)
+        for f, value in zip(frequencies, measured):
+            reference = exact(2j * math.pi * f)
+            assert value == pytest.approx(reference, rel=0.05)
+
+
+class TestBandwidth:
+    def test_rc_bandwidth(self):
+        r, c = 1000.0, 1e-12
+        f_3db = find_bandwidth(rc_lowpass(r, c), input_source="VIN",
+                               output_node="out")
+        assert f_3db == pytest.approx(1.0 / (2 * math.pi * r * c), rel=0.02)
+
+    def test_bandwidth_not_found_raises(self):
+        # A purely resistive divider never rolls off.
+        circuit = Circuit("flat")
+        circuit.voltage_source("VIN", "in", GROUND, 0.0)
+        circuit.resistor("R1", "in", "out", 100.0)
+        circuit.resistor("R2", "out", GROUND, 100.0)
+        with pytest.raises(SimulationError):
+            find_bandwidth(circuit, input_source="VIN", output_node="out",
+                           f_stop=1e9)
+
+    def test_bode_helper(self):
+        values = bode_magnitude_db(np.array([1.0, 0.1]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(-20.0)

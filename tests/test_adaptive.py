@@ -1,0 +1,115 @@
+"""Tests for the adaptive-timestep transient solver."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (Circuit, GROUND, Pulse, Step, TransientSolver,
+                            simulate)
+from repro.errors import SimulationError
+
+
+def rc_circuit(r=1000.0, c=1e-12):
+    circuit = Circuit("rc")
+    circuit.voltage_source("V1", "in", GROUND, Step(level=1.0))
+    circuit.resistor("R1", "in", "out", r)
+    circuit.capacitor("C1", "out", GROUND, c)
+    return circuit
+
+
+class TestAdaptiveAccuracy:
+    def test_rc_charge_matches_analytic(self):
+        r, c = 1000.0, 1e-12
+        tau = r * c
+        solver = TransientSolver(rc_circuit(r, c))
+        result = solver.run_adaptive(8.0 * tau, dt_initial=tau / 50.0,
+                                     dt_min=tau / 5000.0, dt_max=tau,
+                                     lte_reltol=1e-4)
+        expected = 1.0 - np.exp(-result.time / tau)
+        assert result.voltage("out") == pytest.approx(expected, abs=1e-3)
+
+    def test_steps_grow_in_quiet_stretch(self):
+        """After the edge settles, accepted steps expand toward dt_max."""
+        r, c = 1000.0, 1e-12
+        tau = r * c
+        solver = TransientSolver(rc_circuit(r, c))
+        result = solver.run_adaptive(40.0 * tau, dt_initial=tau / 50.0,
+                                     dt_min=tau / 5000.0, dt_max=5.0 * tau)
+        steps = np.diff(result.time)
+        assert steps[-1] > 20.0 * steps[0]
+
+    def test_fewer_steps_than_fixed_at_equal_accuracy(self):
+        """A pulse train with long plateaus: adaptive wins on step count."""
+        circuit = Circuit("pulse-rc")
+        circuit.voltage_source(
+            "V1", "in", GROUND,
+            Pulse(v1=0.0, v2=1.0, delay=0.0, rise=1e-11, fall=1e-11,
+                  width=4e-9, period=10e-9))
+        circuit.resistor("R1", "in", "out", 1000.0)
+        circuit.capacitor("C1", "out", GROUND, 1e-13)
+        solver = TransientSolver(circuit)
+        adaptive = solver.run_adaptive(20e-9, dt_initial=1e-11,
+                                       dt_min=1e-13, dt_max=5e-10,
+                                       lte_reltol=1e-3)
+        fixed = simulate(circuit, 20e-9, 1e-11)
+        assert adaptive.time.size < 0.5 * fixed.time.size
+        # Same endpoint within tolerance.
+        assert adaptive.voltage("out")[-1] == pytest.approx(
+            fixed.voltage("out")[-1], abs=1e-3)
+
+    def test_underdamped_rlc_tracks_fixed_run(self):
+        circuit = Circuit("rlc")
+        circuit.voltage_source("V1", "in", GROUND, Step(level=1.0))
+        circuit.resistor("R1", "in", "a", 10.0)
+        circuit.inductor("L1", "a", "b", 1e-9)
+        circuit.capacitor("C1", "b", GROUND, 1e-12)
+        period = 2.0 * np.pi * np.sqrt(1e-9 * 1e-12)
+        solver = TransientSolver(circuit)
+        adaptive = solver.run_adaptive(6.0 * period,
+                                       dt_initial=period / 100.0,
+                                       dt_min=period / 10000.0,
+                                       dt_max=period / 10.0,
+                                       lte_reltol=1e-4)
+        fixed = simulate(circuit, 6.0 * period, period / 800.0)
+        v_adaptive = np.interp(fixed.time, adaptive.time,
+                               adaptive.voltage("b"))
+        assert v_adaptive == pytest.approx(fixed.voltage("b"), abs=5e-3)
+
+    def test_nonlinear_inverter_edge(self):
+        """Adaptive stepping carries a MOSFET inverter through its edge."""
+        from repro.tech import calibrate_inverter
+        from repro.circuits import add_mosfet_inverter
+        from repro import NODE_100NM
+        calibration = calibrate_inverter(NODE_100NM)
+        circuit = Circuit("inv")
+        circuit.voltage_source("VDD", "vdd", GROUND, calibration.vdd)
+        circuit.voltage_source(
+            "VIN", "a", GROUND,
+            Step(level=calibration.vdd, delay=1e-10, rise=2e-11))
+        add_mosfet_inverter(circuit, "inv", "a", "b", "vdd", calibration,
+                            k=10.0)
+        circuit.capacitor("CL", "b", GROUND, 50 * NODE_100NM.driver.c_0)
+        solver = TransientSolver(circuit)
+        result = solver.run_adaptive(
+            2e-9, dt_initial=5e-12, dt_min=1e-14, dt_max=1e-10,
+            initial_voltages={"b": calibration.vdd, "vdd": calibration.vdd})
+        v_out = result.voltage("b")
+        assert v_out[0] == pytest.approx(calibration.vdd, abs=0.05)
+        assert v_out[-1] == pytest.approx(0.0, abs=0.05)
+
+
+class TestAdaptiveValidation:
+    def test_rejects_bad_bounds(self):
+        solver = TransientSolver(rc_circuit())
+        with pytest.raises(SimulationError):
+            solver.run_adaptive(1e-9, dt_initial=1e-12, dt_min=1e-11,
+                                dt_max=1e-10)
+        with pytest.raises(SimulationError):
+            solver.run_adaptive(0.0, dt_initial=1e-12, dt_min=1e-13,
+                                dt_max=1e-11)
+
+    def test_time_grid_strictly_increasing_to_t_end(self):
+        solver = TransientSolver(rc_circuit())
+        result = solver.run_adaptive(5e-9, dt_initial=1e-11, dt_min=1e-13,
+                                     dt_max=1e-9)
+        assert np.all(np.diff(result.time) > 0.0)
+        assert result.time[-1] == pytest.approx(5e-9, rel=1e-9)

@@ -1,0 +1,143 @@
+"""Unit tests for the waveform measurement utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import Waveform
+from repro.errors import ParameterError
+
+
+def make_sine(frequency=1e9, amplitude=1.0, offset=0.0, cycles=10.0,
+              samples_per_cycle=200):
+    period = 1.0 / frequency
+    t = np.linspace(0.0, cycles * period,
+                    int(cycles * samples_per_cycle) + 1)
+    return Waveform(t, offset + amplitude * np.sin(2 * np.pi * frequency * t))
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ParameterError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_rejects_non_monotonic_time(self):
+        with pytest.raises(ParameterError):
+            Waveform(np.array([0.0, 1.0, 1.0]), np.zeros(3))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ParameterError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+
+class TestInterpolation:
+    def test_value_at_interpolates(self):
+        waveform = Waveform(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert waveform.value_at(0.25) == pytest.approx(0.5)
+
+    def test_slice_bounds(self):
+        waveform = make_sine()
+        sliced = waveform.slice(2e-9, 4e-9)
+        assert sliced.time[0] >= 2e-9
+        assert sliced.time[-1] <= 4e-9
+        with pytest.raises(ParameterError):
+            waveform.slice(3e-9, 3e-9)
+
+    def test_slice_needs_two_samples(self):
+        waveform = make_sine()
+        with pytest.raises(ParameterError):
+            waveform.slice(1e-20, 2e-20)
+
+
+class TestCrossings:
+    def test_rising_crossings_of_sine(self):
+        waveform = make_sine(frequency=1e9, cycles=3.25)
+        crossings = waveform.rising_crossings(0.0)
+        # sin starts at 0 going up; upward zero crossings at t = 1, 2, 3 ns
+        # (the t = 0 start is not itself a crossing).
+        assert crossings.size == 3
+        assert crossings[0] == pytest.approx(1e-9, rel=1e-3)
+        assert crossings[1] == pytest.approx(2e-9, rel=1e-3)
+        assert crossings[2] == pytest.approx(3e-9, rel=1e-3)
+
+    def test_falling_crossings_of_sine(self):
+        waveform = make_sine(frequency=1e9, cycles=3.0)
+        crossings = waveform.falling_crossings(0.0)
+        assert crossings[0] == pytest.approx(0.5e-9, rel=1e-3)
+
+    def test_interpolated_crossing_subsample_accuracy(self):
+        t = np.array([0.0, 1.0, 2.0])
+        waveform = Waveform(t, np.array([0.0, 0.4, 1.2]))
+        crossing = waveform.rising_crossings(1.0)
+        assert crossing[0] == pytest.approx(1.75)
+
+    def test_first_crossing_raises_when_absent(self):
+        waveform = make_sine(amplitude=0.5)
+        with pytest.raises(ParameterError):
+            waveform.first_crossing(2.0)
+
+    def test_delay_between_waveforms(self):
+        a = make_sine()
+        shift = 0.2e-9
+        b = Waveform(a.time + shift, a.values)
+        # First rising crossing of 0.5 amplitude level:
+        assert a.delay_to(b, 0.5) == pytest.approx(shift, rel=1e-6)
+
+
+class TestMetrics:
+    def test_overshoot_and_undershoot(self):
+        waveform = make_sine(amplitude=1.0, offset=0.5)
+        assert waveform.overshoot(1.0) == pytest.approx(0.5, rel=1e-3)
+        assert waveform.undershoot(0.0) == pytest.approx(0.5, rel=1e-3)
+
+    def test_no_overshoot_returns_zero(self):
+        waveform = make_sine(amplitude=0.3, offset=0.5)
+        assert waveform.overshoot(1.0) == 0.0
+        assert waveform.undershoot(0.0) == 0.0
+
+    def test_rms_of_sine(self):
+        waveform = make_sine(amplitude=2.0, cycles=20.0)
+        assert waveform.rms() == pytest.approx(2.0 / math.sqrt(2.0), rel=1e-3)
+
+    def test_rms_of_dc(self):
+        waveform = Waveform(np.linspace(0, 1, 10), np.full(10, 3.0))
+        assert waveform.rms() == pytest.approx(3.0)
+
+    def test_average_of_offset_sine(self):
+        waveform = make_sine(amplitude=1.0, offset=0.7, cycles=20.0)
+        assert waveform.average() == pytest.approx(0.7, abs=1e-3)
+
+    def test_peak_absolute(self):
+        waveform = Waveform(np.linspace(0, 1, 5),
+                            np.array([0.0, -3.0, 1.0, 2.0, 0.0]))
+        assert waveform.peak() == 3.0
+
+
+class TestOscillation:
+    def test_period_of_sine(self):
+        waveform = make_sine(frequency=2e9, cycles=12.0)
+        assert waveform.oscillation_period(0.0) == pytest.approx(0.5e-9,
+                                                                 rel=1e-3)
+
+    def test_frequency_inverse(self):
+        waveform = make_sine(frequency=2e9, cycles=12.0)
+        assert waveform.oscillation_frequency(0.0) == pytest.approx(2e9,
+                                                                    rel=1e-3)
+
+    def test_raises_for_non_oscillating(self):
+        t = np.linspace(0, 1e-9, 100)
+        waveform = Waveform(t, np.linspace(0, 1, 100))
+        with pytest.raises(ParameterError):
+            waveform.oscillation_period(0.5)
+
+    def test_median_robust_to_startup(self):
+        """A distorted first cycle must not bias the measured period."""
+        frequency = 1e9
+        period = 1.0 / frequency
+        t = np.linspace(0.0, 10 * period, 4001)
+        values = np.sin(2 * np.pi * frequency * t)
+        values[t < period] *= 0.2      # squash the first cycle
+        waveform = Waveform(t, values)
+        assert waveform.oscillation_period(0.0, skip=2) == pytest.approx(
+            period, rel=1e-3)

@@ -1,0 +1,152 @@
+"""Unit tests for the Kahng-Muddu and Ismail-Friedman baselines."""
+
+import math
+
+import pytest
+
+from repro import (ParameterError, StepResponse, compute_moments,
+                   threshold_delay, units)
+from repro.baselines import (if_optimum, km_applicability, km_delay,
+                             km_delay_critically_damped, km_delay_overdamped,
+                             km_delay_underdamped, t_lr,
+                             validity_ranges_satisfied)
+from repro.core.poles import compute_poles
+from repro.core.response import canonical_response
+
+
+class TestKahngMuddu:
+    def test_overdamped_branch_accurate_when_far_from_critical(self):
+        """Highly overdamped: the dominant-pole delay is near exact."""
+        wn = 1e9
+        b1, b2 = 2.0 * 5.0 / wn, 1.0 / wn ** 2   # zeta = 5
+        exact = threshold_delay(canonical_response(5.0, wn), 0.5).tau
+        approx = km_delay_overdamped(b1, b2, 0.5)
+        assert approx == pytest.approx(exact, rel=0.02)
+
+    def test_underdamped_branch_accurate_when_far_from_critical(self):
+        wn = 1e9
+        zeta = 0.05
+        b1, b2 = 2.0 * zeta / wn, 1.0 / wn ** 2
+        exact = threshold_delay(canonical_response(zeta, wn), 0.5).tau
+        approx = km_delay_underdamped(b1, b2, 0.5)
+        assert approx == pytest.approx(exact, rel=0.08)
+
+    def test_critically_damped_closed_form(self):
+        """x solving (1+x)e^{-x} = 0.5 is 1.67835; tau = x b1/2."""
+        b1 = 1e-10
+        tau = km_delay_critically_damped(b1, 0.5)
+        assert tau == pytest.approx(1.67835 * b1 / 2.0, rel=1e-4)
+
+    def test_critical_branch_independent_of_inductance(self, node, rc_opt,
+                                                       stage_rc):
+        """The paper's critique: near critical damping, the KM delay
+        depends only on b1 and therefore cannot see l at all."""
+        from repro import Stage, critical_inductance
+        stage = Stage(line=node.line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        l_crit = critical_inductance(stage)
+        taus = []
+        for factor in (0.9, 1.0, 1.1):
+            moments = compute_moments(stage.with_inductance(factor * l_crit))
+            taus.append(km_delay(moments.b1, moments.b2, 0.5))
+        assert taus[0] == taus[1] == taus[2]
+
+    def test_exact_delay_does_change_near_critical(self, node, rc_opt):
+        """...whereas the true Eq. 3 solution does change with l there."""
+        from repro import Stage, critical_inductance
+        stage = Stage(line=node.line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        l_crit = critical_inductance(stage)
+        taus = []
+        for factor in (0.9, 1.1):
+            moments = compute_moments(stage.with_inductance(factor * l_crit))
+            taus.append(threshold_delay(
+                StepResponse.from_moments(moments), 0.5).tau)
+        assert abs(taus[0] - taus[1]) / taus[1] > 1e-3
+
+    def test_applicability_check(self):
+        assert km_applicability(10.0, 1.0)          # far overdamped
+        assert km_applicability(0.1, 10.0)          # far underdamped
+        assert not km_applicability(2.0, 1.0001)    # nearly critical
+
+    def test_dispatch_selects_branches(self):
+        wn = 1e9
+        over = km_delay(2.0 * 5.0 / wn, 1.0 / wn ** 2, 0.5)
+        assert over == pytest.approx(
+            km_delay_overdamped(2.0 * 5.0 / wn, 1.0 / wn ** 2, 0.5))
+        under = km_delay(2.0 * 0.1 / wn, 1.0 / wn ** 2, 0.5)
+        assert under == pytest.approx(
+            km_delay_underdamped(2.0 * 0.1 / wn, 1.0 / wn ** 2, 0.5))
+        near = km_delay(2.0 / wn, 1.0001 / wn ** 2, 0.5)
+        assert near == pytest.approx(km_delay_critically_damped(2.0 / wn, 0.5))
+
+    def test_branch_domain_validation(self):
+        with pytest.raises(ParameterError):
+            km_delay_overdamped(1.0, 1.0, 0.5)      # underdamped moments
+        with pytest.raises(ParameterError):
+            km_delay_underdamped(10.0, 1.0, 0.5)    # overdamped moments
+        with pytest.raises(ParameterError):
+            km_delay(-1.0, 1.0, 0.5)
+        with pytest.raises(ParameterError):
+            km_delay(1.0, 1.0, 1.5)
+
+
+class TestIsmailFriedman:
+    def test_reduces_to_rc_optimum_at_zero_inductance(self, node):
+        from repro import rc_optimum
+        result = if_optimum(node.line, node.driver)
+        reference = rc_optimum(node.line, node.driver)
+        assert result.t_lr == 0.0
+        assert result.h_opt == pytest.approx(reference.h_opt)
+        assert result.k_opt == pytest.approx(reference.k_opt)
+        assert result.inductance_negligible
+
+    def test_trends_match_paper_figures(self, node):
+        """h grows and k shrinks with l, like the exact optimizer."""
+        previous = None
+        for l_nh in (0.5, 2.0, 5.0):
+            line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+            result = if_optimum(line, node.driver)
+            if previous is not None:
+                assert result.h_opt > previous.h_opt
+                assert result.k_opt < previous.k_opt
+            previous = result
+
+    def test_t_lr_dimensionless_and_scales(self, node):
+        line1 = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        line4 = node.line_with_inductance(4.0 * units.NH_PER_MM)
+        assert t_lr(line4, node.driver) == pytest.approx(
+            2.0 * t_lr(line1, node.driver))
+
+    def test_same_order_as_exact_optimizer(self, node):
+        """Within a factor ~1.6 of the exact optimum across the practical
+        range — the same order of magnitude (a meaningful baseline) but far
+        enough off to motivate the paper's exact method.  Note our T_LR
+        normalization is a documented reconstruction."""
+        from repro import optimize_repeater
+        line = node.line_with_inductance(2.0 * units.NH_PER_MM)
+        empirical = if_optimum(line, node.driver)
+        exact = optimize_repeater(line, node.driver)
+        assert 0.6 < empirical.h_opt / exact.h_opt < 1.7
+        assert 0.6 < empirical.k_opt / exact.k_opt < 1.7
+
+    def test_validity_ranges_violated_at_global_wire_optimum(self, node,
+                                                             rc_opt):
+        """The paper's critique: realistic optima sit outside the fitted
+        validity box (line capacitance >> load capacitance)."""
+        assert not validity_ranges_satisfied(node.line, node.driver,
+                                             rc_opt.h_opt, rc_opt.k_opt)
+
+    def test_validity_ranges_satisfiable_for_short_lines(self, node):
+        """A very short, strongly driven segment sits inside the box."""
+        h = 0.1e-3
+        k = math.sqrt(node.driver.r_s / (node.line.r * h)
+                      * node.line.c * h / node.driver.c_0)
+        # Choose k so both ratios equal ~sqrt(...) <= 1.
+        k = max(k, node.line.c * h / node.driver.c_0,
+                node.driver.r_s / (node.line.r * h))
+        assert validity_ranges_satisfied(node.line, node.driver, h, k)
+
+    def test_validity_check_rejects_bad_geometry(self, node):
+        with pytest.raises(ParameterError):
+            validity_ranges_satisfied(node.line, node.driver, -1.0, 100.0)

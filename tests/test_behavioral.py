@@ -1,0 +1,88 @@
+"""Unit tests for the behavioral switch-level inverter."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, GROUND, SwitchInverter, Step, simulate
+from repro.errors import ParameterError
+
+
+def inverter(vdd=1.2, threshold=0.6, r_out=100.0, width=0.02):
+    return SwitchInverter(name="inv", input_node="in", output_node="out",
+                          vdd=vdd, threshold=threshold, r_out=r_out,
+                          width=width)
+
+
+class TestRailSelector:
+    def test_low_input_selects_high_rail(self):
+        rail, _ = inverter().rail_voltage(0.0)
+        assert rail == pytest.approx(1.2, abs=1e-6)
+
+    def test_high_input_selects_low_rail(self):
+        rail, _ = inverter().rail_voltage(1.2)
+        assert rail == pytest.approx(0.0, abs=1e-6)
+
+    def test_midpoint_is_half_rail(self):
+        rail, slope = inverter().rail_voltage(0.6)
+        assert rail == pytest.approx(0.6)
+        assert slope < 0.0           # inverting gain
+
+    def test_gain_scales_with_width(self):
+        sharp = inverter(width=0.005)
+        soft = inverter(width=0.1)
+        assert abs(sharp.rail_voltage(0.6)[1]) > abs(soft.rail_voltage(0.6)[1])
+
+    def test_extreme_inputs_numerically_safe(self):
+        rail_low, _ = inverter().rail_voltage(-100.0)
+        rail_high, _ = inverter().rail_voltage(100.0)
+        assert rail_low == pytest.approx(1.2)
+        assert rail_high == pytest.approx(0.0, abs=1e-12)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            inverter(vdd=0.0)
+        with pytest.raises(ParameterError):
+            inverter(r_out=-1.0)
+        with pytest.raises(ParameterError):
+            inverter(width=0.0)
+
+
+class TestInCircuit:
+    def test_inverts_a_step(self):
+        circuit = Circuit("switch-inverter")
+        circuit.voltage_source("VIN", "in", GROUND,
+                               Step(level=1.2, delay=1e-9, rise=0.1e-9))
+        circuit.add(inverter())
+        circuit.capacitor("CL", "out", GROUND, 1e-13)
+        result = simulate(circuit, 5e-9, 5e-12,
+                          initial_voltages={"out": 1.2})
+        v_out = result.voltage("out")
+        assert v_out[0] == pytest.approx(1.2, abs=0.05)
+        assert v_out[-1] == pytest.approx(0.0, abs=0.05)
+
+    def test_output_time_constant_is_rout_c(self):
+        """Discharge follows exp(-t/(r_out C)) after the input step."""
+        r_out, c_load = 100.0, 1e-13
+        circuit = Circuit("switch-tau")
+        circuit.voltage_source("VIN", "in", GROUND, Step(level=1.2))
+        circuit.add(inverter(r_out=r_out))
+        circuit.capacitor("CL", "out", GROUND, c_load)
+        tau = r_out * c_load
+        result = simulate(circuit, 6.0 * tau, tau / 200.0,
+                          initial_voltages={"out": 1.2})
+        from repro.analysis import Waveform
+        waveform = Waveform(result.time, result.voltage("out"))
+        t_half = waveform.falling_crossings(0.6)[0]
+        assert t_half == pytest.approx(np.log(2.0) * tau, rel=0.05)
+
+    def test_input_draws_no_current(self):
+        """A series resistor to the input sees no voltage drop."""
+        circuit = Circuit("switch-hiZ")
+        circuit.voltage_source("VIN", "drive", GROUND, 1.0)
+        circuit.resistor("RS", "drive", "in", 1e6)
+        circuit.add(inverter())
+        circuit.capacitor("CL", "out", GROUND, 1e-13)
+        result = simulate(circuit, 1e-9, 1e-11)
+        assert result.voltage("in")[-1] == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,128 @@
+"""Unit tests for the circuit builders (stage, ring oscillator, chain)."""
+
+import pytest
+
+from repro import Stage, rc_optimum, units
+from repro.circuits import (Circuit, GROUND, InverterCalibration,
+                            add_mosfet_inverter, add_switch_inverter,
+                            analytic_beta, build_buffered_line,
+                            build_linear_stage, build_ring_oscillator)
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def calibration(node):
+    from repro.tech import calibrate_inverter
+    return calibrate_inverter(node)
+
+
+class TestInverterCalibration:
+    def test_analytic_beta_positive(self):
+        assert analytic_beta(1.2, 0.3, 7534.0) > 0.0
+
+    def test_analytic_beta_requires_headroom(self):
+        with pytest.raises(ParameterError):
+            analytic_beta(0.3, 0.3, 7534.0)
+
+    def test_scaled_beta(self, calibration):
+        assert calibration.scaled_beta(10.0) == pytest.approx(
+            10.0 * calibration.beta)
+        with pytest.raises(ParameterError):
+            calibration.scaled_beta(0.0)
+
+    def test_validation(self, node):
+        with pytest.raises(ParameterError):
+            InverterCalibration(vdd=1.2, vth=1.5, beta=1e-4, lam=0.05,
+                                driver=node.driver)
+        with pytest.raises(ParameterError):
+            InverterCalibration(vdd=1.2, vth=0.3, beta=-1e-4, lam=0.05,
+                                driver=node.driver)
+
+
+class TestInverterBuilders:
+    def test_mosfet_inverter_elements(self, calibration):
+        circuit = Circuit()
+        circuit.voltage_source("VDD", "vdd", GROUND, calibration.vdd)
+        add_mosfet_inverter(circuit, "inv", "a", "b", "vdd", calibration,
+                            k=100.0)
+        assert "inv.MN" in circuit and "inv.MP" in circuit
+        assert circuit.element("inv.CG").capacitance == pytest.approx(
+            100.0 * calibration.driver.c_0)
+        assert circuit.element("inv.CP").capacitance == pytest.approx(
+            100.0 * calibration.driver.c_p)
+
+    def test_switch_inverter_elements(self, calibration):
+        circuit = Circuit()
+        add_switch_inverter(circuit, "inv", "a", "b", calibration, k=50.0)
+        switch = circuit.element("inv")
+        assert switch.r_out == pytest.approx(calibration.driver.r_s / 50.0)
+        assert switch.threshold == pytest.approx(0.5 * calibration.vdd)
+
+
+class TestLinearStage:
+    def test_structure(self, node, rc_opt):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        stage = Stage(line=line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        bench = build_linear_stage(stage, segments=5)
+        bench.circuit.validate()
+        drv = stage.sized_driver
+        assert bench.circuit.element("RS").resistance == pytest.approx(
+            drv.r_series)
+        assert bench.circuit.element("CL").capacitance == pytest.approx(
+            drv.c_load)
+        assert bench.ladder.segment_count == 5
+
+
+class TestRingOscillator:
+    def test_structure(self, calibration, node, rc_opt):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        ring = build_ring_oscillator(calibration, line, rc_opt.h_opt,
+                                     rc_opt.k_opt, n_stages=5, segments=4)
+        ring.circuit.validate()
+        assert ring.n_stages == 5
+        assert len(ring.ladders) == 5
+        # Ring topology: ladder i connects stage i output to stage i+1 input.
+        assert ring.ladders[4].output_node == ring.stage_inputs[0]
+
+    def test_initial_conditions_alternate(self, calibration, node, rc_opt):
+        ring = build_ring_oscillator(calibration, node.line, rc_opt.h_opt,
+                                     rc_opt.k_opt, n_stages=5, segments=3)
+        ics = ring.initial_voltages()
+        assert ics[ring.ladders[0].input_node] == calibration.vdd
+        assert ics[ring.ladders[1].input_node] == 0.0
+        assert ics["vdd"] == calibration.vdd
+
+    def test_switch_style_has_no_rail_node(self, calibration, node, rc_opt):
+        ring = build_ring_oscillator(calibration, node.line, rc_opt.h_opt,
+                                     rc_opt.k_opt, n_stages=3, segments=3,
+                                     style="switch")
+        ring.circuit.validate()
+        assert "vdd" not in ring.initial_voltages() or not ring.has_rail_node
+        assert not ring.has_rail_node
+
+    def test_rejects_even_or_tiny_stage_counts(self, calibration, node,
+                                               rc_opt):
+        for n in (1, 2, 4):
+            with pytest.raises(ParameterError):
+                build_ring_oscillator(calibration, node.line, rc_opt.h_opt,
+                                      rc_opt.k_opt, n_stages=n)
+
+    def test_rejects_unknown_style(self, calibration, node, rc_opt):
+        with pytest.raises(ParameterError):
+            build_ring_oscillator(calibration, node.line, rc_opt.h_opt,
+                                  rc_opt.k_opt, style="bsim4")
+
+
+class TestBufferedLine:
+    def test_structure(self, calibration, node, rc_opt):
+        chain = build_buffered_line(calibration, node.line, rc_opt.h_opt,
+                                    rc_opt.k_opt, n_stages=3, segments=3)
+        chain.circuit.validate()
+        assert len(chain.ladders) == 3
+        assert "term.inv.MN" in chain.circuit
+
+    def test_rejects_zero_stages(self, calibration, node, rc_opt):
+        with pytest.raises(ParameterError):
+            build_buffered_line(calibration, node.line, rc_opt.h_opt,
+                                rc_opt.k_opt, n_stages=0)

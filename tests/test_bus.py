@@ -1,0 +1,132 @@
+"""Unit tests for the coupled bus bench and its Miller-effect physics."""
+
+import pytest
+
+from repro import NODE_100NM, rc_optimum, units
+from repro.analysis import Waveform
+from repro.circuits import (Circuit, build_bus_bench, initial_bus_voltages,
+                            simulate)
+from repro.errors import ParameterError
+from repro.extraction import sakurai_coupling, wire_from_tech
+
+
+@pytest.fixture(scope="module")
+def bus_config():
+    node = NODE_100NM
+    rc = rc_optimum(node.line, node.driver)
+    wire = wire_from_tech(node.geometry)
+    drv = node.driver.sized(rc.k_opt)
+    return {
+        "node": node,
+        "length": rc.h_opt,
+        "r_driver": drv.r_series,
+        "c_load": drv.c_load,
+        "coupling_c": sakurai_coupling(wire, node.epsilon_r),
+    }
+
+
+def victim_delay(config, patterns, km, l_nh=1.0, segments=8):
+    node = config["node"]
+    line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+    bench = build_bus_bench(
+        line, n_lines=len(patterns), length=config["length"],
+        segments=segments, r_driver=config["r_driver"],
+        c_load=config["c_load"],
+        coupling_capacitance_per_length=config["coupling_c"],
+        patterns=patterns, vdd=node.vdd, inductive_coupling=km)
+    result = simulate(bench.circuit, 2e-9, 2.5e-12,
+                      initial_voltages=initial_bus_voltages(bench))
+    victim_index = len(patterns) // 2
+    waveform = Waveform(result.time,
+                        result.voltage(bench.far_node(victim_index)))
+    return waveform.first_crossing(0.5 * node.vdd)
+
+
+class TestConstruction:
+    def test_element_counts(self, bus_config):
+        node = bus_config["node"]
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        bench = build_bus_bench(
+            line, n_lines=3, length=bus_config["length"], segments=5,
+            r_driver=100.0, c_load=1e-15,
+            coupling_capacitance_per_length=bus_config["coupling_c"],
+            patterns=("low", "up", "low"), vdd=node.vdd,
+            inductive_coupling=0.3)
+        assert bench.n_lines == 3
+        # 2 adjacent pairs x 5 segments of coupling caps.
+        coupling_caps = [e for e in bench.circuit.elements
+                         if e.name.startswith("CC")]
+        assert len(coupling_caps) == 10
+        # Mutuals: adjacent pairs (k=0.3) and the 0-2 pair (k=0.15).
+        mutuals = [e for e in bench.circuit.elements
+                   if e.name.startswith("K")]
+        assert len(mutuals) == 15
+
+    def test_validation(self, bus_config):
+        node = bus_config["node"]
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        with pytest.raises(ParameterError):
+            build_bus_bench(line, n_lines=1, length=0.01, segments=4,
+                            r_driver=100.0, c_load=1e-15,
+                            coupling_capacitance_per_length=1e-12,
+                            patterns=("up",))
+        with pytest.raises(ParameterError):
+            build_bus_bench(line, n_lines=2, length=0.01, segments=4,
+                            r_driver=100.0, c_load=1e-15,
+                            coupling_capacitance_per_length=1e-12,
+                            patterns=("up", "sideways"))
+        with pytest.raises(ParameterError):
+            build_bus_bench(line, n_lines=2, length=0.01, segments=4,
+                            r_driver=100.0, c_load=1e-15,
+                            coupling_capacitance_per_length=1e-12,
+                            patterns=("up",))
+
+    def test_initial_voltages_match_patterns(self, bus_config):
+        node = bus_config["node"]
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        bench = build_bus_bench(
+            line, n_lines=3, length=0.005, segments=3, r_driver=100.0,
+            c_load=1e-15, coupling_capacitance_per_length=1e-12,
+            patterns=("down", "up", "high"), vdd=node.vdd)
+        ics = initial_bus_voltages(bench)
+        assert ics[bench.near_node(0)] == node.vdd      # 'down' starts high
+        assert ics[bench.near_node(1)] == 0.0           # 'up' starts low
+        assert ics[bench.far_node(2)] == node.vdd       # 'high' held high
+
+
+class TestMillerPhysics:
+    def test_capacitive_miller_ordering(self, bus_config):
+        """k = 0: in-phase < quiet < anti-phase (classic Miller)."""
+        quiet = victim_delay(bus_config, ("low", "up", "low"), 0.0)
+        in_phase = victim_delay(bus_config, ("up", "up", "up"), 0.0)
+        anti = victim_delay(bus_config, ("down", "up", "down"), 0.0)
+        assert in_phase < quiet < anti
+
+    def test_inductive_miller_inverts_ordering(self, bus_config):
+        """Strong mutual coupling: in-phase > quiet > anti-phase."""
+        km = 0.5
+        quiet = victim_delay(bus_config, ("low", "up", "low"), km)
+        in_phase = victim_delay(bus_config, ("up", "up", "up"), km)
+        anti = victim_delay(bus_config, ("down", "up", "down"), km)
+        assert in_phase > quiet > anti
+
+    def test_inversion_grows_with_coupling(self, bus_config):
+        """The in-phase/anti-phase split widens with mutual k."""
+        def split(km):
+            in_phase = victim_delay(bus_config, ("up", "up", "up"), km)
+            anti = victim_delay(bus_config, ("down", "up", "down"), km)
+            return in_phase - anti
+
+        assert split(0.5) > split(0.3) > 0.0
+        assert split(0.0) < 0.0
+
+
+class TestBusExperiment:
+    def test_ext_bus_reports_both_regimes(self):
+        from repro.experiments import run_experiment
+        result = run_experiment("ext_bus", segments=8,
+                                inductive_couplings=(0.0, 0.5))
+        by_km = {row[0]: row for row in result.rows}
+        # Columns: km, quiet, in-phase, anti-phase.
+        assert by_km[0.0][2] < by_km[0.0][3]    # capacitive: in < anti
+        assert by_km[0.5][2] > by_km[0.5][3]    # inductive: in > anti

@@ -1,0 +1,99 @@
+"""Property-based tests of the circuit simulator on random networks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, GROUND, Step, simulate
+from repro.circuits.mna import dc_operating_point
+
+# Component-value strategies in sane on-chip ranges.
+resistances = st.floats(min_value=1.0, max_value=1e5)
+capacitances = st.floats(min_value=1e-15, max_value=1e-11)
+inductances = st.floats(min_value=1e-12, max_value=1e-8)
+
+
+def random_rc_ladder(r_values, c_values):
+    circuit = Circuit("random-rc-ladder")
+    circuit.voltage_source("V1", "in", GROUND, Step(level=1.0))
+    previous = "in"
+    for i, (r, c) in enumerate(zip(r_values, c_values)):
+        node = f"n{i}"
+        circuit.resistor(f"R{i}", previous, node, r)
+        circuit.capacitor(f"C{i}", node, GROUND, c)
+        previous = node
+    return circuit, previous
+
+
+class TestRandomRcLadders:
+    @given(r_values=st.lists(resistances, min_size=1, max_size=6),
+           c_values=st.lists(capacitances, min_size=6, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_step_response_monotone_and_bounded(self, r_values, c_values):
+        """Driven RC ladders are passive: 0 <= v <= 1, settling to 1."""
+        c_values = c_values[:len(r_values)]
+        circuit, out = random_rc_ladder(r_values, c_values)
+        tau = sum(r_values) * sum(c_values)
+        result = simulate(circuit, 12.0 * tau, tau / 100.0)
+        v = result.voltage(out)
+        assert np.all(v >= -1e-6)
+        assert np.all(v <= 1.0 + 1e-6)
+        assert v[-1] == pytest.approx(1.0, abs=1e-3)
+
+    @given(r_values=st.lists(resistances, min_size=2, max_size=5),
+           c_values=st.lists(capacitances, min_size=5, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_dc_matches_transient_settling(self, r_values, c_values):
+        """The transient end state equals the DC operating point."""
+        c_values = c_values[:len(r_values)]
+        circuit, out = random_rc_ladder(r_values, c_values)
+        tau = sum(r_values) * sum(c_values)
+        result = simulate(circuit, 15.0 * tau, tau / 80.0)
+        dc = dc_operating_point(circuit, t=100.0 * tau)
+        for node, value in result.final_voltages().items():
+            assert value == pytest.approx(dc[node], abs=2e-3)
+
+    @given(r=resistances, c=capacitances, l=inductances)
+    @settings(max_examples=30, deadline=None)
+    def test_series_rlc_settles_to_source(self, r, c, l):
+        """Any series RLC driven by a step eventually sits at the source
+        voltage with zero current (passivity + correct steady state).
+
+        Extremely high-Q resonators are excluded: a fixed-step run cannot
+        affordably resolve thousands of ring cycles, which is a cost
+        limit, not a correctness one."""
+        from hypothesis import assume
+        zeta = 0.5 * r * np.sqrt(c / l)
+        assume(zeta > 0.05)
+        circuit = Circuit("rlc")
+        circuit.voltage_source("V1", "in", GROUND, Step(level=1.0))
+        circuit.resistor("R1", "in", "a", r)
+        circuit.inductor("L1", "a", "b", l)
+        circuit.capacitor("C1", "b", GROUND, c)
+        # Longest time scale: RC charge or L/R current decay or LC period.
+        period = 2 * np.pi * np.sqrt(l * c)
+        t_slow = max(r * c, l / r, period)
+        # Resolve the oscillation only when it actually rings (zeta < 1);
+        # overdamped cases would otherwise demand ~1e7 steps when the RC
+        # time dwarfs the LC period.
+        dt = min(t_slow / 40.0, period / 20.0) if zeta < 1.0 \
+            else t_slow / 40.0
+        result = simulate(circuit, 60.0 * t_slow, dt)
+        assert result.voltage("b")[-1] == pytest.approx(1.0, abs=5e-3)
+        assert abs(result.branch_current("L1")[-1]) < 1e-4 / r
+
+    @given(r=resistances, c=capacitances)
+    @settings(max_examples=20, deadline=None)
+    def test_charge_conservation_through_source(self, r, c):
+        """Integrated source current equals the delivered charge C*V."""
+        circuit = Circuit("q")
+        circuit.voltage_source("V1", "in", GROUND, Step(level=1.0))
+        circuit.resistor("R1", "in", "out", r)
+        circuit.capacitor("C1", "out", GROUND, c)
+        tau = r * c
+        result = simulate(circuit, 20.0 * tau, tau / 200.0)
+        current = result.branch_current("V1")    # a->b through source
+        delivered = -np.trapezoid(current, result.time) \
+            if hasattr(np, "trapezoid") else -np.trapz(current, result.time)
+        assert delivered == pytest.approx(c * 1.0, rel=2e-2)

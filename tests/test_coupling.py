@@ -1,0 +1,184 @@
+"""Unit tests for mutual inductance, coupled lines and crosstalk."""
+
+import math
+
+import pytest
+
+from repro import LineParams, NODE_100NM, rc_optimum, units
+from repro.analysis import Waveform, measure_crosstalk
+from repro.circuits import (Circuit, GROUND, MutualInductance, MnaStructure,
+                            add_coupled_pair, build_crosstalk_bench, simulate)
+from repro.errors import NetlistError, ParameterError
+
+
+def coupled_tanks(k, v_a=1.0, v_b=1.0, l=1e-9, c=1e-12):
+    circuit = Circuit("coupled-lc")
+    circuit.inductor("L1", "a", GROUND, l)
+    circuit.capacitor("C1", "a", GROUND, c, initial_voltage=v_a)
+    circuit.inductor("L2", "b", GROUND, l)
+    circuit.capacitor("C2", "b", GROUND, c, initial_voltage=v_b)
+    circuit.mutual("K1", "L1", "L2", k)
+    return circuit
+
+
+class TestMutualInductanceElement:
+    def test_mutual_value(self):
+        mutual = MutualInductance(name="K", inductor_a="L1",
+                                  inductor_b="L2", coupling=0.5)
+        assert mutual.mutual_inductance(1e-9, 4e-9) == pytest.approx(1e-9)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"inductor_a": "", "inductor_b": "L2", "coupling": 0.5},
+        {"inductor_a": "L1", "inductor_b": "L1", "coupling": 0.5},
+        {"inductor_a": "L1", "inductor_b": "L2", "coupling": 1.0},
+        {"inductor_a": "L1", "inductor_b": "L2", "coupling": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            MutualInductance(name="K", **kwargs)
+
+    def test_unknown_inductor_rejected_at_compile(self):
+        circuit = Circuit()
+        circuit.inductor("L1", "a", GROUND, 1e-9)
+        circuit.capacitor("C1", "a", GROUND, 1e-12)
+        circuit.mutual("K1", "L1", "L_missing", 0.5)
+        with pytest.raises(NetlistError):
+            MnaStructure(circuit)
+
+    def test_references_no_nodes(self):
+        mutual = MutualInductance(name="K", inductor_a="L1",
+                                  inductor_b="L2", coupling=0.5)
+        assert mutual.nodes == ()
+
+
+class TestCoupledModes:
+    """Coupled identical LC tanks: mode frequencies 1/sqrt(L(1 +- k)C)."""
+
+    @pytest.mark.parametrize("k", [0.2, 0.5, 0.8])
+    def test_even_mode(self, k):
+        l, c = 1e-9, 1e-12
+        period = 2.0 * math.pi * math.sqrt(l * (1.0 + k) * c)
+        circuit = coupled_tanks(k, 1.0, 1.0, l, c)
+        result = simulate(circuit, 8.0 * period, period / 400.0,
+                          initial_voltages={"a": 1.0, "b": 1.0})
+        waveform = Waveform(result.time, result.voltage("a"))
+        assert waveform.oscillation_period(0.0, skip=1) == pytest.approx(
+            period, rel=1e-3)
+
+    @pytest.mark.parametrize("k", [0.2, 0.5])
+    def test_odd_mode(self, k):
+        l, c = 1e-9, 1e-12
+        period = 2.0 * math.pi * math.sqrt(l * (1.0 - k) * c)
+        circuit = coupled_tanks(k, 1.0, -1.0, l, c)
+        result = simulate(circuit, 8.0 * period, period / 400.0,
+                          initial_voltages={"a": 1.0, "b": -1.0})
+        waveform = Waveform(result.time, result.voltage("a"))
+        assert waveform.oscillation_period(0.0, skip=1) == pytest.approx(
+            period, rel=1e-3)
+
+    def test_symmetry_preserved(self):
+        """Symmetric excitation keeps both tanks identical forever."""
+        circuit = coupled_tanks(0.5)
+        period = 2.0 * math.pi * math.sqrt(1e-9 * 1.5 * 1e-12)
+        result = simulate(circuit, 5.0 * period, period / 300.0,
+                          initial_voltages={"a": 1.0, "b": 1.0})
+        assert result.voltage("a") == pytest.approx(result.voltage("b"),
+                                                    abs=1e-9)
+
+    def test_zero_coupling_is_uncoupled(self):
+        """k = 0: each tank rings at its own natural period."""
+        l, c = 1e-9, 1e-12
+        period = 2.0 * math.pi * math.sqrt(l * c)
+        circuit = coupled_tanks(0.0, 1.0, 0.0, l, c)
+        result = simulate(circuit, 8.0 * period, period / 400.0,
+                          initial_voltages={"a": 1.0, "b": 0.0})
+        waveform = Waveform(result.time, result.voltage("a"))
+        assert waveform.oscillation_period(0.0, skip=1) == pytest.approx(
+            period, rel=1e-3)
+        assert Waveform(result.time, result.voltage("b")).peak() < 1e-6
+
+
+LINE = LineParams(r=4400.0, l=1e-6, c=1.2e-10)
+
+
+class TestCoupledPairBuilder:
+    def test_structure(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "ai", GROUND, 1.0)
+        circuit.resistor("RV", "vi", GROUND, 10.0)
+        pair = add_coupled_pair(circuit, "p", aggressor_in="ai",
+                                aggressor_out="ao", victim_in="vi",
+                                victim_out="vo", line=LINE, length=0.01,
+                                segments=5,
+                                coupling_capacitance_per_length=40e-12,
+                                inductive_coupling=0.3)
+        assert len(pair.coupling_capacitors) == 5
+        assert len(pair.mutual_couplings) == 5
+        total_cc = sum(circuit.element(n).capacitance
+                       for n in pair.coupling_capacitors)
+        assert total_cc == pytest.approx(40e-12 * 0.01)
+
+    def test_no_coupling_elements_when_zero(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "ai", GROUND, 1.0)
+        circuit.resistor("RV", "vi", GROUND, 10.0)
+        pair = add_coupled_pair(circuit, "p", aggressor_in="ai",
+                                aggressor_out="ao", victim_in="vi",
+                                victim_out="vo", line=LINE, length=0.01,
+                                segments=4,
+                                coupling_capacitance_per_length=0.0)
+        assert pair.coupling_capacitors == []
+        assert pair.mutual_couplings == []
+
+    def test_inductive_coupling_requires_inductance(self):
+        rc_line = LineParams(r=4400.0, l=0.0, c=1.2e-10)
+        with pytest.raises(ParameterError):
+            add_coupled_pair(Circuit(), "p", aggressor_in="ai",
+                             aggressor_out="ao", victim_in="vi",
+                             victim_out="vo", line=rc_line, length=0.01,
+                             segments=4,
+                             coupling_capacitance_per_length=1e-12,
+                             inductive_coupling=0.3)
+
+
+class TestCrosstalk:
+    def run_bench(self, l_nh, km, cc=50e-12):
+        node = NODE_100NM
+        rc = rc_optimum(node.line, node.driver)
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        drv = node.driver.sized(rc.k_opt)
+        bench = build_crosstalk_bench(
+            line, length=rc.h_opt, segments=10, r_driver=drv.r_series,
+            c_load=drv.c_load, coupling_capacitance_per_length=cc,
+            inductive_coupling=km, v_step=node.vdd)
+        return measure_crosstalk(bench, t_end=1.2e-9, dt=2e-12)
+
+    def test_rc_model_underestimates_noise(self):
+        """Key claim from ref. [6]: ignoring inductance underestimates
+        coupled noise substantially on global wires."""
+        rc_noise = self.run_bench(0.0, 0.0).peak_noise
+        rlc_noise = self.run_bench(1.5, 0.0).peak_noise
+        assert rlc_noise > 2.0 * rc_noise
+
+    def test_no_coupling_no_noise(self):
+        report = self.run_bench(1.5, 0.0, cc=0.0)
+        assert report.worst_noise < 1e-6
+
+    def test_noise_grows_with_coupling_capacitance(self):
+        small = self.run_bench(1.0, 0.0, cc=20e-12).peak_noise
+        large = self.run_bench(1.0, 0.0, cc=80e-12).peak_noise
+        assert large > small
+
+    def test_threatens_logic_threshold(self):
+        report = self.run_bench(1.5, 0.0)
+        assert report.threatens_logic(0.3 * 1.2)
+        assert not report.threatens_logic(10.0)
+        with pytest.raises(ParameterError):
+            report.threatens_logic(0.0)
+
+    def test_report_fields_consistent(self):
+        report = self.run_bench(1.0, 0.2)
+        assert report.worst_noise == max(report.peak_noise,
+                                         report.trough_noise)
+        assert report.victim.time[0] <= report.peak_time \
+            <= report.victim.time[-1]

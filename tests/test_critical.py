@@ -1,0 +1,69 @@
+"""Unit tests for the critical inductance l_crit (paper Eq. 4)."""
+
+import pytest
+
+from repro import (Damping, Stage, classify_damping, compute_moments,
+                   critical_inductance, damping_margin, units)
+
+
+class TestCriticalInductance:
+    def test_setting_l_to_lcrit_gives_zero_discriminant(self, node, rc_opt):
+        stage = Stage(line=node.line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        l_crit = critical_inductance(stage)
+        assert l_crit > 0.0
+        critical_stage = stage.with_inductance(l_crit)
+        moments = compute_moments(critical_stage)
+        assert classify_damping(moments.b1, moments.b2) \
+            is Damping.CRITICALLY_DAMPED
+
+    def test_below_lcrit_overdamped_above_underdamped(self, node, rc_opt):
+        stage = Stage(line=node.line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        l_crit = critical_inductance(stage)
+        below = compute_moments(stage.with_inductance(0.5 * l_crit))
+        above = compute_moments(stage.with_inductance(2.0 * l_crit))
+        assert below.discriminant > 0.0
+        assert above.discriminant < 0.0
+
+    def test_independent_of_stage_inductance(self, node, rc_opt):
+        """l_crit describes the (h, k) geometry, not the stage's own l."""
+        base = Stage(line=node.line, driver=node.driver,
+                     h=rc_opt.h_opt, k=rc_opt.k_opt)
+        modified = base.with_inductance(3.0 * units.NH_PER_MM)
+        assert critical_inductance(base) == pytest.approx(
+            critical_inductance(modified), rel=1e-14)
+
+    def test_smaller_at_100nm_than_250nm(self):
+        """Paper Fig. 4: scaled node goes underdamped at lower l."""
+        from repro import NODE_100NM, NODE_250NM, rc_optimum
+        values = {}
+        for node in (NODE_250NM, NODE_100NM):
+            rc_opt = rc_optimum(node.line, node.driver)
+            stage = Stage(line=node.line, driver=node.driver,
+                          h=rc_opt.h_opt, k=rc_opt.k_opt)
+            values[node.name] = critical_inductance(stage)
+        assert values["100nm"] < values["250nm"]
+
+    def test_decreases_with_driver_strength(self, node, rc_opt):
+        """A stronger driver (lower R_S) provides *less* series damping, so
+        the stage rings at lower inductance: l_crit falls as k grows."""
+        weak = Stage(line=node.line, driver=node.driver,
+                     h=rc_opt.h_opt, k=0.5 * rc_opt.k_opt)
+        strong = Stage(line=node.line, driver=node.driver,
+                       h=rc_opt.h_opt, k=2.0 * rc_opt.k_opt)
+        assert critical_inductance(strong) < critical_inductance(weak)
+
+
+class TestDampingMargin:
+    def test_unity_at_critical(self, node, rc_opt):
+        stage = Stage(line=node.line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        critical_stage = stage.with_inductance(critical_inductance(stage))
+        assert damping_margin(critical_stage) == pytest.approx(1.0, rel=1e-9)
+
+    def test_zero_for_rc_stage(self, stage_rc):
+        assert damping_margin(stage_rc) == 0.0
+
+    def test_above_one_when_underdamped(self, stage_rlc):
+        assert damping_margin(stage_rlc) > 1.0

@@ -1,0 +1,93 @@
+"""Unit tests for interconnect current extraction and densities."""
+
+import numpy as np
+import pytest
+
+from repro import LineParams
+from repro.analysis.currents import (CurrentDensityReport,
+                                     current_density_report, line_current)
+from repro.circuits import Circuit, GROUND, Sine, Step, add_rlc_ladder, simulate
+from repro.errors import ParameterError
+
+LINE = LineParams(r=4400.0, l=1e-6, c=2e-10)
+RC_LINE = LineParams(r=4400.0, l=0.0, c=2e-10)
+
+
+def driven_ladder(line, h=0.005, segments=6, waveform=None):
+    circuit = Circuit("driven-ladder")
+    source = waveform or Step(level=1.0)
+    circuit.voltage_source("V1", "in", GROUND, source)
+    circuit.resistor("RS", "in", "a", 100.0)
+    ladder = add_rlc_ladder(circuit, "w", "a", "b", line, h, segments)
+    circuit.capacitor("CL", "b", GROUND, 1e-14)
+    return circuit, ladder
+
+
+class TestLineCurrent:
+    def test_rlc_uses_inductor_branch_current(self):
+        circuit, ladder = driven_ladder(LINE)
+        result = simulate(circuit, 5e-9, 5e-12)
+        waveform = line_current(result, ladder, 0)
+        direct = result.branch_current("w.L1")
+        assert waveform.values == pytest.approx(direct)
+
+    def test_rc_uses_resistor_current(self):
+        circuit, ladder = driven_ladder(RC_LINE)
+        result = simulate(circuit, 5e-9, 5e-12)
+        waveform = line_current(result, ladder, 0)
+        direct = result.resistor_current("w.R1")
+        assert waveform.values == pytest.approx(direct)
+
+    def test_steady_state_dc_current_zero(self):
+        """After settling into a capacitive load, the line current -> 0."""
+        circuit, ladder = driven_ladder(LINE)
+        result = simulate(circuit, 50e-9, 20e-12)
+        waveform = line_current(result, ladder, 0)
+        assert abs(waveform.values[-1]) < 1e-6
+
+    def test_segment_out_of_range(self):
+        circuit, ladder = driven_ladder(LINE)
+        result = simulate(circuit, 1e-9, 5e-12)
+        with pytest.raises(ParameterError):
+            line_current(result, ladder, 99)
+
+
+class TestDensityReport:
+    def test_sine_steady_state_density(self):
+        """AC steady state: rms = peak/sqrt(2) and densities scale by area."""
+        amplitude, r_total = 1.0, 100.0 + 4400.0 * 0.005
+        circuit, ladder = driven_ladder(
+            RC_LINE, waveform=Sine(offset=0.0, amplitude=amplitude,
+                                   frequency=1e8))
+        # Give the line a resistive termination so a real AC current flows.
+        circuit.resistor("RT", "b", GROUND, 50.0)
+        result = simulate(circuit, 100e-9, 20e-12)
+        area = 5e-12
+        report = current_density_report(result, ladder, area,
+                                        window_start=50e-9)
+        assert report.rms_current == pytest.approx(
+            report.peak_current / np.sqrt(2.0), rel=0.05)
+        assert report.peak_density == pytest.approx(
+            report.peak_current / area)
+        assert report.peak_density_a_per_cm2 == pytest.approx(
+            report.peak_density * 1e-4)
+
+    def test_window_defaults_to_second_half(self):
+        circuit, ladder = driven_ladder(LINE)
+        result = simulate(circuit, 10e-9, 10e-12)
+        report = current_density_report(result, ladder, 5e-12)
+        assert report.window_start == pytest.approx(5e-9, rel=1e-6)
+        assert report.window_end == pytest.approx(10e-9, rel=1e-6)
+
+    def test_rejects_bad_cross_section(self):
+        circuit, ladder = driven_ladder(LINE)
+        result = simulate(circuit, 1e-9, 5e-12)
+        with pytest.raises(ParameterError):
+            current_density_report(result, ladder, 0.0)
+
+    def test_report_is_plain_data(self):
+        report = CurrentDensityReport(peak_current=1e-3, rms_current=5e-4,
+                                      cross_section=5e-12,
+                                      window_start=0.0, window_end=1e-9)
+        assert report.peak_density == pytest.approx(2e8)
+        assert report.rms_density == pytest.approx(1e8)

@@ -1,0 +1,117 @@
+"""Unit tests for the threshold-crossing delay solver (paper Eq. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (Damping, DelaySolverError, ParameterError, StepResponse,
+                   canonical_response, compute_moments, newton_delay,
+                   stage_delay, threshold_delay)
+
+
+class TestThresholdDelay:
+    def test_single_pole_limit_ln2(self):
+        """A heavily overdamped system approaches tau = b1 ln 2 at f = 0.5."""
+        # zeta = 5: poles separated by ~100x; dominant pole at
+        # s1 ~= -wn/(2 zeta), so tau50 ~= ln(2) * 2 zeta / wn.
+        wn = 1e9
+        response = canonical_response(5.0, wn)
+        tau = threshold_delay(response, 0.5).tau
+        s1 = max(response.s1.real, response.s2.real)
+        expected = math.log(2.0) / (-s1)
+        assert tau == pytest.approx(expected, rel=0.02)
+
+    def test_critically_damped_closed_form(self):
+        """(1 + x) e^{-x} = 0.5 at x = 1.67835; tau = x / wn."""
+        wn = 1e9
+        response = canonical_response(1.0, wn)
+        tau = threshold_delay(response, 0.5).tau
+        assert tau * wn == pytest.approx(1.67835, rel=1e-4)
+
+    def test_solution_satisfies_delay_equation(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        for f in (0.1, 0.5, 0.9):
+            tau = threshold_delay(response, f).tau
+            assert response(tau) == pytest.approx(f, abs=1e-9)
+
+    def test_returns_first_crossing_for_underdamped(self, stage_rlc):
+        """No earlier sample may exceed the threshold."""
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        result = threshold_delay(response, 0.9)
+        assert result.damping is Damping.UNDERDAMPED
+        earlier = np.linspace(0.0, result.tau * 0.999, 2000)
+        assert np.all(response(earlier) < 0.9)
+
+    def test_monotonic_in_threshold(self, stage_rc, stage_rlc):
+        for stage in (stage_rc, stage_rlc):
+            taus = [stage_delay(stage, f).tau
+                    for f in (0.1, 0.3, 0.5, 0.7, 0.9)]
+            assert taus == sorted(taus)
+            assert all(t > 0.0 for t in taus)
+
+    def test_zero_threshold_is_zero_delay(self, stage_rc):
+        assert threshold_delay(stage_rc, 0.0).tau == 0.0
+
+    def test_high_threshold_underdamped_before_peak(self, stage_rlc):
+        """f = 0.99 crossing must come before the first response peak."""
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        tau = threshold_delay(response, 0.99).tau
+        assert tau < response.peak_time()
+
+    def test_invalid_threshold_rejected(self, stage_rc):
+        with pytest.raises(ParameterError):
+            threshold_delay(stage_rc, 1.0)
+        with pytest.raises(ParameterError):
+            threshold_delay(stage_rc, -0.1)
+
+    def test_invalid_source_type_rejected(self):
+        with pytest.raises(TypeError):
+            threshold_delay("not a stage", 0.5)
+
+    def test_accepts_stage_moments_and_response(self, stage_rlc):
+        moments = compute_moments(stage_rlc)
+        response = StepResponse.from_moments(moments)
+        tau_stage = threshold_delay(stage_rlc, 0.5).tau
+        tau_moments = threshold_delay(moments, 0.5).tau
+        tau_response = threshold_delay(response, 0.5).tau
+        assert tau_stage == pytest.approx(tau_moments, rel=1e-12)
+        assert tau_stage == pytest.approx(tau_response, rel=1e-12)
+
+    def test_brent_only_matches_polished(self, stage_rlc):
+        polished = threshold_delay(stage_rlc, 0.5, polish_with_newton=True)
+        brent = threshold_delay(stage_rlc, 0.5, polish_with_newton=False)
+        assert brent.tau == pytest.approx(polished.tau, rel=1e-9)
+        assert brent.newton_iterations == 0
+
+
+class TestNewtonDelay:
+    def test_converges_quickly_from_good_guess(self, stage_rc):
+        """The paper reports < 4 Newton iterations; verify from a bracketed
+        starting point the count stays small."""
+        response = StepResponse.from_moments(compute_moments(stage_rc))
+        reference = threshold_delay(response, 0.5,
+                                    polish_with_newton=False).tau
+        tau, iterations = newton_delay(response, 0.5, reference * 1.2)
+        assert tau == pytest.approx(reference, rel=1e-9)
+        assert iterations <= 6
+
+    def test_raises_on_stationary_start(self, stage_rlc):
+        """t = 0 is an exact stationary point of a two-pole response."""
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        with pytest.raises(DelaySolverError):
+            newton_delay(response, 0.5, 0.0)
+
+    def test_iteration_limit_enforced(self, stage_rc):
+        response = StepResponse.from_moments(compute_moments(stage_rc))
+        with pytest.raises(DelaySolverError):
+            newton_delay(response, 0.5, 1e6, max_iterations=2)
+
+
+class TestDelayResult:
+    def test_reports_damping_regime(self, stage_rc, stage_rlc):
+        assert stage_delay(stage_rc).damping is Damping.OVERDAMPED
+        assert stage_delay(stage_rlc).damping is Damping.UNDERDAMPED
+
+    def test_threshold_recorded(self, stage_rc):
+        assert stage_delay(stage_rc, 0.37).threshold == 0.37

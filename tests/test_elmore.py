@@ -1,0 +1,93 @@
+"""Unit tests for the Elmore delay and the closed-form RC optimum."""
+
+import pytest
+
+from repro import (NODE_100NM, NODE_250NM, ParameterError, Stage,
+                   driver_from_rc_optimum, elmore_stage_delay,
+                   elmore_total_delay, rc_optimum, units)
+
+
+class TestTable1Reproduction:
+    """The closed forms must reproduce Table 1's derived columns exactly."""
+
+    @pytest.mark.parametrize("node,h_mm,k,tau_ps", [
+        (NODE_250NM, 14.4, 578, 305.17),
+        (NODE_100NM, 11.1, 528, 105.94),
+    ], ids=["250nm", "100nm"])
+    def test_rc_optimum_matches_paper(self, node, h_mm, k, tau_ps):
+        optimum = rc_optimum(node.line, node.driver)
+        assert units.to_mm(optimum.h_opt) == pytest.approx(h_mm, abs=0.05)
+        assert optimum.k_opt == pytest.approx(k, abs=0.5)
+        assert units.to_ps(optimum.tau_opt) == pytest.approx(tau_ps, abs=0.05)
+
+    def test_tau_opt_independent_of_wiring_level(self, node):
+        """tau_optRC depends only on the driver, not on (r, c)."""
+        other_line = node.line.with_capacitance(2.0 * node.line.c)
+        a = rc_optimum(node.line, node.driver)
+        b = rc_optimum(other_line, node.driver)
+        assert a.tau_opt == pytest.approx(b.tau_opt, rel=1e-14)
+        assert a.h_opt != pytest.approx(b.h_opt)
+
+    def test_delay_per_length(self, node):
+        optimum = rc_optimum(node.line, node.driver)
+        assert optimum.delay_per_length == pytest.approx(
+            optimum.tau_opt / optimum.h_opt)
+
+
+class TestElmoreDelay:
+    def test_stage_delay_at_optimum_equals_tau_opt(self, node, rc_opt):
+        stage = Stage(line=node.line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        assert elmore_stage_delay(stage) == pytest.approx(rc_opt.tau_opt,
+                                                          rel=1e-12)
+
+    def test_optimum_is_a_minimum(self, node, rc_opt):
+        """Perturbing h or k in either direction increases tau/h."""
+        def delay_per_length(h, k):
+            stage = Stage(line=node.line, driver=node.driver, h=h, k=k)
+            return elmore_stage_delay(stage) / h
+
+        best = delay_per_length(rc_opt.h_opt, rc_opt.k_opt)
+        for factor in (0.9, 1.1):
+            assert delay_per_length(rc_opt.h_opt * factor,
+                                    rc_opt.k_opt) > best
+            assert delay_per_length(rc_opt.h_opt,
+                                    rc_opt.k_opt * factor) > best
+
+    def test_total_delay_scales_with_length(self, node, rc_opt):
+        single = elmore_total_delay(node.line, node.driver, 0.01,
+                                    rc_opt.h_opt, rc_opt.k_opt)
+        double = elmore_total_delay(node.line, node.driver, 0.02,
+                                    rc_opt.h_opt, rc_opt.k_opt)
+        assert double == pytest.approx(2.0 * single)
+
+    def test_total_delay_rejects_bad_length(self, node, rc_opt):
+        with pytest.raises(ParameterError):
+            elmore_total_delay(node.line, node.driver, 0.0,
+                               rc_opt.h_opt, rc_opt.k_opt)
+
+
+class TestDriverInversion:
+    """driver_from_rc_optimum inverts the closed forms (the paper's Table 1
+    derivation path)."""
+
+    def test_round_trip(self, node):
+        optimum = rc_optimum(node.line, node.driver)
+        recovered = driver_from_rc_optimum(node.line, optimum.h_opt,
+                                           optimum.k_opt, optimum.tau_opt)
+        assert recovered.r_s == pytest.approx(node.driver.r_s, rel=1e-9)
+        assert recovered.c_p == pytest.approx(node.driver.c_p, rel=1e-9)
+        assert recovered.c_0 == pytest.approx(node.driver.c_0, rel=1e-9)
+
+    def test_rejects_inconsistent_tau(self, node):
+        optimum = rc_optimum(node.line, node.driver)
+        with pytest.raises(ParameterError):
+            driver_from_rc_optimum(node.line, optimum.h_opt, optimum.k_opt,
+                                   0.1 * optimum.tau_opt)
+
+    def test_rejects_tau_implying_negative_parasitic(self, node):
+        optimum = rc_optimum(node.line, node.driver)
+        # tau too large implies c_0/(c_0+c_p) > 1.
+        with pytest.raises(ParameterError):
+            driver_from_rc_optimum(node.line, optimum.h_opt, optimum.k_opt,
+                                   10.0 * optimum.tau_opt)

@@ -1,0 +1,92 @@
+"""Tests for the extension experiments (beyond the paper's artifacts)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestCrosstalkExperiment:
+    def test_rc_underestimates_noise(self):
+        result = run_experiment("ext_crosstalk", segments=8,
+                                l_values=(0.0, 1.0, 2.0))
+        noise = {row[0]: row[1] for row in result.rows}
+        assert noise[2.0] > 3.0 * noise[0.0]
+
+    def test_noise_monotone_in_inductance(self):
+        result = run_experiment("ext_crosstalk", segments=8,
+                                l_values=(0.0, 1.0, 2.0))
+        peaks = [row[1] for row in result.rows]
+        assert peaks == sorted(peaks)
+
+    def test_noise_fraction_of_vdd(self):
+        result = run_experiment("ext_crosstalk", segments=8,
+                                l_values=(1.5,))
+        fraction = result.rows[0][3]
+        assert 0.05 < fraction < 0.6
+
+
+class TestMillerExperiment:
+    def test_optimum_tracks_capacitance(self):
+        result = run_experiment("ext_miller",
+                                miller_factors=(0.0, 1.0, 2.0))
+        c_values = [row[1] for row in result.rows]
+        h_values = [row[2] for row in result.rows]
+        k_values = [row[3] for row in result.rows]
+        assert c_values == sorted(c_values)
+        assert h_values == sorted(h_values, reverse=True)
+        assert k_values == sorted(k_values)
+
+    def test_h_scales_as_inverse_sqrt_c(self):
+        """The c-invariance law: h_opt ~ 1/sqrt(c) at fixed l... up to the
+        l-term's weak deviation."""
+        result = run_experiment("ext_miller", miller_factors=(0.5, 2.0))
+        (_, c1, h1, _, _), (_, c2, h2, _, _) = result.rows
+        assert h1 / h2 == pytest.approx((c2 / c1) ** 0.5, rel=0.12)
+
+
+class TestSkinExperiment:
+    def test_ratios_start_at_one_and_grow(self):
+        result = run_experiment("ext_skin")
+        ratios = [row[2] for row in result.rows]
+        assert ratios[0] == pytest.approx(1.0)
+        assert ratios[-1] > 1.5
+        assert ratios == sorted(ratios)
+
+    def test_onset_recorded(self):
+        result = run_experiment("ext_skin")
+        assert 1e9 < result.data["onset"] < 1e10
+
+
+class TestPowerExperiment:
+    def test_penalty_monotone_in_budget(self):
+        result = run_experiment("ext_power",
+                                budget_fractions=(1.0, 0.85, 0.7))
+        penalties = [row[4] for row in result.rows]
+        assert penalties[0] == pytest.approx(1.0)
+        assert penalties == sorted(penalties)
+
+    def test_power_meets_budget(self):
+        result = run_experiment("ext_power", budget_fractions=(0.8,))
+        full = result.data["full_power"].dynamic_power_per_length
+        assert result.rows[0][1] == pytest.approx(0.8 * full, rel=1e-4)
+
+
+class TestSensitivityExperiment:
+    def test_first_order_conditions_visible(self):
+        result = run_experiment("ext_sensitivity")
+        table = {row[0]: row[1] for row in result.rows}
+        assert table["k"] == pytest.approx(0.0, abs=1e-6)
+        assert table["h"] == pytest.approx(1.0, rel=1e-4)
+
+    def test_c_elasticity_is_half(self):
+        """Consequence of the (c, h, k) invariance at the optimum: the
+        delay-per-length scales as sqrt(c), so tau = h * (tau/h) has
+        c-elasticity exactly 1/2 along the optimal manifold."""
+        result = run_experiment("ext_sensitivity")
+        table = {row[0]: row[1] for row in result.rows}
+        assert table["c"] == pytest.approx(0.5, rel=1e-4)
+
+    def test_inductance_elasticity_positive(self):
+        result = run_experiment("ext_sensitivity", l_nh=2.0)
+        table = {row[0]: row[1] for row in result.rows}
+        assert table["l"] > 0.1

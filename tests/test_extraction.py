@@ -1,0 +1,170 @@
+"""Unit tests for the parasitic-extraction substitutes."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import ExtractionError
+from repro.extraction import (COPPER_RESISTIVITY, Wire, capacitance_range,
+                              inductance_range, loop_inductance_over_plane,
+                              loop_inductance_with_return_wire,
+                              parallel_plate, partial_mutual_inductance,
+                              partial_self_inductance,
+                              partial_self_inductance_per_length,
+                              sakurai_coupling, sakurai_tamaru_ground,
+                              total_capacitance, wire_from_tech)
+from repro.tech import NODE_100NM, NODE_250NM
+
+
+def table1_wire(node=NODE_250NM, length=10e-3):
+    return wire_from_tech(node.geometry, length=length)
+
+
+class TestWireGeometry:
+    def test_derived_quantities(self):
+        wire = Wire(width=2e-6, thickness=2.5e-6, height=14e-6,
+                    spacing=2e-6, length=1e-2)
+        assert wire.aspect_ratio == pytest.approx(1.25)
+        assert wire.cross_section == pytest.approx(5e-12)
+        assert wire.geometric_mean_radius == pytest.approx(0.2235 * 4.5e-6)
+
+    def test_resistance_matches_table1(self):
+        wire = table1_wire()
+        r = wire.resistance_per_length(COPPER_RESISTIVITY)
+        assert units.to_ohm_per_mm(r) == pytest.approx(4.4, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ExtractionError):
+            Wire(width=0.0, thickness=1e-6, height=1e-6)
+        with pytest.raises(ExtractionError):
+            Wire(width=1e-6, thickness=1e-6, height=1e-6, spacing=-1.0)
+        wire = Wire(width=2e-6, thickness=2.5e-6, height=14e-6)
+        with pytest.raises(ExtractionError):
+            wire.resistance_per_length(0.0)
+
+    def test_wire_from_tech_adapts_fields(self):
+        wire = wire_from_tech(NODE_100NM.geometry, length=5e-3)
+        assert wire.width == NODE_100NM.geometry.width
+        assert wire.thickness == NODE_100NM.geometry.height
+        assert wire.height == NODE_100NM.geometry.t_ins
+        assert wire.spacing == NODE_100NM.geometry.spacing
+        assert wire.length == 5e-3
+
+
+class TestCapacitance:
+    def test_parallel_plate_formula(self):
+        wire = Wire(width=2e-6, thickness=2.5e-6, height=10e-6)
+        expected = units.EPSILON_0 * 3.0 * 2e-6 / 10e-6
+        assert parallel_plate(wire, 3.0) == pytest.approx(expected)
+
+    def test_sakurai_exceeds_parallel_plate(self):
+        """Fringing always adds capacitance over the plate term."""
+        wire = table1_wire()
+        eps = 3.3
+        assert sakurai_tamaru_ground(wire, eps) > parallel_plate(wire, eps)
+
+    def test_coupling_zero_for_isolated_wire(self):
+        wire = Wire(width=2e-6, thickness=2.5e-6, height=14e-6,
+                    spacing=math.inf)
+        assert sakurai_coupling(wire, 3.3) == 0.0
+
+    def test_coupling_decreases_with_spacing(self):
+        def coupling(spacing):
+            wire = Wire(width=2e-6, thickness=2.5e-6, height=14e-6,
+                        spacing=spacing)
+            return sakurai_coupling(wire, 3.3)
+
+        assert coupling(1e-6) > coupling(2e-6) > coupling(4e-6)
+
+    @pytest.mark.parametrize("node,expected_pf_per_m", [
+        (NODE_250NM, 203.5), (NODE_100NM, 123.33),
+    ], ids=["250nm", "100nm"])
+    def test_reproduces_table1_within_ten_percent(self, node,
+                                                  expected_pf_per_m):
+        """The FASTCAP substitute lands close to the paper's extracted c."""
+        wire = wire_from_tech(node.geometry)
+        breakdown = total_capacitance(wire, node.epsilon_r)
+        measured = units.to_pf_per_m(breakdown.total)
+        assert measured == pytest.approx(expected_pf_per_m, rel=0.10)
+
+    def test_miller_range_spans_the_quiet_value(self):
+        wire = table1_wire()
+        low, high = capacitance_range(wire, 3.3)
+        quiet = total_capacitance(wire, 3.3).total
+        assert low < quiet < high
+
+    def test_miller_variation_substantial(self):
+        """Paper Sec. 3: effective c can vary by a large factor (up to ~4x
+        for very tight pitches); Table 1 geometry gives > 2x."""
+        wire = table1_wire()
+        low, high = capacitance_range(wire, 3.3)
+        assert high / low > 2.0
+
+    def test_validation(self):
+        wire = table1_wire()
+        with pytest.raises(ExtractionError):
+            total_capacitance(wire, 0.5)
+        with pytest.raises(ExtractionError):
+            total_capacitance(wire, 3.3, neighbours=-1)
+        with pytest.raises(ExtractionError):
+            total_capacitance(wire, 3.3, miller_factor=-0.5)
+        with pytest.raises(ExtractionError):
+            total_capacitance(wire, 3.3, plane_mirror_factor=0.0)
+
+
+class TestInductance:
+    def test_partial_self_grows_logarithmically(self):
+        per_length = [partial_self_inductance_per_length(table1_wire(
+            length=l)) for l in (1e-3, 1e-2, 1e-1)]
+        assert per_length[0] < per_length[1] < per_length[2]
+        # Log growth: increments roughly equal for decade steps.
+        inc1 = per_length[1] - per_length[0]
+        inc2 = per_length[2] - per_length[1]
+        assert inc2 == pytest.approx(inc1, rel=0.15)
+
+    def test_partial_self_positive_and_nh_scale(self):
+        value = partial_self_inductance_per_length(table1_wire())
+        nh_per_mm = units.to_nh_per_mm(value)
+        assert 0.5 < nh_per_mm < 3.0
+
+    def test_mutual_less_than_self(self):
+        wire = table1_wire()
+        self_l = partial_self_inductance(wire)
+        mutual = partial_mutual_inductance(wire.length, 4e-6)
+        assert 0.0 < mutual < self_l
+
+    def test_mutual_decreases_with_pitch(self):
+        length = 10e-3
+        assert partial_mutual_inductance(length, 4e-6) > \
+            partial_mutual_inductance(length, 40e-6)
+
+    def test_loop_over_plane_grows_with_distance(self):
+        wire = table1_wire()
+        near = loop_inductance_over_plane(wire, plane_distance=5e-6)
+        far = loop_inductance_over_plane(wire, plane_distance=50e-6)
+        assert far > near
+
+    def test_loop_with_return_wire_grows_with_pitch(self):
+        wire = table1_wire()
+        assert loop_inductance_with_return_wire(wire, 100e-6) > \
+            loop_inductance_with_return_wire(wire, 10e-6)
+
+    def test_range_below_paper_bound(self):
+        """Best..worst effective l stays under the paper's 5 nH/mm."""
+        best, worst = inductance_range(table1_wire())
+        assert 0.0 < best < worst
+        assert units.to_nh_per_mm(worst) < 5.0
+
+    def test_validation(self):
+        wire = table1_wire()
+        with pytest.raises(ExtractionError):
+            partial_mutual_inductance(-1.0, 1e-6)
+        with pytest.raises(ExtractionError):
+            partial_mutual_inductance(1e-3, 2e-3)   # pitch > length
+        with pytest.raises(ExtractionError):
+            loop_inductance_over_plane(wire, plane_distance=1e-9)
+        short = Wire(width=2e-6, thickness=2.5e-6, height=14e-6,
+                     length=3e-6)
+        with pytest.raises(ExtractionError):
+            partial_self_inductance(short)

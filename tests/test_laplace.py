@@ -1,0 +1,108 @@
+"""Unit tests for the Talbot numerical inverse Laplace transform."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Stage, compute_moments, units
+from repro.analysis.laplace import (inverse_at_times, step_response_exact,
+                                    talbot_inverse)
+from repro.core.response import StepResponse
+from repro.errors import ParameterError
+
+
+class TestKnownTransforms:
+    def test_inverse_of_one_over_s_is_one(self):
+        for t in (1e-12, 1e-9, 1.0):
+            assert talbot_inverse(lambda s: 1.0 / s, t) == pytest.approx(
+                1.0, rel=1e-8)
+
+    def test_inverse_of_one_over_s_squared_is_t(self):
+        for t in (1e-9, 3e-9):
+            assert talbot_inverse(lambda s: 1.0 / (s * s), t) == \
+                pytest.approx(t, rel=1e-8)
+
+    def test_exponential_decay(self):
+        a = 2e9
+        for t in (0.1e-9, 1e-9, 3e-9):
+            value = talbot_inverse(lambda s: 1.0 / (s + a), t)
+            assert value == pytest.approx(math.exp(-a * t), rel=1e-6)
+
+    def test_damped_cosine(self):
+        """L{e^{-at} cos(w t)} = (s + a)/((s + a)^2 + w^2)."""
+        a, w = 5e8, 4e9
+
+        def transform(s):
+            return (s + a) / ((s + a) ** 2 + w ** 2)
+
+        for t in (0.2e-9, 1e-9, 2e-9):
+            expected = math.exp(-a * t) * math.cos(w * t)
+            assert talbot_inverse(transform, t, terms=64) == pytest.approx(
+                expected, abs=1e-4)
+
+    def test_accuracy_improves_with_terms(self):
+        a, w = 5e8, 6e9
+
+        def transform(s):
+            return (s + a) / ((s + a) ** 2 + w ** 2)
+
+        t = 2e-9
+        expected = math.exp(-a * t) * math.cos(w * t)
+        coarse = abs(talbot_inverse(transform, t, terms=12) - expected)
+        fine = abs(talbot_inverse(transform, t, terms=64) - expected)
+        assert fine < coarse
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            talbot_inverse(lambda s: 1.0 / s, 0.0)
+        with pytest.raises(ParameterError):
+            talbot_inverse(lambda s: 1.0 / s, 1e-9, terms=2)
+
+    def test_vector_wrapper(self):
+        times = [1e-10, 2e-10, 4e-10]
+        values = inverse_at_times(lambda s: 1.0 / s, times)
+        assert values == pytest.approx(np.ones(3), rel=1e-8)
+
+
+class TestStepResponses:
+    def test_two_pole_transform_matches_analytic_response(self, stage_rlc):
+        """Inverting the Padé H(s)/s must reproduce the closed-form
+        two-pole step response — validates Talbot on the exact use case."""
+        moments = compute_moments(stage_rlc)
+        response = StepResponse.from_moments(moments)
+
+        def transform(s):
+            return 1.0 / (s * (1.0 + s * moments.b1 + s * s * moments.b2))
+
+        t_scale = math.sqrt(moments.b2)
+        for factor in (0.3, 1.0, 3.0, 10.0):
+            t = factor * t_scale
+            assert talbot_inverse(transform, t, terms=48) == pytest.approx(
+                response(t), abs=1e-6)
+
+    def test_exact_step_response_reasonable(self, node, rc_opt):
+        """Exact response: starts near 0, settles to 1, stays bounded."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        stage = Stage(line=line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        moments = compute_moments(stage)
+        t = np.linspace(0.0, 20.0 * moments.b1, 60)
+        v = step_response_exact(stage, t)
+        assert v[0] == 0.0
+        assert v[-1] == pytest.approx(1.0, abs=1e-2)
+        assert np.max(np.abs(v)) < 2.5
+
+    def test_exact_vs_pade_delay_gap_is_small(self, node, rc_opt):
+        """The two-pole 50% delay is within ~15% of the exact response
+        (the model error the paper accepts)."""
+        from repro import threshold_delay
+        from repro.analysis import Waveform
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        stage = Stage(line=line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        tau_pade = threshold_delay(stage).tau
+        t = np.linspace(1e-13, 5.0 * tau_pade, 400)
+        exact = Waveform(t, step_response_exact(stage, t))
+        tau_exact = exact.first_crossing(0.5)
+        assert tau_pade == pytest.approx(tau_exact, rel=0.15)

@@ -1,0 +1,117 @@
+"""Unit tests for the transmission-line theory helpers."""
+
+import math
+
+import pytest
+
+from repro import LineParams, units
+from repro.core.line_theory import (attenuation, characteristic_impedance,
+                                    classify_regime, critical_length_window,
+                                    lc_transition_frequency, phase_velocity,
+                                    propagation_constant)
+from repro.errors import ParameterError
+
+LOSSY = LineParams(r=4400.0, l=1e-6, c=1.2e-10)
+NEAR_LOSSLESS = LineParams(r=1e-3, l=1e-6, c=1e-10)
+
+
+class TestFrequencyDomainQuantities:
+    def test_z0_high_frequency_limit(self):
+        """Z0 -> sqrt(l/c) far above omega_LC."""
+        omega = 100.0 * lc_transition_frequency(LOSSY)
+        z0 = characteristic_impedance(LOSSY, omega)
+        assert abs(z0) == pytest.approx(
+            LOSSY.characteristic_impedance_lossless, rel=0.01)
+        assert abs(z0.imag) < 0.05 * abs(z0.real)
+
+    def test_z0_low_frequency_rc_limit(self):
+        """Z0 -> sqrt(r/(j omega c)) with 45-degree phase below omega_LC."""
+        omega = 0.001 * lc_transition_frequency(LOSSY)
+        z0 = characteristic_impedance(LOSSY, omega)
+        expected_mag = math.sqrt(LOSSY.r / (omega * LOSSY.c))
+        assert abs(z0) == pytest.approx(expected_mag, rel=0.01)
+        assert math.degrees(math.atan2(-z0.imag, z0.real)) == pytest.approx(
+            45.0, abs=2.0)
+
+    def test_phase_velocity_approaches_lc_speed(self):
+        omega = 100.0 * lc_transition_frequency(LOSSY)
+        v = phase_velocity(LOSSY, omega)
+        assert v == pytest.approx(1.0 / math.sqrt(LOSSY.l * LOSSY.c),
+                                  rel=0.01)
+
+    def test_attenuation_matches_lossy_asymptote(self):
+        """High-f attenuation alpha -> r/(2 Z0)."""
+        omega = 300.0 * lc_transition_frequency(LOSSY)
+        alpha = attenuation(LOSSY, omega)
+        expected = LOSSY.r / (2.0 * LOSSY.characteristic_impedance_lossless)
+        assert alpha == pytest.approx(expected, rel=0.01)
+
+    def test_propagation_constant_components_nonnegative(self):
+        gamma = propagation_constant(LOSSY, 1e10)
+        assert gamma.real > 0.0
+        assert gamma.imag > 0.0
+
+    def test_lc_transition_frequency(self):
+        assert lc_transition_frequency(LOSSY) == pytest.approx(4.4e9)
+        rc_line = LineParams(r=4400.0, l=0.0, c=1.2e-10)
+        assert math.isinf(lc_transition_frequency(rc_line))
+
+    def test_omega_validation(self):
+        with pytest.raises(ParameterError):
+            characteristic_impedance(LOSSY, 0.0)
+        with pytest.raises(ParameterError):
+            propagation_constant(LOSSY, -1.0)
+
+
+class TestRegimeClassification:
+    def test_short_line_is_rc(self):
+        """A very short line never resolves the flight time."""
+        regime = classify_regime(LOSSY, 1e-4, rise_time=50e-12)
+        assert not regime.flight_criterion
+        assert not regime.transmission_line_effects
+
+    def test_long_line_attenuated(self):
+        """A very long line dies resistively before reflecting."""
+        regime = classify_regime(LOSSY, 0.1, rise_time=50e-12)
+        assert regime.flight_criterion
+        assert not regime.attenuation_criterion
+        assert not regime.transmission_line_effects
+
+    def test_window_interior_shows_tl_effects(self):
+        h_min, h_max = critical_length_window(LOSSY, 50e-12)
+        assert 0.0 < h_min < h_max
+        middle = math.sqrt(h_min * h_max)
+        regime = classify_regime(LOSSY, middle, rise_time=50e-12)
+        assert regime.transmission_line_effects
+
+    def test_window_boundaries_consistent(self):
+        rise = 50e-12
+        h_min, h_max = critical_length_window(LOSSY, rise)
+        assert h_min == pytest.approx(
+            0.5 * rise / LOSSY.time_of_flight_per_length)
+        assert h_max == pytest.approx(
+            2.0 * LOSSY.characteristic_impedance_lossless / LOSSY.r)
+
+    def test_table1_stage_sits_inside_the_window(self):
+        """The paper's operating point: an RC-optimal 100 nm segment with
+        l ~ 1 nH/mm falls inside the transmission-line window for
+        realistic edge rates — which is why Figs. 9-10 show reflections."""
+        from repro import NODE_100NM, rc_optimum
+        node = NODE_100NM
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        rc = rc_optimum(node.line, node.driver)
+        regime = classify_regime(line, rc.h_opt, rise_time=30e-12)
+        assert regime.transmission_line_effects
+
+    def test_rc_line_has_no_window(self):
+        rc_line = LineParams(r=4400.0, l=0.0, c=1.2e-10)
+        regime = classify_regime(rc_line, 0.01, rise_time=50e-12)
+        assert not regime.transmission_line_effects
+        h_min, h_max = critical_length_window(rc_line, 50e-12)
+        assert math.isinf(h_min)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            classify_regime(LOSSY, 0.0, rise_time=1e-12)
+        with pytest.raises(ParameterError):
+            classify_regime(LOSSY, 0.01, rise_time=0.0)

@@ -1,0 +1,133 @@
+"""Unit tests for the Padé moments b1, b2 and their analytic derivatives."""
+
+import pytest
+
+from repro import Stage, compute_moments, units
+from repro.core.moments import moments_from_lumped
+
+
+def finite_difference(func, x, eps):
+    return (func(x + eps) - func(x - eps)) / (2.0 * eps)
+
+
+class TestMomentValues:
+    def test_b1_equals_elmore_delay(self, stage_rlc):
+        from repro import elmore_stage_delay
+        moments = compute_moments(stage_rlc)
+        assert moments.b1 == pytest.approx(elmore_stage_delay(stage_rlc),
+                                           rel=1e-12)
+
+    def test_b1_independent_of_inductance(self, stage_rc):
+        base = compute_moments(stage_rc)
+        with_l = compute_moments(stage_rc.with_inductance(3e-6))
+        assert with_l.b1 == pytest.approx(base.b1, rel=1e-14)
+
+    def test_b2_affine_in_inductance(self, stage_rc):
+        """b2(l) = b2(0) + l * (c h^2/2 + C_L h)."""
+        b2_0 = compute_moments(stage_rc).b2
+        l = 2.0e-6
+        b2_l = compute_moments(stage_rc.with_inductance(l)).b2
+        c_load = stage_rc.sized_driver.c_load
+        slope = 0.5 * stage_rc.line.c * stage_rc.h ** 2 + c_load * stage_rc.h
+        assert b2_l - b2_0 == pytest.approx(l * slope, rel=1e-10)
+
+    def test_moments_positive(self, stage_rc, stage_rlc):
+        for stage in (stage_rc, stage_rlc):
+            moments = compute_moments(stage)
+            assert moments.b1 > 0.0
+            assert moments.b2 > 0.0
+
+    def test_discriminant_sign_flips_with_inductance(self, node, rc_opt):
+        """RC stage is overdamped; enough inductance makes it underdamped."""
+        stage = Stage(line=node.line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        assert compute_moments(stage).discriminant > 0.0
+        heavy = stage.with_inductance(5.0 * units.NH_PER_MM)
+        assert compute_moments(heavy).discriminant < 0.0
+
+    def test_matches_hand_computed_reference(self):
+        """Spot check against a fully hand-evaluated configuration."""
+        from repro import DriverParams, LineParams
+        line = LineParams(r=1000.0, l=1e-6, c=1e-10)
+        driver = DriverParams(r_s=1000.0, c_p=2e-15, c_0=1e-15)
+        stage = Stage(line=line, driver=driver, h=0.001, k=10.0)
+        # R_S = 100, C_P = 2e-14, C_L = 1e-14, rh = 1, ch = 1e-13, lh = 1e-9
+        # b1 = 100*3e-14 + 1e-13*1/2 + 100*1e-13 + 1e-14*1
+        b1_expected = 3e-12 + 5e-14 + 1e-11 + 1e-14
+        moments = compute_moments(stage)
+        assert moments.b1 == pytest.approx(b1_expected, rel=1e-12)
+        # b2 term by term with r c h^2 = 1e-13:
+        rch2 = 1000.0 * 1e-10 * 0.001 ** 2
+        b2_expected = (1e-6 * 1e-10 * 0.001 ** 2 / 2.0        # l c h^2 / 2
+                       + rch2 ** 2 / 24.0                     # (r c h^2)^2/24
+                       + 100.0 * 3e-14 * rch2 / 2.0           # R_S(C_P+C_L)...
+                       + (100.0 * 1e-13 + 1e-14 * 1.0) * rch2 / 6.0
+                       + 1e-14 * 1e-6 * 0.001                 # C_L l h
+                       + 100.0 * 2e-14 * 1e-14 * 1.0)         # R_S C_P C_L r h
+        assert moments.b2 == pytest.approx(b2_expected, rel=1e-12)
+
+
+class TestMomentDerivatives:
+    @pytest.mark.parametrize("l_nh", [0.0, 0.5, 2.0])
+    def test_db_dh_matches_finite_difference(self, node, rc_opt, l_nh):
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        h0, k0 = rc_opt.h_opt, rc_opt.k_opt
+        moments = compute_moments(Stage(line=line, driver=node.driver,
+                                        h=h0, k=k0))
+        eps = 1e-6 * h0
+
+        def b1_of_h(h):
+            return compute_moments(Stage(line=line, driver=node.driver,
+                                         h=h, k=k0)).b1
+
+        def b2_of_h(h):
+            return compute_moments(Stage(line=line, driver=node.driver,
+                                         h=h, k=k0)).b2
+
+        assert moments.db1_dh == pytest.approx(
+            finite_difference(b1_of_h, h0, eps), rel=1e-6)
+        assert moments.db2_dh == pytest.approx(
+            finite_difference(b2_of_h, h0, eps), rel=1e-6)
+
+    @pytest.mark.parametrize("l_nh", [0.0, 0.5, 2.0])
+    def test_db_dk_matches_finite_difference(self, node, rc_opt, l_nh):
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        h0, k0 = rc_opt.h_opt, rc_opt.k_opt
+        moments = compute_moments(Stage(line=line, driver=node.driver,
+                                        h=h0, k=k0))
+        eps = 1e-4 * k0
+
+        def b1_of_k(k):
+            return compute_moments(Stage(line=line, driver=node.driver,
+                                         h=h0, k=k)).b1
+
+        def b2_of_k(k):
+            return compute_moments(Stage(line=line, driver=node.driver,
+                                         h=h0, k=k)).b2
+
+        assert moments.db1_dk == pytest.approx(
+            finite_difference(b1_of_k, k0, eps), rel=1e-6)
+        assert moments.db2_dk == pytest.approx(
+            finite_difference(b2_of_k, k0, eps), rel=1e-6)
+
+
+class TestMomentsFromLumped:
+    def test_agrees_with_stage_form(self, stage_rlc):
+        drv = stage_rlc.sized_driver
+        b1, b2 = moments_from_lumped(
+            r_series=drv.r_series, c_parasitic=drv.c_parasitic,
+            c_load=drv.c_load, r=stage_rlc.line.r, l=stage_rlc.line.l,
+            c=stage_rlc.line.c, h=stage_rlc.h)
+        moments = compute_moments(stage_rlc)
+        assert b1 == pytest.approx(moments.b1, rel=1e-14)
+        assert b2 == pytest.approx(moments.b2, rel=1e-14)
+
+    def test_supports_asymmetric_load(self):
+        """Lumped form allows C_L decoupled from the sizing law."""
+        b1_small, _ = moments_from_lumped(r_series=100.0, c_parasitic=1e-14,
+                                          c_load=1e-15, r=4400.0, l=0.0,
+                                          c=2e-10, h=0.01)
+        b1_large, _ = moments_from_lumped(r_series=100.0, c_parasitic=1e-14,
+                                          c_load=1e-13, r=4400.0, l=0.0,
+                                          c=2e-10, h=0.01)
+        assert b1_large > b1_small

@@ -1,0 +1,113 @@
+"""Unit tests for the circuit netlist container."""
+
+import pytest
+
+from repro.circuits import (Capacitor, Circuit, GROUND, Inductor, Mosfet,
+                            Resistor, VoltageSource)
+from repro.circuits.waveforms import DC
+from repro.errors import NetlistError, ParameterError
+
+
+class TestElementConstruction:
+    def test_resistor_requires_positive_value(self):
+        with pytest.raises(ParameterError):
+            Resistor(name="R1", a="1", b="0", resistance=0.0)
+
+    def test_capacitor_requires_positive_value(self):
+        with pytest.raises(ParameterError):
+            Capacitor(name="C1", a="1", b="0", capacitance=-1e-12)
+
+    def test_inductor_requires_positive_value(self):
+        with pytest.raises(ParameterError):
+            Inductor(name="L1", a="1", b="0", inductance=0.0)
+
+    def test_voltage_source_requires_waveform(self):
+        with pytest.raises(ParameterError):
+            VoltageSource(name="V1", a="1", b="0")
+
+    def test_branch_counts(self):
+        assert Resistor(name="R", a="1", b="0",
+                        resistance=1.0).branch_count == 0
+        assert Inductor(name="L", a="1", b="0",
+                        inductance=1e-9).branch_count == 1
+        assert VoltageSource(name="V", a="1", b="0",
+                             waveform=DC(1.0)).branch_count == 1
+
+
+class TestCircuit:
+    def test_add_and_lookup(self):
+        circuit = Circuit("test")
+        circuit.resistor("R1", "a", "b", 100.0)
+        assert "R1" in circuit
+        assert circuit.element("R1").resistance == 100.0
+        assert len(circuit) == 1
+
+    def test_duplicate_name_rejected(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "b", 100.0)
+        with pytest.raises(NetlistError):
+            circuit.resistor("R1", "b", "c", 200.0)
+
+    def test_unknown_element_lookup(self):
+        with pytest.raises(NetlistError):
+            Circuit().element("nope")
+
+    def test_nodes_exclude_ground(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", GROUND, 100.0)
+        circuit.resistor("R2", "a", "b", 100.0)
+        assert circuit.nodes == ["a", "b"]
+
+    def test_float_becomes_dc_source(self):
+        circuit = Circuit()
+        source = circuit.voltage_source("V1", "a", GROUND, 3.3)
+        assert source.waveform(123.0) == 3.3
+        circuit.resistor("R1", "a", GROUND, 1.0)  # keep netlist valid
+
+    def test_elements_of_type(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", GROUND, 1.0)
+        circuit.capacitor("C1", "a", GROUND, 1e-12)
+        circuit.resistor("R2", "a", GROUND, 2.0)
+        resistors = circuit.elements_of_type(Resistor)
+        assert [r.name for r in resistors] == ["R1", "R2"]
+
+    def test_mosfet_counts_as_nonlinear(self):
+        from repro.circuits import NonlinearDevice
+        circuit = Circuit()
+        circuit.add(Mosfet(name="M1", drain="d", gate="g", source=GROUND,
+                           polarity=1, vth=0.3, beta=1e-4))
+        assert len(circuit.elements_of_type(NonlinearDevice)) == 1
+
+    def test_validate_flags_dangling_node(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "b", 100.0)
+        circuit.resistor("R2", "a", GROUND, 100.0)
+        with pytest.raises(NetlistError, match="dangling"):
+            circuit.validate()
+
+    def test_validate_accepts_closed_circuit(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "a", GROUND, 1.0)
+        circuit.resistor("R1", "a", "b", 100.0)
+        circuit.capacitor("C1", "b", GROUND, 1e-12)
+        circuit.validate()
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(NetlistError):
+            Circuit().validate()
+
+    def test_empty_node_name_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(NetlistError):
+            circuit.resistor("R1", "", "b", 100.0)
+
+    def test_summary_counts(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "a", GROUND, 1.0)
+        circuit.resistor("R1", "a", "b", 100.0)
+        circuit.inductor("L1", "b", "c", 1e-9)
+        circuit.capacitor("C1", "c", GROUND, 1e-12)
+        summary = circuit.summary()
+        assert "1R" in summary and "1C" in summary and "1L" in summary
+        assert "1V" in summary

@@ -1,0 +1,132 @@
+"""Unit tests for the repeater-insertion optimizer (paper Eqs. 7-8)."""
+
+import pytest
+
+from repro import (OptimizationError, OptimizerMethod, ParameterError,
+                   optimize_repeater, rc_optimum, stage_delay_per_length,
+                   units)
+from repro.core.optimize import stationarity_residuals
+
+
+class TestStationarityResiduals:
+    @pytest.mark.parametrize("l_nh", [0.0, 1.0, 3.0])
+    def test_vanish_at_direct_optimum(self, node, l_nh):
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        optimum = optimize_repeater(line, node.driver,
+                                    method=OptimizerMethod.DIRECT)
+        g1, g2, tau = stationarity_residuals(line, node.driver,
+                                             optimum.h_opt, optimum.k_opt,
+                                             0.5)
+        assert abs(g1) < 1e-5
+        assert abs(g2) < 1e-5
+        assert tau == pytest.approx(optimum.tau, rel=1e-6)
+
+    def test_nonzero_away_from_optimum(self, node):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        optimum = optimize_repeater(line, node.driver)
+        g1, g2, _ = stationarity_residuals(line, node.driver,
+                                           optimum.h_opt * 1.2,
+                                           optimum.k_opt * 1.2, 0.5)
+        assert abs(g1) > 1e-4 or abs(g2) > 1e-4
+
+
+class TestNewtonOptimizer:
+    @pytest.mark.parametrize("l_nh", [0.0, 0.5, 2.0, 5.0])
+    def test_agrees_with_direct(self, node, l_nh):
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        newton = optimize_repeater(line, node.driver,
+                                   method=OptimizerMethod.NEWTON)
+        direct = optimize_repeater(line, node.driver,
+                                   method=OptimizerMethod.DIRECT)
+        assert newton.h_opt == pytest.approx(direct.h_opt, rel=1e-4)
+        assert newton.k_opt == pytest.approx(direct.k_opt, rel=1e-4)
+        assert newton.delay_per_length == pytest.approx(
+            direct.delay_per_length, rel=1e-6)
+
+    def test_converges_in_few_iterations(self, node):
+        """Paper: < 6 Newton iterations; allow a small margin from the
+        cold RC start."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        result = optimize_repeater(line, node.driver,
+                                   method=OptimizerMethod.NEWTON)
+        assert result.method is OptimizerMethod.NEWTON
+        assert result.iterations <= 8
+
+    def test_warm_start_reduces_iterations(self, node):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        cold = optimize_repeater(line, node.driver,
+                                 method=OptimizerMethod.NEWTON)
+        warm = optimize_repeater(line, node.driver,
+                                 method=OptimizerMethod.NEWTON,
+                                 initial=(cold.h_opt, cold.k_opt))
+        assert warm.iterations <= cold.iterations
+
+
+class TestOptimumProperties:
+    def test_is_a_local_minimum(self, node):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        optimum = optimize_repeater(line, node.driver)
+        best = optimum.delay_per_length
+        for dh, dk in ((1.03, 1.0), (0.97, 1.0), (1.0, 1.03), (1.0, 0.97)):
+            perturbed = stage_delay_per_length(line, node.driver,
+                                               optimum.h_opt * dh,
+                                               optimum.k_opt * dk, 0.5)
+            assert perturbed >= best * (1.0 - 1e-9)
+
+    def test_zero_inductance_shrinks_h_below_rc(self, node):
+        """Paper Fig. 5: h_optRLC < h_optRC at l = 0 (Pade vs Elmore)."""
+        optimum = optimize_repeater(node.line, node.driver)
+        reference = rc_optimum(node.line, node.driver)
+        assert 0.9 < optimum.h_opt / reference.h_opt < 1.0
+        assert 0.8 < optimum.k_opt / reference.k_opt < 1.0
+
+    def test_h_grows_k_shrinks_with_inductance(self, node):
+        """Paper Figs. 5-6 monotonic trends."""
+        previous_h, previous_k = None, None
+        for l_nh in (0.5, 1.5, 3.0, 5.0):
+            line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+            optimum = optimize_repeater(line, node.driver)
+            if previous_h is not None:
+                assert optimum.h_opt > previous_h
+                assert optimum.k_opt < previous_k
+            previous_h, previous_k = optimum.h_opt, optimum.k_opt
+
+    def test_works_for_other_thresholds(self, node):
+        """The paper's method is valid for any f, unlike the baselines."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        for f in (0.3, 0.5, 0.7, 0.9):
+            optimum = optimize_repeater(line, node.driver, f)
+            assert optimum.h_opt > 0.0
+            assert optimum.k_opt > 0.0
+        tau_90 = optimize_repeater(line, node.driver, 0.9).tau
+        tau_50 = optimize_repeater(line, node.driver, 0.5).tau
+        assert tau_90 > tau_50
+
+    def test_delay_per_length_grows_with_inductance(self, node):
+        """Paper Fig. 7: the optimized objective degrades with l."""
+        values = []
+        for l_nh in (0.0, 1.0, 3.0, 5.0):
+            line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+            values.append(optimize_repeater(line, node.driver)
+                          .delay_per_length)
+        assert values == sorted(values)
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self, node):
+        with pytest.raises(ParameterError):
+            optimize_repeater(node.line, node.driver, 0.0)
+        with pytest.raises(ParameterError):
+            optimize_repeater(node.line, node.driver, 1.0)
+
+    def test_rejects_bad_initial(self, node):
+        with pytest.raises(ParameterError):
+            optimize_repeater(node.line, node.driver, initial=(-1.0, 100.0))
+
+    def test_newton_failure_reported(self, node):
+        """A hopeless iteration budget raises OptimizationError."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        with pytest.raises(OptimizationError):
+            optimize_repeater(line, node.driver,
+                              method=OptimizerMethod.NEWTON,
+                              initial=(node.line.c, 1e6), max_iterations=2)

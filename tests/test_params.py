@@ -1,0 +1,129 @@
+"""Unit tests for the stage parameter containers."""
+
+import math
+
+import pytest
+
+from repro import DriverParams, LineParams, ParameterError, Stage
+
+
+class TestLineParams:
+    def test_valid_construction(self):
+        line = LineParams(r=4400.0, l=1e-6, c=2e-10)
+        assert line.r == 4400.0
+        assert line.l == 1e-6
+        assert line.c == 2e-10
+
+    def test_zero_inductance_allowed(self):
+        line = LineParams(r=4400.0, l=0.0, c=2e-10)
+        assert line.l == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"r": 0.0, "l": 1e-6, "c": 2e-10},
+        {"r": -1.0, "l": 1e-6, "c": 2e-10},
+        {"r": 4400.0, "l": -1e-9, "c": 2e-10},
+        {"r": 4400.0, "l": 1e-6, "c": 0.0},
+        {"r": 4400.0, "l": 1e-6, "c": -1e-12},
+    ])
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            LineParams(**kwargs)
+
+    def test_with_inductance_replaces_only_l(self):
+        line = LineParams(r=4400.0, l=0.0, c=2e-10)
+        updated = line.with_inductance(2e-6)
+        assert updated.l == 2e-6
+        assert updated.r == line.r
+        assert updated.c == line.c
+        assert line.l == 0.0  # original untouched (frozen)
+
+    def test_with_capacitance_replaces_only_c(self):
+        line = LineParams(r=4400.0, l=1e-6, c=2e-10)
+        updated = line.with_capacitance(3e-10)
+        assert updated.c == 3e-10
+        assert updated.r == line.r
+        assert updated.l == line.l
+
+    def test_characteristic_impedance(self):
+        line = LineParams(r=4400.0, l=1e-6, c=1e-10)
+        assert line.characteristic_impedance_lossless == pytest.approx(100.0)
+
+    def test_time_of_flight(self):
+        line = LineParams(r=4400.0, l=1e-6, c=1e-10)
+        assert line.time_of_flight_per_length == pytest.approx(1e-8)
+
+    def test_damping_factor_infinite_for_rc_line(self):
+        line = LineParams(r=4400.0, l=0.0, c=1e-10)
+        assert math.isinf(line.damping_factor(0.01))
+
+    def test_damping_factor_formula(self):
+        line = LineParams(r=4400.0, l=1e-6, c=1e-10)
+        h = 0.01
+        expected = 0.5 * 4400.0 * h * math.sqrt(1e-10 / 1e-6)
+        assert line.damping_factor(h) == pytest.approx(expected)
+
+
+class TestDriverParams:
+    def test_sizing_law(self):
+        driver = DriverParams(r_s=10e3, c_p=5e-15, c_0=2e-15)
+        sized = driver.sized(100.0)
+        assert sized.r_series == pytest.approx(100.0)
+        assert sized.c_parasitic == pytest.approx(5e-13)
+        assert sized.c_load == pytest.approx(2e-13)
+
+    def test_sizing_requires_positive_k(self):
+        driver = DriverParams(r_s=10e3, c_p=5e-15, c_0=2e-15)
+        with pytest.raises(ParameterError):
+            driver.sized(0.0)
+        with pytest.raises(ParameterError):
+            driver.sized(-2.0)
+
+    def test_intrinsic_delay(self):
+        driver = DriverParams(r_s=10e3, c_p=5e-15, c_0=2e-15)
+        assert driver.intrinsic_delay == pytest.approx(10e3 * 7e-15)
+
+    def test_zero_parasitic_allowed(self):
+        driver = DriverParams(r_s=10e3, c_p=0.0, c_0=2e-15)
+        assert driver.c_p == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"r_s": 0.0, "c_p": 5e-15, "c_0": 2e-15},
+        {"r_s": 10e3, "c_p": -1e-15, "c_0": 2e-15},
+        {"r_s": 10e3, "c_p": 5e-15, "c_0": 0.0},
+    ])
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            DriverParams(**kwargs)
+
+
+class TestStage:
+    def test_totals(self, generic_line, generic_driver):
+        stage = Stage(line=generic_line, driver=generic_driver, h=0.01, k=200)
+        assert stage.total_line_resistance == pytest.approx(40.0)
+        assert stage.total_line_inductance == pytest.approx(0.5e-8)
+        assert stage.total_line_capacitance == pytest.approx(1.5e-12)
+
+    def test_sized_driver_consistent_with_driver(self, generic_line,
+                                                 generic_driver):
+        stage = Stage(line=generic_line, driver=generic_driver, h=0.01, k=50)
+        assert stage.sized_driver == generic_driver.sized(50)
+
+    def test_with_geometry(self, generic_line, generic_driver):
+        stage = Stage(line=generic_line, driver=generic_driver, h=0.01, k=200)
+        moved = stage.with_geometry(0.02, 100)
+        assert moved.h == 0.02
+        assert moved.k == 100
+        assert moved.line is stage.line
+
+    def test_with_inductance(self, generic_line, generic_driver):
+        stage = Stage(line=generic_line, driver=generic_driver, h=0.01, k=200)
+        updated = stage.with_inductance(2e-6)
+        assert updated.line.l == 2e-6
+        assert updated.h == stage.h
+
+    @pytest.mark.parametrize("h,k", [(0.0, 100), (-0.01, 100),
+                                     (0.01, 0.0), (0.01, -5)])
+    def test_invalid_geometry_rejected(self, generic_line, generic_driver,
+                                       h, k):
+        with pytest.raises(ParameterError):
+            Stage(line=generic_line, driver=generic_driver, h=h, k=k)

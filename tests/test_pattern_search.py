@@ -1,0 +1,61 @@
+"""Tests for the exhaustive bus pattern search."""
+
+import pytest
+
+from repro import NODE_100NM, rc_optimum, units
+from repro.circuits.bus import worst_case_pattern
+from repro.errors import ParameterError
+from repro.extraction import sakurai_coupling, wire_from_tech
+
+
+@pytest.fixture(scope="module")
+def search_results():
+    node = NODE_100NM
+    rc = rc_optimum(node.line, node.driver)
+    wire = wire_from_tech(node.geometry)
+    drv = node.driver.sized(rc.k_opt)
+    coupling_c = sakurai_coupling(wire, node.epsilon_r)
+
+    def run(km, l_nh):
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        return worst_case_pattern(
+            line, n_lines=3, length=rc.h_opt, segments=8,
+            r_driver=drv.r_series, c_load=drv.c_load,
+            coupling_capacitance_per_length=coupling_c, vdd=node.vdd,
+            inductive_coupling=km, t_end=2e-9, dt=2.5e-12,
+            neighbour_patterns=("up", "down", "low"))
+
+    return {"capacitive": run(0.0, 1.0), "inductive": run(0.5, 1.0)}
+
+
+class TestPatternSearch:
+    def test_exhaustive_coverage(self, search_results):
+        # 3 patterns on 2 neighbour slots -> 9 combinations.
+        assert len(search_results["capacitive"].delays) == 9
+
+    def test_capacitive_worst_is_antiphase(self, search_results):
+        """With k = 0, the slowest victim has both neighbours switching
+        against it ('down' while the victim goes 'up')."""
+        result = search_results["capacitive"]
+        assert result.worst_pattern == ("down", "down")
+        assert result.best_pattern == ("up", "up")
+
+    def test_inductive_worst_is_inphase(self, search_results):
+        """With strong mutual coupling the worst case inverts."""
+        result = search_results["inductive"]
+        assert result.worst_pattern == ("up", "up")
+        assert result.best_pattern == ("down", "down")
+
+    def test_spread_meaningful(self, search_results):
+        for result in search_results.values():
+            assert result.spread > 1.2
+            assert result.worst_delay > result.best_delay > 0.0
+
+    def test_victim_pattern_validated(self):
+        node = NODE_100NM
+        with pytest.raises(ParameterError):
+            worst_case_pattern(
+                node.line_with_inductance(1e-6), n_lines=3, length=0.01,
+                segments=4, r_driver=100.0, c_load=1e-15,
+                coupling_capacitance_per_length=1e-12, vdd=1.2,
+                t_end=1e-9, dt=1e-11, victim_pattern="low")

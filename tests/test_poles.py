@@ -1,0 +1,113 @@
+"""Unit tests for pole computation, classification and sensitivities."""
+
+import cmath
+
+import pytest
+
+from repro import (Damping, ParameterError, Stage, classify_damping,
+                   compute_moments, compute_poles, units)
+from repro.core.moments import Moments
+
+
+def make_moments(b1, b2):
+    """Moments with dummy derivatives for classification tests."""
+    return Moments(b1=b1, b2=b2, db1_dh=0.0, db1_dk=0.0,
+                   db2_dh=0.0, db2_dk=0.0)
+
+
+class TestClassification:
+    def test_overdamped(self):
+        assert classify_damping(1.0, 0.1) is Damping.OVERDAMPED
+
+    def test_underdamped(self):
+        assert classify_damping(1.0, 1.0) is Damping.UNDERDAMPED
+
+    def test_critically_damped_exact(self):
+        assert classify_damping(2.0, 1.0) is Damping.CRITICALLY_DAMPED
+
+    def test_critical_tolerance_scale_invariant(self):
+        """Classification must not depend on the unit of time."""
+        b1, b2 = 2.0, 1.0 + 1e-12
+        for scale in (1.0, 1e-12, 1e12):
+            assert classify_damping(b1 * scale, b2 * scale * scale) \
+                is Damping.CRITICALLY_DAMPED
+
+
+class TestPoleValues:
+    def test_overdamped_poles_real_negative(self, stage_rc):
+        poles = compute_poles(compute_moments(stage_rc))
+        assert poles.damping is Damping.OVERDAMPED
+        assert poles.s1.imag == 0.0
+        assert poles.s2.imag == 0.0
+        assert poles.s1.real < 0.0
+        assert poles.s2.real < poles.s1.real  # s1 is the slow pole
+
+    def test_underdamped_poles_conjugate(self, stage_rlc):
+        poles = compute_poles(compute_moments(stage_rlc))
+        assert poles.damping is Damping.UNDERDAMPED
+        assert poles.s1 == pytest.approx(poles.s2.conjugate())
+        assert poles.s1.real < 0.0
+
+    def test_poles_satisfy_characteristic_equation(self, stage_rlc):
+        moments = compute_moments(stage_rlc)
+        poles = compute_poles(moments)
+        for s in (poles.s1, poles.s2):
+            residual = 1.0 + s * moments.b1 + s * s * moments.b2
+            assert abs(residual) < 1e-9 * abs(s * s * moments.b2)
+
+    def test_vieta_relations(self, stage_rlc):
+        """s1 + s2 = -b1/b2 and s1 s2 = 1/b2."""
+        moments = compute_moments(stage_rlc)
+        poles = compute_poles(moments)
+        assert poles.s1 + poles.s2 == pytest.approx(
+            -moments.b1 / moments.b2, rel=1e-10)
+        assert poles.s1 * poles.s2 == pytest.approx(
+            1.0 / moments.b2, rel=1e-10)
+
+    def test_natural_frequency_and_damping_ratio(self, stage_rlc):
+        moments = compute_moments(stage_rlc)
+        poles = compute_poles(moments)
+        assert poles.natural_frequency == pytest.approx(
+            1.0 / cmath.sqrt(moments.b2).real, rel=1e-9)
+        zeta_expected = moments.b1 / (2.0 * moments.b2 ** 0.5)
+        assert poles.damping_ratio == pytest.approx(zeta_expected, rel=1e-9)
+
+    def test_rejects_nonpositive_moments(self):
+        with pytest.raises(ParameterError):
+            compute_poles(make_moments(1e-10, 0.0))
+        with pytest.raises(ParameterError):
+            compute_poles(make_moments(0.0, 1e-20))
+
+
+class TestPoleDerivatives:
+    @pytest.mark.parametrize("l_nh", [0.0, 1.0, 3.0])
+    @pytest.mark.parametrize("variable", ["h", "k"])
+    def test_against_finite_difference(self, node, rc_opt, l_nh, variable):
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        h0, k0 = rc_opt.h_opt, rc_opt.k_opt
+
+        def poles_at(h, k):
+            return compute_poles(compute_moments(
+                Stage(line=line, driver=node.driver, h=h, k=k)))
+
+        poles = poles_at(h0, k0)
+        if variable == "h":
+            eps = 1e-7 * h0
+            plus = poles_at(h0 + eps, k0)
+            minus = poles_at(h0 - eps, k0)
+            analytic = (poles.ds1_dh, poles.ds2_dh)
+        else:
+            eps = 1e-5 * k0
+            plus = poles_at(h0, k0 + eps)
+            minus = poles_at(h0, k0 - eps)
+            analytic = (poles.ds1_dk, poles.ds2_dk)
+        fd_s1 = (plus.s1 - minus.s1) / (2.0 * eps)
+        fd_s2 = (plus.s2 - minus.s2) / (2.0 * eps)
+        assert analytic[0] == pytest.approx(fd_s1, rel=1e-5)
+        assert analytic[1] == pytest.approx(fd_s2, rel=1e-5)
+
+    def test_conjugate_symmetry_of_derivatives(self, stage_rlc):
+        """For conjugate poles, ds2/dx must be the conjugate of ds1/dx."""
+        poles = compute_poles(compute_moments(stage_rlc))
+        assert poles.ds2_dh == pytest.approx(poles.ds1_dh.conjugate())
+        assert poles.ds2_dk == pytest.approx(poles.ds1_dk.conjugate())

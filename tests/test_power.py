@@ -1,0 +1,124 @@
+"""Unit tests for the repeater power model and power-capped optimization."""
+
+import pytest
+
+from repro import optimize_repeater, units
+from repro.analysis.power import (PowerReport, optimize_with_power_cap,
+                                  power_report,
+                                  switched_capacitance_per_length)
+from repro.errors import OptimizationError, ParameterError
+
+
+class TestSwitchedCapacitance:
+    def test_formula(self, node, rc_opt):
+        value = switched_capacitance_per_length(node.line, node.driver,
+                                                rc_opt.h_opt, rc_opt.k_opt)
+        expected = (node.line.c + (node.driver.c_0 + node.driver.c_p)
+                    * rc_opt.k_opt / rc_opt.h_opt)
+        assert value == pytest.approx(expected)
+        assert value > node.line.c
+
+    def test_validation(self, node):
+        with pytest.raises(ParameterError):
+            switched_capacitance_per_length(node.line, node.driver, 0.0, 10.0)
+
+
+class TestPowerReport:
+    def test_scaling_with_frequency_and_vdd(self, node, rc_opt):
+        base = power_report(node.line, node.driver, rc_opt.h_opt,
+                            rc_opt.k_opt, vdd=1.0, frequency=1e9)
+        double_f = power_report(node.line, node.driver, rc_opt.h_opt,
+                                rc_opt.k_opt, vdd=1.0, frequency=2e9)
+        double_v = power_report(node.line, node.driver, rc_opt.h_opt,
+                                rc_opt.k_opt, vdd=2.0, frequency=1e9)
+        assert double_f.dynamic_power_per_length == pytest.approx(
+            2.0 * base.dynamic_power_per_length)
+        assert double_v.dynamic_power_per_length == pytest.approx(
+            4.0 * base.dynamic_power_per_length)
+
+    def test_repeater_fraction_bounds(self, node, rc_opt):
+        report = power_report(node.line, node.driver, rc_opt.h_opt,
+                              rc_opt.k_opt, vdd=node.vdd, frequency=1e9)
+        assert 0.0 < report.repeater_fraction < 1.0
+
+    def test_validation(self, node, rc_opt):
+        with pytest.raises(ParameterError):
+            power_report(node.line, node.driver, rc_opt.h_opt, rc_opt.k_opt,
+                         vdd=0.0, frequency=1e9)
+        with pytest.raises(ParameterError):
+            power_report(node.line, node.driver, rc_opt.h_opt, rc_opt.k_opt,
+                         vdd=1.0, frequency=1e9, activity=1.5)
+
+
+class TestPowerCappedOptimization:
+    def settings(self, node):
+        return dict(vdd=node.vdd, frequency=2e9, activity=0.15)
+
+    def unconstrained_power(self, node, line):
+        optimum = optimize_repeater(line, node.driver)
+        report = power_report(line, node.driver, optimum.h_opt,
+                              optimum.k_opt, **self.settings(node))
+        return optimum, report.dynamic_power_per_length
+
+    def test_loose_budget_returns_unconstrained(self, node):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        optimum, power = self.unconstrained_power(node, line)
+        result = optimize_with_power_cap(
+            line, node.driver, power_budget_per_length=2.0 * power,
+            **self.settings(node))
+        assert not result.constraint_active
+        assert result.h_opt == pytest.approx(optimum.h_opt)
+        assert result.delay_penalty == pytest.approx(1.0)
+
+    def test_tight_budget_meets_constraint(self, node):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        _, power = self.unconstrained_power(node, line)
+        budget = 0.6 * power
+        result = optimize_with_power_cap(
+            line, node.driver, power_budget_per_length=budget,
+            **self.settings(node))
+        assert result.constraint_active
+        assert result.power_per_length == pytest.approx(budget, rel=1e-6)
+        assert result.delay_penalty > 1.0
+
+    def test_tighter_budget_costs_more_delay(self, node):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        _, power = self.unconstrained_power(node, line)
+        mild = optimize_with_power_cap(
+            line, node.driver, power_budget_per_length=0.85 * power,
+            **self.settings(node))
+        harsh = optimize_with_power_cap(
+            line, node.driver, power_budget_per_length=0.65 * power,
+            **self.settings(node))
+        assert harsh.delay_penalty > mild.delay_penalty > 1.0
+
+    def test_budget_below_wire_power_rejected(self, node):
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        settings = self.settings(node)
+        wire_only = (settings["activity"] * settings["frequency"]
+                     * settings["vdd"] ** 2 * line.c)
+        with pytest.raises(OptimizationError):
+            optimize_with_power_cap(line, node.driver,
+                                    power_budget_per_length=0.9 * wire_only,
+                                    **settings)
+
+    def test_nonpositive_budget_rejected(self, node):
+        with pytest.raises(ParameterError):
+            optimize_with_power_cap(node.line, node.driver,
+                                    power_budget_per_length=0.0,
+                                    **self.settings(node))
+
+    def test_constrained_optimum_is_boundary_optimal(self, node):
+        """No sizing on the constraint boundary beats the returned one."""
+        from repro import Stage, threshold_delay
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        _, power = self.unconstrained_power(node, line)
+        result = optimize_with_power_cap(
+            line, node.driver, power_budget_per_length=0.6 * power,
+            **self.settings(node))
+        density = result.k_opt / result.h_opt
+        for factor in (0.8, 1.25):
+            h = result.h_opt * factor
+            stage = Stage(line=line, driver=node.driver, h=h, k=density * h)
+            other = threshold_delay(stage, polish_with_newton=False).tau / h
+            assert other >= result.delay_per_length * (1.0 - 1e-6)

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies draw physically plausible on-chip parameter ranges (resistance
+0.5-50 ohm/mm, capacitance 30-500 pF/m, inductance 0-10 nH/mm, driver
+1-100 kohm, femtofarad capacitances, segment lengths 0.1-50 mm, sizes
+1-5000) so every generated configuration is a meaningful interconnect
+stage, not just a random float tuple.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (Damping, DriverParams, LineParams, Stage, StepResponse,
+                   classify_damping, compute_moments, compute_poles,
+                   critical_inductance, elmore_stage_delay, rc_optimum,
+                   threshold_delay)
+
+lines = st.builds(
+    LineParams,
+    r=st.floats(min_value=500.0, max_value=5e4),
+    l=st.floats(min_value=0.0, max_value=1e-5),
+    c=st.floats(min_value=3e-11, max_value=5e-10),
+)
+
+drivers = st.builds(
+    DriverParams,
+    r_s=st.floats(min_value=1e3, max_value=1e5),
+    c_p=st.floats(min_value=0.0, max_value=2e-14),
+    c_0=st.floats(min_value=2e-16, max_value=5e-15),
+)
+
+stages = st.builds(
+    Stage,
+    line=lines,
+    driver=drivers,
+    h=st.floats(min_value=1e-4, max_value=5e-2),
+    k=st.floats(min_value=1.0, max_value=5e3),
+)
+
+
+class TestMomentInvariants:
+    @given(stage=stages)
+    @settings(max_examples=150, deadline=None)
+    def test_moments_positive(self, stage):
+        moments = compute_moments(stage)
+        assert moments.b1 > 0.0
+        assert moments.b2 > 0.0
+
+    @given(stage=stages)
+    @settings(max_examples=100, deadline=None)
+    def test_b1_is_elmore_delay(self, stage):
+        moments = compute_moments(stage)
+        assert moments.b1 == pytest.approx(elmore_stage_delay(stage),
+                                           rel=1e-9)
+
+    @given(stage=stages, scale=st.floats(min_value=1.1, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_b2_monotone_in_inductance(self, stage, scale):
+        # Denormal-range inductances are physically meaningless and drown
+        # in the RC terms' float precision.
+        assume(stage.line.l > 1e-12)
+        base = compute_moments(stage).b2
+        heavier = compute_moments(
+            stage.with_inductance(stage.line.l * scale)).b2
+        assert heavier > base
+
+    @given(stage=stages)
+    @settings(max_examples=100, deadline=None)
+    def test_derivatives_match_finite_difference(self, stage):
+        moments = compute_moments(stage)
+        eps_h = 1e-6 * stage.h
+        plus = compute_moments(stage.with_geometry(stage.h + eps_h, stage.k))
+        minus = compute_moments(stage.with_geometry(stage.h - eps_h, stage.k))
+        fd_b1 = (plus.b1 - minus.b1) / (2.0 * eps_h)
+        fd_b2 = (plus.b2 - minus.b2) / (2.0 * eps_h)
+        assert moments.db1_dh == pytest.approx(fd_b1, rel=1e-4, abs=1e-18)
+        assert moments.db2_dh == pytest.approx(fd_b2, rel=1e-4, abs=1e-30)
+
+
+class TestPoleInvariants:
+    @given(stage=stages)
+    @settings(max_examples=150, deadline=None)
+    def test_poles_stable_and_consistent(self, stage):
+        moments = compute_moments(stage)
+        poles = compute_poles(moments)
+        assert poles.s1.real < 0.0
+        assert poles.s2.real < 0.0
+        product = poles.s1 * poles.s2
+        assert product.real == pytest.approx(1.0 / moments.b2, rel=1e-6)
+        assert abs(product.imag) <= 1e-6 * abs(product.real)
+
+    @given(stage=stages)
+    @settings(max_examples=100, deadline=None)
+    def test_classification_matches_pole_type(self, stage):
+        moments = compute_moments(stage)
+        poles = compute_poles(moments)
+        if poles.damping is Damping.UNDERDAMPED:
+            assert poles.s1.imag != 0.0
+        elif poles.damping is Damping.OVERDAMPED:
+            assert poles.s1.imag == 0.0
+
+
+class TestResponseInvariants:
+    @given(stage=stages)
+    @settings(max_examples=75, deadline=None)
+    def test_response_bounded_and_settles(self, stage):
+        response = StepResponse.from_moments(compute_moments(stage))
+        import numpy as np
+        t = np.linspace(0.0, 3.0 * response.settling_time(0.01), 400)
+        v = response(t)
+        # A two-pole response never exceeds 2x the final value (worst
+        # case overshoot -> 1 as zeta -> 0) and never dips below -1.
+        assert np.all(v < 2.0)
+        assert np.all(v > -1.0)
+        assert v[-1] == pytest.approx(1.0, abs=0.02)
+
+    @given(stage=stages)
+    @settings(max_examples=75, deadline=None)
+    def test_overshoot_undershoot_bounds(self, stage):
+        response = StepResponse.from_moments(compute_moments(stage))
+        overshoot = response.overshoot()
+        assert 0.0 <= overshoot < 1.0
+        assert 0.0 <= response.undershoot() <= overshoot + 1e-12
+
+
+class TestDelayInvariants:
+    @given(stage=stages, f=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=75, deadline=None)
+    def test_delay_positive_and_on_threshold(self, stage, f):
+        response = StepResponse.from_moments(compute_moments(stage))
+        result = threshold_delay(response, f, polish_with_newton=False)
+        assert result.tau > 0.0
+        assert response(result.tau) == pytest.approx(f, abs=1e-6)
+
+    @given(stage=stages, f1=st.floats(min_value=0.05, max_value=0.45),
+           f2=st.floats(min_value=0.5, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_delay_monotone_in_threshold(self, stage, f1, f2):
+        response = StepResponse.from_moments(compute_moments(stage))
+        tau1 = threshold_delay(response, f1, polish_with_newton=False).tau
+        tau2 = threshold_delay(response, f2, polish_with_newton=False).tau
+        assert tau1 < tau2
+
+
+class TestClosedFormInvariants:
+    @given(line=lines, driver=drivers)
+    @settings(max_examples=100, deadline=None)
+    def test_rc_optimum_positive_and_scaling(self, line, driver):
+        optimum = rc_optimum(line, driver)
+        assert optimum.h_opt > 0.0
+        assert optimum.k_opt > 0.0
+        assert optimum.tau_opt > 0.0
+        # h scales as 1/sqrt(rc): doubling r shrinks h by sqrt(2).
+        double_r = LineParams(r=2.0 * line.r, l=line.l, c=line.c)
+        shrunk = rc_optimum(double_r, driver)
+        assert shrunk.h_opt == pytest.approx(optimum.h_opt / math.sqrt(2.0),
+                                             rel=1e-9)
+
+    @given(line=lines, driver=drivers)
+    @settings(max_examples=100, deadline=None)
+    def test_rc_optimum_inversion_roundtrip(self, line, driver):
+        from repro import driver_from_rc_optimum
+        optimum = rc_optimum(line, driver)
+        recovered = driver_from_rc_optimum(line, optimum.h_opt,
+                                           optimum.k_opt, optimum.tau_opt)
+        assert recovered.r_s == pytest.approx(driver.r_s, rel=1e-6)
+        assert recovered.c_0 == pytest.approx(driver.c_0, rel=1e-6)
+
+    @given(line=lines, driver=drivers,
+           h=st.floats(min_value=1e-3, max_value=3e-2),
+           k=st.floats(min_value=10.0, max_value=2e3))
+    @settings(max_examples=100, deadline=None)
+    def test_critical_inductance_is_the_damping_boundary(self, line, driver,
+                                                         h, k):
+        stage = Stage(line=line, driver=driver, h=h, k=k)
+        l_crit = critical_inductance(stage)
+        assume(l_crit > 1e-9)     # representable inductances only
+        below = compute_moments(stage.with_inductance(0.9 * l_crit))
+        above = compute_moments(stage.with_inductance(1.1 * l_crit))
+        assert classify_damping(below.b1, below.b2) is Damping.OVERDAMPED
+        assert classify_damping(above.b1, above.b2) is Damping.UNDERDAMPED
+
+
+class TestWaveformInvariants:
+    @given(frequency=st.floats(min_value=1e8, max_value=5e9),
+           amplitude=st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_sine_rms_relation(self, frequency, amplitude):
+        import numpy as np
+        from repro.analysis import Waveform
+        period = 1.0 / frequency
+        t = np.linspace(0.0, 20.0 * period, 4001)
+        waveform = Waveform(t, amplitude * np.sin(2 * np.pi * frequency * t))
+        assert waveform.rms() == pytest.approx(amplitude / math.sqrt(2.0),
+                                               rel=1e-2)
+        assert waveform.peak() == pytest.approx(amplitude, rel=1e-2)
+
+    @given(level=st.floats(min_value=0.1, max_value=0.9),
+           frequency=st.floats(min_value=1e8, max_value=2e9))
+    @settings(max_examples=50, deadline=None)
+    def test_crossings_alternate(self, level, frequency):
+        import numpy as np
+        from repro.analysis import Waveform
+        period = 1.0 / frequency
+        t = np.linspace(0.0, 10.5 * period, 8001)
+        waveform = Waveform(t, 0.5 + 0.5 * np.sin(2 * np.pi * frequency * t))
+        rising = waveform.rising_crossings(level)
+        falling = waveform.falling_crossings(level)
+        assert abs(rising.size - falling.size) <= 1
+        merged = np.sort(np.concatenate([rising, falling]))
+        assert np.all(np.diff(merged) > 0.0)

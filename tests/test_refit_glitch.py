@@ -1,0 +1,108 @@
+"""Tests for the IF-ansatz refit and the glitch-activity analysis."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.analysis import Waveform
+from repro.analysis.glitch import (GlitchReport, compare_activity,
+                                   switching_rate, transition_count)
+from repro.baselines.refit import refit_if_coefficients
+from repro.errors import ParameterError
+
+
+class TestRefit:
+    @pytest.fixture(scope="class")
+    def refit_100nm(self):
+        from repro import NODE_100NM
+        ls = np.linspace(0.0, 5.0, 9) * units.NH_PER_MM
+        return refit_if_coefficients(NODE_100NM.line, NODE_100NM.driver,
+                                     l_values=ls)
+
+    def test_ansatz_fits_exact_optimizer_tightly(self, refit_100nm):
+        """The (1 + a T^3)^b form captures the exact optima to ~1%."""
+        assert refit_100nm.max_residual_h < 0.02
+        assert refit_100nm.max_residual_k < 0.02
+
+    def test_predictions_match_stored_ratios(self, refit_100nm):
+        r = refit_100nm
+        for t, h_ratio in zip(r.t_values[1:], r.h_ratios[1:]):
+            assert r.predict_h_ratio(float(t)) == pytest.approx(
+                float(h_ratio), rel=0.02)
+
+    def test_ratios_monotone(self, refit_100nm):
+        assert np.all(np.diff(refit_100nm.h_ratios) > 0.0)
+        assert np.all(np.diff(refit_100nm.k_ratios) > 0.0)
+
+    def test_coefficients_not_technology_portable(self, refit_100nm):
+        """The fitted coefficients differ across nodes — quantifying the
+        paper's critique that curve-fitted formulas have limited
+        validity: the *form* transfers, the coefficients do not."""
+        from repro import NODE_250NM
+        ls = np.linspace(0.0, 5.0, 9) * units.NH_PER_MM
+        refit_250 = refit_if_coefficients(NODE_250NM.line,
+                                          NODE_250NM.driver, l_values=ls)
+        assert refit_250.a_h != pytest.approx(refit_100nm.a_h, rel=0.1)
+
+    def test_needs_enough_points(self):
+        from repro import NODE_100NM
+        with pytest.raises(ParameterError):
+            refit_if_coefficients(NODE_100NM.line, NODE_100NM.driver,
+                                  l_values=[0.0, 1e-6])
+
+
+class TestGlitchAnalysis:
+    def square_wave(self, frequency, cycles=10.0, duty=0.5):
+        period = 1.0 / frequency
+        t = np.linspace(0.0, cycles * period, int(400 * cycles) + 1)
+        values = ((t % period) < duty * period).astype(float)
+        return Waveform(t, values)
+
+    def test_transition_count_of_square_wave(self):
+        waveform = self.square_wave(1e9, cycles=10.0)
+        # ~10 rising + 10 falling edges through 0.5.
+        assert transition_count(waveform, 0.5) == pytest.approx(20, abs=2)
+
+    def test_switching_rate(self):
+        waveform = self.square_wave(1e9, cycles=10.0)
+        assert switching_rate(waveform, 0.5) == pytest.approx(2e9, rel=0.1)
+
+    def test_activity_multiplier(self):
+        slow = self.square_wave(1e9, cycles=10.0)
+        fast = self.square_wave(2.5e9, cycles=25.0)
+        report = compare_activity(slow, fast, 0.5)
+        assert report.activity_multiplier == pytest.approx(2.5, rel=0.15)
+        assert report.glitching
+
+    def test_identical_waveforms_not_glitching(self):
+        waveform = self.square_wave(1e9)
+        report = compare_activity(waveform, waveform, 0.5)
+        assert report.activity_multiplier == pytest.approx(1.0, rel=1e-6)
+        assert not report.glitching
+
+    def test_zero_baseline_raises(self):
+        t = np.linspace(0, 1e-9, 100)
+        flat = Waveform(t, np.zeros(100))
+        busy = self.square_wave(1e9)
+        report = compare_activity(flat, busy, 0.5)
+        with pytest.raises(ParameterError):
+            _ = report.activity_multiplier
+
+    def test_settle_fraction_validated(self):
+        waveform = self.square_wave(1e9)
+        with pytest.raises(ParameterError):
+            compare_activity(waveform, waveform, 0.5, settle_fraction=1.0)
+
+    def test_ring_oscillator_glitch_power(self):
+        """End-to-end: the Fig. 11 false-switching onset roughly doubles
+        the ring's switching activity (dynamic power)."""
+        from repro.experiments.ring import run_ring
+        clean = run_ring("100nm", 1.6, segments=10, period_budget=9.0,
+                         steps_per_period=450)
+        glitchy = run_ring("100nm", 2.6, segments=10, period_budget=9.0,
+                           steps_per_period=450)
+        vdd = clean.oscillator.vdd
+        report = compare_activity(clean.output_waveform,
+                                  glitchy.output_waveform, 0.5 * vdd)
+        assert report.glitching
+        assert report.activity_multiplier > 1.5

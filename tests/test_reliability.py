@@ -1,0 +1,98 @@
+"""Unit tests for the reliability screens (Sec. 3.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Waveform
+from repro.analysis.currents import CurrentDensityReport
+from repro.analysis.reliability import (DEFAULT_OXIDE_MARGIN, EM_PEAK_LIMIT,
+                                        EM_RMS_LIMIT, assess_current_density,
+                                        assess_oxide_stress)
+from repro.errors import ParameterError
+
+
+def density_report(peak, rms, area=5e-12):
+    return CurrentDensityReport(peak_current=peak * area,
+                                rms_current=rms * area,
+                                cross_section=area,
+                                window_start=0.0, window_end=1e-9)
+
+
+class TestCurrentDensityScreen:
+    def test_safe_wire_passes(self):
+        verdict = assess_current_density(density_report(peak=1e9, rms=1e9))
+        assert verdict.ok
+        assert verdict.rms_utilization < 1.0
+        assert verdict.peak_utilization < 1.0
+
+    def test_joule_heating_violation(self):
+        verdict = assess_current_density(
+            density_report(peak=1e10, rms=3e10))
+        assert not verdict.ok
+        assert verdict.limiting_mechanism == "joule-heating"
+
+    def test_em_violation(self):
+        verdict = assess_current_density(
+            density_report(peak=2e11, rms=1e9))
+        assert not verdict.ok
+        assert verdict.limiting_mechanism == "electromigration"
+
+    def test_custom_limits(self):
+        report = density_report(peak=1e9, rms=1e9)
+        strict = assess_current_density(report, rms_limit=1e8,
+                                        peak_limit=1e8)
+        assert not strict.ok
+
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ParameterError):
+            assess_current_density(density_report(1e9, 1e9), rms_limit=0.0)
+
+    def test_utilization_values(self):
+        verdict = assess_current_density(
+            density_report(peak=EM_PEAK_LIMIT / 2.0, rms=EM_RMS_LIMIT / 4.0))
+        assert verdict.peak_utilization == pytest.approx(0.5)
+        assert verdict.rms_utilization == pytest.approx(0.25)
+
+
+class TestOxideStress:
+    def make_waveform(self, peak, trough, vdd=1.2):
+        t = np.linspace(0.0, 1e-9, 200)
+        values = (0.5 * (peak + trough)
+                  + 0.5 * (peak - trough) * np.sin(2e10 * t))
+        return Waveform(t, values)
+
+    def test_clean_waveform_passes(self):
+        waveform = self.make_waveform(peak=1.2, trough=0.0)
+        report = assess_oxide_stress(waveform, 1.2)
+        assert not report.violates
+        assert report.overshoot_fraction == 0.0
+
+    def test_overshoot_flagged(self):
+        waveform = self.make_waveform(peak=1.5, trough=0.0)
+        report = assess_oxide_stress(waveform, 1.2)
+        assert report.violates
+        assert report.overshoot_fraction == pytest.approx(0.25, abs=0.01)
+
+    def test_undershoot_flagged(self):
+        waveform = self.make_waveform(peak=1.2, trough=-0.4)
+        report = assess_oxide_stress(waveform, 1.2)
+        assert report.violates
+        assert report.undershoot_fraction == pytest.approx(0.4 / 1.2,
+                                                           abs=0.01)
+
+    def test_margin_tolerates_small_overshoot(self):
+        peak = 1.2 * (1.0 + 0.5 * DEFAULT_OXIDE_MARGIN)
+        waveform = self.make_waveform(peak=peak, trough=0.0)
+        assert not assess_oxide_stress(waveform, 1.2).violates
+
+    def test_custom_margin(self):
+        waveform = self.make_waveform(peak=1.3, trough=0.0)
+        assert assess_oxide_stress(waveform, 1.2, margin=0.01).violates
+        assert not assess_oxide_stress(waveform, 1.2, margin=0.2).violates
+
+    def test_validation(self):
+        waveform = self.make_waveform(peak=1.2, trough=0.0)
+        with pytest.raises(ParameterError):
+            assess_oxide_stress(waveform, 0.0)
+        with pytest.raises(ParameterError):
+            assess_oxide_stress(waveform, 1.2, margin=-0.1)

@@ -1,0 +1,124 @@
+"""Unit tests for the two-pole step response and its metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (Damping, StepResponse, canonical_response, compute_moments,
+                   compute_poles)
+
+
+class TestEvaluation:
+    def test_starts_at_zero_settles_at_one(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        assert response(0.0) == pytest.approx(0.0, abs=1e-12)
+        t_settle = response.settling_time(1e-6)
+        assert response(5.0 * t_settle) == pytest.approx(1.0, abs=1e-5)
+
+    def test_scalar_and_array_evaluation_agree(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        t = np.linspace(0.0, 1e-9, 7)
+        array = response(t)
+        scalars = [response(float(ti)) for ti in t]
+        assert array == pytest.approx(scalars)
+
+    def test_derivative_matches_finite_difference(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        t0 = 1e-10
+        eps = 1e-15
+        fd = (response(t0 + eps) - response(t0 - eps)) / (2.0 * eps)
+        assert response.derivative(t0) == pytest.approx(fd, rel=1e-5)
+
+    def test_initial_slope_zero(self, stage_rlc):
+        """A two-pole response has zero slope at t = 0 (second order)."""
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        assert response.derivative(0.0) == pytest.approx(0.0, abs=1e-3)
+
+    def test_from_poles_equals_from_moments(self, stage_rlc):
+        moments = compute_moments(stage_rlc)
+        a = StepResponse.from_moments(moments)
+        b = StepResponse.from_poles(compute_poles(moments))
+        t = np.linspace(0.0, 1e-9, 5)
+        assert a(t) == pytest.approx(b(t))
+
+
+class TestCanonical:
+    def test_critically_damped_closed_form(self):
+        wn = 1e9
+        response = canonical_response(1.0, wn)
+        t = np.linspace(1e-12, 10.0 / wn, 50)
+        expected = 1.0 - (1.0 + wn * t) * np.exp(-wn * t)
+        assert response(t) == pytest.approx(expected, abs=1e-9)
+
+    def test_underdamped_closed_form(self):
+        zeta, wn = 0.3, 1e9
+        response = canonical_response(zeta, wn)
+        wd = wn * math.sqrt(1.0 - zeta * zeta)
+        t = np.linspace(1e-12, 20.0 / wn, 80)
+        envelope = np.exp(-zeta * wn * t) / math.sqrt(1.0 - zeta * zeta)
+        phase = math.acos(zeta)
+        expected = 1.0 - envelope * np.sin(wd * t + phase)
+        assert response(t) == pytest.approx(expected, abs=1e-9)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            canonical_response(0.0, 1e9)
+        with pytest.raises(ValueError):
+            canonical_response(0.5, -1.0)
+
+
+class TestMetrics:
+    def test_overdamped_monotonic_no_overshoot(self, stage_rc):
+        response = StepResponse.from_moments(compute_moments(stage_rc))
+        assert response.damping is Damping.OVERDAMPED
+        assert response.overshoot() == 0.0
+        assert response.undershoot() == 0.0
+        t = np.linspace(0.0, 5.0 * response.settling_time(), 500)
+        assert np.all(np.diff(response(t)) >= -1e-12)
+        assert math.isinf(response.peak_time())
+
+    def test_underdamped_overshoot_formula(self):
+        """Overshoot of a canonical 2nd-order system: exp(-pi zeta/sqrt(1-z^2))."""
+        for zeta in (0.2, 0.5, 0.7):
+            response = canonical_response(zeta, 1e9)
+            expected = math.exp(-math.pi * zeta / math.sqrt(1 - zeta * zeta))
+            assert response.overshoot() == pytest.approx(expected, rel=1e-9)
+
+    def test_overshoot_matches_sampled_peak(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        t = np.linspace(0.0, 6.0 * response.settling_time(0.01), 20000)
+        sampled_peak = float(response(t).max()) - 1.0
+        assert response.overshoot() == pytest.approx(sampled_peak, rel=1e-3)
+
+    def test_undershoot_is_square_of_overshoot(self, stage_rlc):
+        """First undershoot depth = overshoot^2 for a two-pole system."""
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        assert response.undershoot() == pytest.approx(
+            response.overshoot() ** 2, rel=1e-9)
+
+    def test_peak_time_is_pi_over_wd(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        t_peak = response.peak_time()
+        assert t_peak == pytest.approx(math.pi / response.damped_frequency)
+        # The derivative vanishes at the peak.
+        assert response.derivative(t_peak) == pytest.approx(0.0, abs=1e-2)
+
+    def test_settling_time_envelope_bound(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        t_settle = response.settling_time(0.02)
+        t = np.linspace(t_settle, 3.0 * t_settle, 200)
+        assert np.all(np.abs(response(t) - 1.0) <= 0.02 + 1e-9)
+
+    def test_settling_time_validates_tolerance(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        with pytest.raises(ValueError):
+            response.settling_time(0.0)
+        with pytest.raises(ValueError):
+            response.settling_time(1.5)
+
+    def test_sample_helper(self, stage_rc):
+        response = StepResponse.from_moments(compute_moments(stage_rc))
+        t, v = response.sample(1e-9, num=64)
+        assert t.shape == v.shape == (64,)
+        assert t[0] == 0.0 and t[-1] == pytest.approx(1e-9)

@@ -1,0 +1,65 @@
+"""Unit tests for the shared ring-oscillator experiment machinery."""
+
+import pytest
+
+from repro import rc_optimum, units
+from repro.errors import ParameterError
+from repro.experiments.ring import (calibrated, expected_period, run_ring)
+from repro.tech import NODE_100NM
+
+
+class TestCalibrationCache:
+    def test_cached_instance_reused(self):
+        a = calibrated("100nm")
+        b = calibrated("100nm")
+        assert a is b
+
+    def test_calibration_matches_node(self):
+        calibration = calibrated("100nm")
+        assert calibration.vdd == NODE_100NM.vdd
+        assert calibration.driver == NODE_100NM.driver
+
+
+class TestExpectedPeriod:
+    def test_scales_with_stage_count(self):
+        five = expected_period(NODE_100NM, 5)
+        seven = expected_period(NODE_100NM, 7)
+        assert seven == pytest.approx(five * 7.0 / 5.0)
+
+    def test_is_multiple_of_rc_stage_delay(self):
+        rc = rc_optimum(NODE_100NM.line, NODE_100NM.driver)
+        assert expected_period(NODE_100NM, 5) == pytest.approx(
+            10.0 * rc.tau_opt)
+
+
+class TestRunRing:
+    @pytest.fixture(scope="class")
+    def short_run(self):
+        return run_ring("100nm", 1.0, segments=6, period_budget=6.0,
+                        steps_per_period=300)
+
+    def test_waveforms_available(self, short_run):
+        vin = short_run.input_waveform
+        vout = short_run.output_waveform
+        assert vin.time.shape == vout.time.shape
+        assert vin.duration > 0.0
+
+    def test_voltages_bounded_near_rails(self, short_run):
+        """Even with ringing, voltages stay within a few VDD of the rails."""
+        vdd = short_run.oscillator.vdd
+        for waveform in (short_run.input_waveform,
+                         short_run.output_waveform):
+            assert waveform.values.max() < 4.0 * vdd
+            assert waveform.values.min() > -3.0 * vdd
+
+    def test_probe_stage_recorded(self, short_run):
+        assert short_run.probe_stage == 2
+        assert short_run.l == pytest.approx(1.0 * units.NH_PER_MM)
+
+    def test_rejects_negative_inductance(self):
+        with pytest.raises(ParameterError):
+            run_ring("100nm", -1.0)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            run_ring("65nm", 1.0)

@@ -1,0 +1,97 @@
+"""Unit tests for the ladder discretization of a distributed line."""
+
+import pytest
+
+from repro import LineParams
+from repro.circuits import (Capacitor, Circuit, GROUND, Inductor, Resistor,
+                            add_rlc_ladder)
+from repro.errors import ParameterError
+
+
+LINE = LineParams(r=4400.0, l=1e-6, c=2e-10)
+RC_LINE = LineParams(r=4400.0, l=0.0, c=2e-10)
+
+
+class TestLadderConstruction:
+    def test_element_totals(self):
+        circuit = Circuit()
+        ladder = add_rlc_ladder(circuit, "w", "a", "b", LINE, 0.01, 8)
+        resistors = circuit.elements_of_type(Resistor)
+        inductors = circuit.elements_of_type(Inductor)
+        capacitors = circuit.elements_of_type(Capacitor)
+        assert len(resistors) == len(inductors) == len(capacitors) == 8
+        assert sum(r.resistance for r in resistors) == pytest.approx(44.0)
+        assert sum(l.inductance for l in inductors) == pytest.approx(1e-8)
+        assert sum(c.capacitance for c in capacitors) == pytest.approx(2e-12)
+        assert ladder.segment_count == 8
+
+    def test_rc_line_omits_inductors(self):
+        circuit = Circuit()
+        ladder = add_rlc_ladder(circuit, "w", "a", "b", RC_LINE, 0.01, 4)
+        assert not circuit.elements_of_type(Inductor)
+        assert all(s.inductor is None for s in ladder.sections)
+
+    def test_terminals_connected(self):
+        circuit = Circuit()
+        ladder = add_rlc_ladder(circuit, "w", "a", "b", LINE, 0.01, 3)
+        assert ladder.input_node == "a"
+        assert ladder.output_node == "b"
+        assert ladder.sections[-1].out_node == "b"
+
+    def test_single_segment(self):
+        circuit = Circuit()
+        ladder = add_rlc_ladder(circuit, "w", "a", "b", LINE, 0.01, 1)
+        assert ladder.segment_count == 1
+        assert circuit.element("w.R1").resistance == pytest.approx(44.0)
+
+    def test_current_probe_element(self):
+        circuit = Circuit()
+        ladder = add_rlc_ladder(circuit, "w", "a", "b", LINE, 0.01, 3)
+        assert ladder.current_probe_element(0) == "w.L1"
+        circuit2 = Circuit()
+        rc_ladder = add_rlc_ladder(circuit2, "w", "a", "b", RC_LINE, 0.01, 3)
+        assert rc_ladder.current_probe_element(0) == "w.R1"
+
+    def test_unique_prefixes_coexist(self):
+        circuit = Circuit()
+        add_rlc_ladder(circuit, "w1", "a", "b", LINE, 0.01, 3)
+        add_rlc_ladder(circuit, "w2", "b", "c", LINE, 0.01, 3)
+        assert "w1.R1" in circuit and "w2.R1" in circuit
+
+    @pytest.mark.parametrize("segments,length", [(0, 0.01), (-1, 0.01),
+                                                 (4, 0.0), (4, -0.01)])
+    def test_validation(self, segments, length):
+        with pytest.raises(ParameterError):
+            add_rlc_ladder(Circuit(), "w", "a", "b", LINE, length, segments)
+
+
+class TestLadderElectrical:
+    def test_dc_resistance_end_to_end(self):
+        """DC: the ladder is just the series resistance."""
+        from repro.circuits import dc_operating_point
+        circuit = Circuit()
+        circuit.voltage_source("V1", "a", GROUND, 1.0)
+        add_rlc_ladder(circuit, "w", "a", "b", LINE, 0.01, 10)
+        circuit.resistor("RL", "b", GROUND, 44.0)  # matched to line R
+        solution = dc_operating_point(circuit)
+        assert solution["b"] == pytest.approx(0.5, rel=1e-6)
+
+    def test_time_of_flight_scales_with_length(self):
+        """Step arrival at the far end ~ h sqrt(l c) for a low-loss line."""
+        from repro.analysis import Waveform
+        from repro.circuits import Step, simulate
+        fast_line = LineParams(r=100.0, l=1e-6, c=2e-10)
+        arrivals = []
+        for h in (0.005, 0.01):
+            circuit = Circuit()
+            circuit.voltage_source("V1", "a", GROUND, Step(level=1.0))
+            circuit.resistor("RS", "a", "in", 70.0)   # ~ Z0 source
+            add_rlc_ladder(circuit, "w", "in", "b", fast_line, h, 40)
+            circuit.capacitor("CL", "b", GROUND, 1e-15)
+            t_flight = h * fast_line.time_of_flight_per_length
+            result = simulate(circuit, 6.0 * t_flight, t_flight / 300.0)
+            waveform = Waveform(result.time, result.voltage("b"))
+            arrivals.append(waveform.first_crossing(0.45))
+        assert arrivals[1] == pytest.approx(2.0 * arrivals[0], rel=0.1)
+        t_flight_expected = 0.005 * fast_line.time_of_flight_per_length
+        assert arrivals[0] == pytest.approx(t_flight_expected, rel=0.25)

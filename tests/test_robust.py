@@ -1,0 +1,92 @@
+"""Unit tests for the minimax (robust) repeater sizing."""
+
+import numpy as np
+import pytest
+
+from repro import Stage, optimize_repeater, threshold_delay, units
+from repro.core.robust import (optimize_robust, regret_analysis,
+                               worst_case_delay_per_length)
+from repro.errors import ParameterError
+
+
+L_MIN = 0.2 * units.NH_PER_MM
+L_MAX = 3.0 * units.NH_PER_MM
+
+
+class TestMonotonicity:
+    def test_delay_monotone_in_l_at_fixed_sizing(self, node, rc_opt):
+        """The structural fact the minimax shortcut relies on."""
+        taus = []
+        for l_nh in (0.0, 0.5, 1.0, 2.0, 4.0):
+            stage = Stage(line=node.line_with_inductance(
+                l_nh * units.NH_PER_MM), driver=node.driver,
+                h=rc_opt.h_opt, k=rc_opt.k_opt)
+            taus.append(threshold_delay(stage,
+                                        polish_with_newton=False).tau)
+        assert taus == sorted(taus)
+
+
+class TestRobustOptimum:
+    def test_worst_case_at_lmax(self, node):
+        robust = optimize_robust(node.line, node.driver,
+                                 l_min=L_MIN, l_max=L_MAX)
+        assert robust.worst_case_l == pytest.approx(L_MAX)
+        assert robust.h_opt == robust.nominal_at_lmax.h_opt
+
+    def test_minimax_beats_other_sizings_at_worst_case(self, node):
+        """No other candidate sizing has a lower worst-case objective."""
+        robust = optimize_robust(node.line, node.driver,
+                                 l_min=L_MIN, l_max=L_MAX)
+        grid = np.linspace(L_MIN, L_MAX, 5)
+        for l_design in (L_MIN, 0.5 * (L_MIN + L_MAX)):
+            other = optimize_repeater(
+                node.line.with_inductance(l_design), node.driver)
+            worst_other, _ = worst_case_delay_per_length(
+                node.line, node.driver, other.h_opt, other.k_opt, grid)
+            assert worst_other >= robust.worst_delay_per_length \
+                * (1.0 - 1e-9)
+
+    def test_delay_at_helper(self, node):
+        robust = optimize_robust(node.line, node.driver,
+                                 l_min=L_MIN, l_max=L_MAX)
+        at_max = robust.delay_per_length_at(node.line, node.driver, L_MAX)
+        assert at_max == pytest.approx(robust.worst_delay_per_length,
+                                       rel=1e-6)
+        assert robust.delay_per_length_at(node.line, node.driver,
+                                          L_MIN) < at_max
+
+    def test_validation(self, node):
+        with pytest.raises(ParameterError):
+            optimize_robust(node.line, node.driver, l_min=-1.0, l_max=1e-6)
+        with pytest.raises(ParameterError):
+            optimize_robust(node.line, node.driver, l_min=1e-6, l_max=1e-6)
+
+
+class TestRegret:
+    @pytest.fixture(scope="class")
+    def rows_100nm(self):
+        from repro import NODE_100NM
+        return regret_analysis(NODE_100NM.line, NODE_100NM.driver,
+                               l_min=L_MIN, l_max=L_MAX, grid_points=5)
+
+    def test_candidates_present(self, rows_100nm):
+        labels = [row.label for row in rows_100nm]
+        assert "rc-blind" in labels
+        assert any("minimax" in label for label in labels)
+
+    def test_minimax_has_lowest_worst_delay(self, rows_100nm):
+        by_label = {row.label: row for row in rows_100nm}
+        minimax = next(row for row in rows_100nm if "minimax" in row.label)
+        for row in rows_100nm:
+            assert row.worst_delay_per_length >= \
+                minimax.worst_delay_per_length * (1.0 - 1e-9)
+
+    def test_regret_nonnegative_and_bounded(self, rows_100nm):
+        for row in rows_100nm:
+            assert row.worst_regret >= -1e-9
+            assert row.worst_regret < 0.25      # all hedges cost < 25%
+
+    def test_rc_blind_worst_regret_exceeds_minimax(self, rows_100nm):
+        by = {row.label: row.worst_regret for row in rows_100nm}
+        minimax_label = next(l for l in by if "minimax" in l)
+        assert by["rc-blind"] > by[minimax_label]

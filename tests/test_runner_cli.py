@@ -1,0 +1,52 @@
+"""End-to-end tests of the repro-experiments CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output
+        assert "fig11" in output
+        assert "ext_bus" in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "underdamped" in output
+
+    def test_run_with_fast_override(self, capsys):
+        assert main(["run", "fig5", "--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "h ratio" in output
+
+    def test_run_writes_report_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "fig2", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        content = out_file.read_text()
+        assert "fig2" in content
+
+    def test_run_writes_csv(self, tmp_path, capsys):
+        csv_dir = tmp_path / "csv"
+        assert main(["run", "fig2", "table1", "--csv-dir",
+                     str(csv_dir)]) == 0
+        capsys.readouterr()
+        assert sorted(os.listdir(csv_dir)) == ["fig2.csv", "table1.csv"]
+        assert "regime" in (csv_dir / "fig2.csv").read_text()
+
+    def test_unknown_id_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_dedup_and_order_preserved(self, capsys):
+        assert main(["run", "fig2", "fig2", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("== fig2:") == 1
+        assert output.index("fig2") < output.index("table1")

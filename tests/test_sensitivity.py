@@ -1,0 +1,128 @@
+"""Unit tests for the analytic delay-sensitivity module."""
+
+import dataclasses
+
+import pytest
+
+from repro import (DriverParams, LineParams, Stage, optimize_repeater,
+                   threshold_delay, units)
+from repro.core.sensitivity import (PARAMETERS, delay_sensitivities,
+                                    moment_parameter_derivatives)
+from repro.errors import ParameterError
+
+
+def perturbed_stage(stage: Stage, parameter: str, value: float) -> Stage:
+    """Rebuild a stage with one named parameter replaced."""
+    line = stage.line
+    driver = stage.driver
+    if parameter in ("r", "l", "c"):
+        line = LineParams(**{**dataclasses.asdict(line), parameter: value})
+    elif parameter in ("r_s", "c_p", "c_0"):
+        driver = DriverParams(**{**dataclasses.asdict(driver),
+                                 parameter: value})
+    return Stage(line=line, driver=driver,
+                 h=value if parameter == "h" else stage.h,
+                 k=value if parameter == "k" else stage.k)
+
+
+def numeric_dtau(stage: Stage, parameter: str, f: float) -> float:
+    values = {"r": stage.line.r, "l": stage.line.l, "c": stage.line.c,
+              "r_s": stage.driver.r_s, "c_p": stage.driver.c_p,
+              "c_0": stage.driver.c_0, "h": stage.h, "k": stage.k}
+    p0 = values[parameter]
+    eps = 1e-5 * p0 if p0 != 0.0 else 1e-12
+    hi = threshold_delay(perturbed_stage(stage, parameter, p0 + eps), f,
+                         polish_with_newton=False).tau
+    lo = threshold_delay(perturbed_stage(stage, parameter, p0 - eps), f,
+                         polish_with_newton=False).tau
+    return (hi - lo) / (2.0 * eps)
+
+
+class TestMomentParameterDerivatives:
+    @pytest.mark.parametrize("parameter", PARAMETERS)
+    def test_match_finite_differences(self, stage_rlc, parameter):
+        from repro import compute_moments
+        derivs = moment_parameter_derivatives(stage_rlc)[parameter]
+        values = {"r": stage_rlc.line.r, "l": stage_rlc.line.l,
+                  "c": stage_rlc.line.c, "r_s": stage_rlc.driver.r_s,
+                  "c_p": stage_rlc.driver.c_p, "c_0": stage_rlc.driver.c_0,
+                  "h": stage_rlc.h, "k": stage_rlc.k}
+        p0 = values[parameter]
+        eps = 1e-6 * p0
+        m_hi = compute_moments(perturbed_stage(stage_rlc, parameter,
+                                               p0 + eps))
+        m_lo = compute_moments(perturbed_stage(stage_rlc, parameter,
+                                               p0 - eps))
+        fd_b1 = (m_hi.b1 - m_lo.b1) / (2.0 * eps)
+        fd_b2 = (m_hi.b2 - m_lo.b2) / (2.0 * eps)
+        assert derivs[0] == pytest.approx(fd_b1, rel=1e-4, abs=1e-20)
+        assert derivs[1] == pytest.approx(fd_b2, rel=1e-4, abs=1e-32)
+
+
+class TestDelaySensitivities:
+    @pytest.mark.parametrize("parameter", PARAMETERS)
+    @pytest.mark.parametrize("l_nh", [0.5, 2.0])
+    def test_match_finite_differences(self, node, rc_opt, parameter, l_nh):
+        line = node.line_with_inductance(l_nh * units.NH_PER_MM)
+        stage = Stage(line=line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        analytic = delay_sensitivities(stage).absolute[parameter]
+        numeric = numeric_dtau(stage, parameter, 0.5)
+        assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-18)
+
+    def test_stationarity_at_the_optimum(self, node):
+        """At (h_opt, k_opt): dtau/dk = 0 and dtau/dh = tau/h — the
+        optimizer's first-order conditions recovered independently."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        optimum = optimize_repeater(line, node.driver)
+        stage = Stage(line=line, driver=node.driver,
+                      h=optimum.h_opt, k=optimum.k_opt)
+        sens = delay_sensitivities(stage)
+        scale = sens.tau / stage.h
+        assert sens.absolute["k"] * stage.k / sens.tau == pytest.approx(
+            0.0, abs=1e-5)
+        assert sens.absolute["h"] == pytest.approx(scale, rel=1e-4)
+
+    def test_inductance_sensitivity_positive_when_underdamped(self,
+                                                              stage_rlc):
+        sens = delay_sensitivities(stage_rlc)
+        assert sens.absolute["l"] > 0.0
+        assert sens.relative["l"] > 0.0
+
+    def test_relative_zero_for_zero_parameter(self, stage_rc):
+        sens = delay_sensitivities(stage_rc)
+        assert sens.relative["l"] == 0.0
+
+    def test_driver_resistance_dominates_rc_stage(self, stage_rc):
+        """On an RC-optimal stage the classic result: delay is controlled
+        by the r_s/c and r/c_0 products, all with positive elasticity."""
+        sens = delay_sensitivities(stage_rc)
+        for p in ("r", "c", "r_s", "c_0"):
+            assert sens.relative[p] > 0.0
+
+    def test_dominant_helper(self, stage_rlc):
+        sens = delay_sensitivities(stage_rlc)
+        dominant = sens.dominant()
+        assert abs(sens.relative[dominant]) == max(
+            abs(v) for v in sens.relative.values())
+
+    def test_threshold_validated(self, stage_rc):
+        with pytest.raises(ParameterError):
+            delay_sensitivities(stage_rc, 0.0)
+
+    def test_scale_invariance_of_elasticities(self, node, rc_opt):
+        """Elasticities are dimensionless: rescaling (c, h, k) along the
+        invariance direction c->4c, h->h/2, k->2k preserves them for the
+        line parameters."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        stage = Stage(line=line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        mapped = Stage(line=LineParams(r=line.r, l=line.l, c=4.0 * line.c),
+                       driver=node.driver, h=stage.h / 2.0, k=2.0 * stage.k)
+        original = delay_sensitivities(stage)
+        transformed = delay_sensitivities(mapped)
+        assert transformed.tau == pytest.approx(original.tau, rel=1e-9)
+        assert transformed.relative["l"] == pytest.approx(
+            original.relative["l"], rel=1e-6)
+        assert transformed.relative["r"] == pytest.approx(
+            original.relative["r"], rel=1e-6)

@@ -1,0 +1,89 @@
+"""Unit tests for the skin-effect resistance model."""
+
+import math
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extraction import COPPER_RESISTIVITY, wire_from_tech
+from repro.extraction.skin import (effective_area, resistance_at_frequency,
+                                   resistance_ratio_table, skin_depth,
+                                   skin_onset_frequency)
+from repro.tech import NODE_250NM
+
+
+@pytest.fixture
+def wire():
+    return wire_from_tech(NODE_250NM.geometry)
+
+
+class TestSkinDepth:
+    def test_copper_at_1ghz(self):
+        """Classic reference: Cu skin depth ~2.1 um at 1 GHz for bulk
+        resistivity; our barrier-adjusted rho gives ~2.4 um."""
+        delta = skin_depth(COPPER_RESISTIVITY, 1e9)
+        assert delta == pytest.approx(2.36e-6, rel=0.02)
+
+    def test_scales_as_inverse_sqrt_frequency(self):
+        d1 = skin_depth(COPPER_RESISTIVITY, 1e9)
+        d4 = skin_depth(COPPER_RESISTIVITY, 4e9)
+        assert d4 == pytest.approx(d1 / 2.0, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ExtractionError):
+            skin_depth(0.0, 1e9)
+        with pytest.raises(ExtractionError):
+            skin_depth(COPPER_RESISTIVITY, -1.0)
+
+
+class TestEffectiveArea:
+    def test_full_area_for_deep_skin(self, wire):
+        delta = 10.0 * max(wire.width, wire.thickness)
+        assert effective_area(wire, delta) == pytest.approx(
+            wire.cross_section)
+
+    def test_shell_area_for_shallow_skin(self, wire):
+        delta = 0.1e-6
+        area = effective_area(wire, delta)
+        assert area < wire.cross_section
+        expected = (wire.cross_section
+                    - (wire.width - 2 * delta) * (wire.thickness - 2 * delta))
+        assert area == pytest.approx(expected)
+
+
+class TestResistance:
+    def test_dc_limit_at_low_frequency(self, wire):
+        r_low = resistance_at_frequency(wire, COPPER_RESISTIVITY, 1e6)
+        r_dc = wire.resistance_per_length(COPPER_RESISTIVITY)
+        assert r_low == pytest.approx(r_dc, rel=1e-9)
+
+    def test_monotone_increase_with_frequency(self, wire):
+        values = [resistance_at_frequency(wire, COPPER_RESISTIVITY, f)
+                  for f in (1e8, 1e9, 1e10, 1e11)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] > values[0]
+
+    def test_sqrt_f_asymptote(self, wire):
+        """Deep in the skin regime r grows ~ sqrt(f)."""
+        r1 = resistance_at_frequency(wire, COPPER_RESISTIVITY, 1e11)
+        r4 = resistance_at_frequency(wire, COPPER_RESISTIVITY, 4e11)
+        assert r4 / r1 == pytest.approx(2.0, rel=0.15)
+
+    def test_onset_frequency_consistent(self, wire):
+        onset = skin_onset_frequency(wire, COPPER_RESISTIVITY)
+        # Table 1 wires: onset in the mid-GHz range (~5.6 GHz).
+        assert 1e9 < onset < 1e10
+        delta = skin_depth(COPPER_RESISTIVITY, onset)
+        assert delta == pytest.approx(
+            0.5 * min(wire.width, wire.thickness), rel=1e-9)
+        # Just below onset the resistance is still (essentially) DC.
+        r_below = resistance_at_frequency(wire, COPPER_RESISTIVITY,
+                                          0.9 * onset)
+        r_dc = wire.resistance_per_length(COPPER_RESISTIVITY)
+        assert r_below == pytest.approx(r_dc, rel=1e-9)
+
+    def test_ratio_table(self, wire):
+        table = resistance_ratio_table(wire, COPPER_RESISTIVITY,
+                                       [1e8, 1e11])
+        assert table[1e8] == pytest.approx(1.0, rel=1e-9)
+        assert table[1e11] > 1.5

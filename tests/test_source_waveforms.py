@@ -1,0 +1,109 @@
+"""Unit tests for the source waveform primitives."""
+
+import math
+
+import pytest
+
+from repro.circuits.waveforms import (DC, PiecewiseLinear, Pulse, Sine, Step)
+from repro.errors import ParameterError
+
+
+class TestDC:
+    def test_constant(self):
+        source = DC(2.5)
+        assert source(0.0) == 2.5
+        assert source(1e9) == 2.5
+
+
+class TestStep:
+    def test_abrupt_step(self):
+        source = Step(level=1.2, delay=1e-9)
+        assert source(0.5e-9) == 0.0
+        assert source(1e-9) == 0.0
+        assert source(1.01e-9) == 1.2
+
+    def test_linear_ramp(self):
+        source = Step(level=2.0, delay=1e-9, rise=2e-9)
+        assert source(1e-9) == 0.0
+        assert source(2e-9) == pytest.approx(1.0)
+        assert source(3e-9) == pytest.approx(2.0)
+        assert source(10e-9) == 2.0
+
+
+class TestPulse:
+    def make(self):
+        return Pulse(v1=0.0, v2=1.2, delay=1e-9, rise=0.1e-9, fall=0.1e-9,
+                     width=0.8e-9, period=2e-9)
+
+    def test_initial_value_before_delay(self):
+        assert self.make()(0.0) == 0.0
+        assert self.make()(0.99e-9) == 0.0
+
+    def test_rise_interpolation(self):
+        source = self.make()
+        assert source(1.05e-9) == pytest.approx(0.6)
+
+    def test_plateau(self):
+        source = self.make()
+        assert source(1.5e-9) == 1.2
+
+    def test_fall_interpolation(self):
+        source = self.make()
+        assert source(1.95e-9) == pytest.approx(0.6)
+
+    def test_periodicity(self):
+        source = self.make()
+        for t in (1.2e-9, 1.5e-9, 1.95e-9):
+            assert source(t + 2e-9) == pytest.approx(source(t))
+            assert source(t + 10e-9) == pytest.approx(source(t))
+
+    def test_zero_rise_time_step(self):
+        source = Pulse(v1=0.0, v2=1.0, rise=0.0, fall=0.0, width=1e-9,
+                       period=2e-9)
+        assert source(1e-15) == 1.0
+
+    def test_rejects_inconsistent_timing(self):
+        with pytest.raises(ParameterError):
+            Pulse(v1=0.0, v2=1.0, rise=1e-9, fall=1e-9, width=1e-9,
+                  period=2e-9)
+        with pytest.raises(ParameterError):
+            Pulse(v1=0.0, v2=1.0, period=0.0)
+        with pytest.raises(ParameterError):
+            Pulse(v1=0.0, v2=1.0, rise=-1e-12)
+
+
+class TestPiecewiseLinear:
+    def test_interpolation_and_clamping(self):
+        source = PiecewiseLinear([(0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)])
+        assert source(-1.0) == 0.0
+        assert source(0.5e-9) == pytest.approx(0.5)
+        assert source(1.5e-9) == pytest.approx(0.75)
+        assert source(5e-9) == 0.5
+
+    def test_rejects_non_monotonic_times(self):
+        with pytest.raises(ParameterError):
+            PiecewiseLinear([(0.0, 0.0), (1e-9, 1.0), (1e-9, 2.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            PiecewiseLinear([])
+
+
+class TestSine:
+    def test_values(self):
+        source = Sine(offset=1.0, amplitude=0.5, frequency=1e9)
+        assert source(0.0) == pytest.approx(1.0)
+        assert source(0.25e-9) == pytest.approx(1.5)
+        assert source(0.75e-9) == pytest.approx(0.5)
+
+    def test_quiet_before_delay(self):
+        source = Sine(offset=1.0, amplitude=0.5, frequency=1e9, delay=1e-9)
+        assert source(0.5e-9) == 1.0
+        assert source(1.25e-9) == pytest.approx(1.5)
+
+    def test_periodicity(self):
+        source = Sine(offset=0.0, amplitude=1.0, frequency=2e9)
+        assert source(0.3e-9) == pytest.approx(source(0.3e-9 + 0.5e-9),
+                                               abs=1e-12)
+        assert math.isclose(source(0.1e-9), -source(0.1e-9 + 0.25e-9),
+                            abs_tol=1e-12)

@@ -1,0 +1,60 @@
+"""Unit tests for integer repeater staging."""
+
+import pytest
+
+from repro import optimize_repeater, units
+from repro.core.staging import plan_staging
+from repro.errors import ParameterError
+
+
+class TestStaging:
+    def test_long_net_near_continuous_bound(self, node):
+        """Many stages: quantization penalty within a fraction of a %."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        continuous = optimize_repeater(line, node.driver)
+        total = 20.5 * continuous.h_opt        # deliberately off-grid
+        plan = plan_staging(line, node.driver, total)
+        assert plan.quantization_penalty < 1.005
+        assert plan.n_stages in (20, 21)
+        assert plan.segment_length == pytest.approx(total / plan.n_stages)
+        assert plan.total_delay == pytest.approx(
+            plan.n_stages * plan.stage_delay)
+
+    def test_short_net_single_stage(self, node):
+        """A net shorter than one optimal segment gets one stage."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        continuous = optimize_repeater(line, node.driver)
+        plan = plan_staging(line, node.driver, 0.3 * continuous.h_opt)
+        assert plan.n_stages == 1
+
+    def test_half_segment_rounding(self, node):
+        """A 2.5-segment net picks the better of N = 2 and N = 3."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        continuous = optimize_repeater(line, node.driver)
+        total = 2.5 * continuous.h_opt
+        plan = plan_staging(line, node.driver, total)
+        assert plan.n_stages in (2, 3)
+        # Quantization cost is visible but bounded at this small N.
+        assert 1.0 <= plan.quantization_penalty < 1.05
+
+    def test_penalty_never_below_bound(self, node):
+        line = node.line_with_inductance(2.0 * units.NH_PER_MM)
+        continuous = optimize_repeater(line, node.driver)
+        for multiple in (1.3, 4.7, 9.2):
+            plan = plan_staging(line, node.driver,
+                                multiple * continuous.h_opt)
+            assert plan.quantization_penalty >= 1.0 - 1e-9
+
+    def test_k_reoptimized_for_quantized_segments(self, node):
+        """The per-candidate k differs from the continuous k when the
+        segment length is forced off-optimal."""
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        continuous = optimize_repeater(line, node.driver)
+        plan = plan_staging(line, node.driver, 1.4 * continuous.h_opt)
+        assert plan.n_stages == 1
+        # The 1.4x-long single segment wants a different repeater size.
+        assert plan.k_opt != pytest.approx(continuous.k_opt, rel=0.02)
+
+    def test_validation(self, node):
+        with pytest.raises(ParameterError):
+            plan_staging(node.line, node.driver, 0.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the inductance sweep driving Figs. 4-8."""
+
+import numpy as np
+import pytest
+
+from repro import sweep_inductance, units
+
+
+@pytest.fixture(scope="module")
+def sweep_100nm():
+    from repro import NODE_100NM
+    grid = np.array([0.0, 0.5, 1.0, 2.0, 4.0]) * units.NH_PER_MM
+    return sweep_inductance(NODE_100NM.line, NODE_100NM.driver, grid)
+
+
+class TestSweepStructure:
+    def test_array_shapes(self, sweep_100nm):
+        n = sweep_100nm.l_values.size
+        for attribute in ("h_opt", "k_opt", "tau", "delay_per_length",
+                          "l_crit", "rc_sized_delay_per_length"):
+            assert getattr(sweep_100nm, attribute).shape == (n,)
+
+    def test_rejects_empty_grid(self):
+        from repro import NODE_100NM
+        with pytest.raises(ValueError):
+            sweep_inductance(NODE_100NM.line, NODE_100NM.driver, [])
+
+    def test_threshold_recorded(self, sweep_100nm):
+        assert sweep_100nm.threshold == 0.5
+
+
+class TestSweepPhysics:
+    def test_h_ratio_monotone_increasing(self, sweep_100nm):
+        assert np.all(np.diff(sweep_100nm.h_ratio) > 0.0)
+
+    def test_k_ratio_monotone_decreasing(self, sweep_100nm):
+        assert np.all(np.diff(sweep_100nm.k_ratio) < 0.0)
+
+    def test_delay_ratio_starts_at_one(self, sweep_100nm):
+        assert sweep_100nm.delay_ratio_vs_rc[0] == pytest.approx(1.0)
+        assert np.all(np.diff(sweep_100nm.delay_ratio_vs_rc) > 0.0)
+
+    def test_mistuning_penalty_at_least_one(self, sweep_100nm):
+        """The RC-sized stage can never beat the RLC optimum."""
+        assert np.all(sweep_100nm.mistuning_penalty >= 1.0 - 1e-9)
+
+    def test_damping_margin_crosses_one(self, sweep_100nm):
+        """Low-l optima are overdamped, high-l optima underdamped."""
+        margin = sweep_100nm.damping_margin
+        assert margin[0] < 1.0      # l = 0
+        assert margin[-1] > 1.0     # l = 4 nH/mm
+
+    def test_warm_start_consistency_with_single_solves(self, sweep_100nm):
+        """Sweep results must match independent single optimizations."""
+        from repro import NODE_100NM, optimize_repeater
+        index = 2  # l = 1 nH/mm
+        line = NODE_100NM.line_with_inductance(
+            float(sweep_100nm.l_values[index]))
+        single = optimize_repeater(line, NODE_100NM.driver)
+        assert sweep_100nm.h_opt[index] == pytest.approx(single.h_opt,
+                                                         rel=1e-5)
+        assert sweep_100nm.k_opt[index] == pytest.approx(single.k_opt,
+                                                         rel=1e-5)
+
+    def test_rc_reference_matches_closed_form(self, sweep_100nm):
+        from repro import NODE_100NM, rc_optimum
+        reference = rc_optimum(NODE_100NM.line, NODE_100NM.driver)
+        assert sweep_100nm.rc_reference.h_opt == reference.h_opt
+        assert sweep_100nm.rc_reference.k_opt == reference.k_opt

@@ -1,0 +1,88 @@
+"""Unit tests for the technology database and device characterization."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConvergenceError
+from repro.tech import (NODE_100NM, NODE_100NM_EPS_250NM, NODE_250NM, NODES,
+                        calibrate_inverter, get_node, measure_falling_delay,
+                        measured_driver_params)
+
+
+class TestNodeDatabase:
+    def test_table1_line_parameters(self):
+        assert units.to_ohm_per_mm(NODE_250NM.line.r) == pytest.approx(4.4)
+        assert units.to_pf_per_m(NODE_250NM.line.c) == pytest.approx(203.50)
+        assert units.to_pf_per_m(NODE_100NM.line.c) == pytest.approx(123.33)
+        assert NODE_250NM.line.l == 0.0
+
+    def test_table1_driver_parameters(self):
+        assert units.to_kohm(NODE_250NM.driver.r_s) == pytest.approx(11.784)
+        assert units.to_ff(NODE_250NM.driver.c_0) == pytest.approx(1.6314)
+        assert units.to_ff(NODE_100NM.driver.c_p) == pytest.approx(3.68)
+
+    def test_geometry_fields(self):
+        geometry = NODE_250NM.geometry
+        assert geometry.width == pytest.approx(2e-6)
+        assert geometry.pitch == pytest.approx(4e-6)
+        assert geometry.spacing == pytest.approx(2e-6)
+        assert geometry.aspect_ratio == pytest.approx(1.25)
+        assert geometry.cross_section_area == pytest.approx(5e-12)
+
+    def test_get_node(self):
+        assert get_node("250nm") is NODE_250NM
+        assert get_node("100nm") is NODE_100NM
+        with pytest.raises(KeyError):
+            get_node("65nm")
+
+    def test_line_with_inductance(self):
+        line = NODE_100NM.line_with_inductance(2.0 * units.NH_PER_MM)
+        assert line.l == pytest.approx(2e-6)
+        assert NODE_100NM.line.l == 0.0
+
+    def test_control_node_has_250nm_capacitance(self):
+        """100nm devices + 250nm dielectric -> c identical to 250nm
+        (identical top-metal geometry), the paper's Fig. 7 control."""
+        assert NODE_100NM_EPS_250NM.line.c == pytest.approx(
+            NODE_250NM.line.c, rel=1e-3)
+        assert NODE_100NM_EPS_250NM.driver == NODE_100NM.driver
+        assert NODE_100NM_EPS_250NM.epsilon_r == NODE_250NM.epsilon_r
+
+    def test_registry_contains_all(self):
+        assert set(NODES) >= {"250nm", "100nm"}
+        assert NODE_100NM_EPS_250NM.name in NODES
+
+
+class TestCharacterization:
+    def test_analytic_calibration_close(self, node):
+        """The analytic beta seed lands within ~15% of the target r_s."""
+        calibration = calibrate_inverter(node)
+        measured = measured_driver_params(calibration)
+        assert measured.r_s == pytest.approx(node.driver.r_s, rel=0.15)
+        assert measured.c_0 == node.driver.c_0
+        assert measured.c_p == node.driver.c_p
+
+    def test_refined_calibration_tight(self, node):
+        """Refinement closes the loop to a few percent."""
+        calibration = calibrate_inverter(node, refine=True)
+        measured = measured_driver_params(calibration)
+        assert measured.r_s == pytest.approx(node.driver.r_s, rel=0.05)
+
+    def test_falling_delay_scales_with_load(self, node):
+        calibration = calibrate_inverter(node)
+        small = measure_falling_delay(calibration,
+                                      c_load=10 * node.driver.c_0)
+        large = measure_falling_delay(calibration,
+                                      c_load=40 * node.driver.c_0)
+        assert large > 2.0 * small
+
+    def test_falling_delay_scales_inversely_with_size(self, node):
+        calibration = calibrate_inverter(node)
+        c_load = 50 * node.driver.c_0
+        min_size = measure_falling_delay(calibration, c_load=c_load, k=1.0)
+        double = measure_falling_delay(calibration, c_load=c_load, k=2.0)
+        assert double == pytest.approx(min_size / 2.0, rel=0.15)
+
+    def test_vth_fraction_respected(self, node):
+        calibration = calibrate_inverter(node, vth_fraction=0.3)
+        assert calibration.vth == pytest.approx(0.3 * node.vdd)

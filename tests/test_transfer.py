@@ -1,0 +1,104 @@
+"""Unit tests for the exact and Padé transfer functions (paper Eqs. 1-2)."""
+
+import cmath
+
+import numpy as np
+import pytest
+
+from repro import (Stage, compute_moments, exact_transfer, pade_transfer,
+                   units)
+from repro.core.transfer import exact_transfer_via_abcd, transfer_error_at
+
+
+class TestExactTransfer:
+    def test_dc_gain_is_one(self, stage_rlc):
+        transfer = exact_transfer(stage_rlc)
+        assert transfer(0.0) == 1.0
+        assert abs(transfer(1.0 + 0j)) == pytest.approx(1.0, rel=1e-6)
+
+    def test_closed_form_matches_abcd_cascade(self, stage_rlc):
+        """Eq. 1 and the explicit matrix product are the same function."""
+        direct = exact_transfer(stage_rlc)
+        cascade = exact_transfer_via_abcd(stage_rlc)
+        for s in (1e9j, 1e10j, 1e9 + 5e9j, 5e9, -1e8 + 2e10j):
+            assert direct(s) == pytest.approx(cascade(s), rel=1e-9)
+
+    def test_magnitude_rolls_off_past_resonance(self, stage_rlc):
+        """|H| may peak slightly above 1 near resonance (underdamped line)
+        but must roll off far beyond it."""
+        transfer = exact_transfer(stage_rlc)
+        low = abs(transfer(1j * 1e6))
+        resonant = abs(transfer(1j * 1e10))
+        high = abs(transfer(1j * 1e12))
+        assert low == pytest.approx(1.0, abs=1e-6)
+        assert resonant < 3.0          # bounded resonant peaking
+        assert high < 0.01 * low       # strong rolloff far past resonance
+
+    def test_conjugate_symmetry(self, stage_rlc):
+        """H(conj(s)) = conj(H(s)) for a real impulse response."""
+        transfer = exact_transfer(stage_rlc)
+        s = 2e9 + 7e9j
+        assert transfer(s.conjugate()) == pytest.approx(
+            transfer(s).conjugate(), rel=1e-12)
+
+    def test_asymptotic_branch_continuous(self, node):
+        """The large-u asymptote must join the cosh/sinh form smoothly."""
+        # Build a stage long enough that real s drives Re(theta h) past the
+        # threshold; compare just below it against the asymptote just above.
+        line = node.line_with_inductance(1.0 * units.NH_PER_MM)
+        stage = Stage(line=line, driver=node.driver, h=0.05, k=100.0)
+        transfer = exact_transfer(stage)
+        # Find s where theta*h ~ threshold by scanning real s.
+        from repro.core.transfer import _ASYMPTOTIC_THRESHOLD
+
+        def theta_h(s):
+            return (cmath.sqrt((line.r + s * line.l) * (s * line.c))
+                    * stage.h).real
+
+        s_lo, s_hi = 1e6, 1e18
+        for _ in range(80):
+            s_mid = cmath.sqrt(s_lo * s_hi).real
+            if theta_h(s_mid) < _ASYMPTOTIC_THRESHOLD:
+                s_lo = s_mid
+            else:
+                s_hi = s_mid
+        below = transfer(s_lo)
+        above = transfer(s_hi)
+        # Both sides are astronomically small but must agree in order of
+        # magnitude sense; compare logs.
+        if abs(below) > 0.0 and abs(above) > 0.0:
+            assert np.log(abs(below)) == pytest.approx(
+                np.log(abs(above)), rel=1e-3)
+
+    def test_no_overflow_at_extreme_s(self, stage_rlc):
+        transfer = exact_transfer(stage_rlc)
+        value = transfer(1e16 + 0j)
+        assert value == 0.0 or abs(value) < 1e-30
+
+
+class TestPadeTransfer:
+    def test_matches_exact_at_low_frequency(self, stage_rlc):
+        """The Padé model shares the first two moments, so H agrees to
+        O(s^3) near s = 0."""
+        exact = exact_transfer(stage_rlc)
+        pade = pade_transfer(stage_rlc)
+        moments = compute_moments(stage_rlc)
+        w_low = 0.01 / moments.b1
+        assert pade(1j * w_low) == pytest.approx(exact(1j * w_low), rel=1e-3)
+
+    def test_pade_form(self, stage_rlc):
+        moments = compute_moments(stage_rlc)
+        pade = pade_transfer(stage_rlc)
+        s = 3e9j
+        expected = 1.0 / (1.0 + s * moments.b1 + s * s * moments.b2)
+        assert pade(s) == pytest.approx(expected, rel=1e-14)
+
+    def test_error_metric_positive_at_high_frequency(self, stage_rlc):
+        moments = compute_moments(stage_rlc)
+        w_high = 10.0 / (moments.b2 ** 0.5)
+        assert transfer_error_at(stage_rlc, 1j * w_high) > 0.0
+
+    def test_error_small_at_low_frequency(self, stage_rlc):
+        moments = compute_moments(stage_rlc)
+        w_low = 0.001 / moments.b1
+        assert transfer_error_at(stage_rlc, 1j * w_low) < 1e-6

@@ -1,0 +1,166 @@
+"""Unit tests for the RC-tree moment engine."""
+
+import math
+
+import pytest
+
+from repro.core.tree import ROOT, RCTree
+from repro.errors import ParameterError
+
+
+def lumped_rc(r=1000.0, c=1e-12):
+    tree = RCTree()
+    tree.add("out", ROOT, r, c)
+    return tree
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        tree = lumped_rc()
+        with pytest.raises(ParameterError):
+            tree.add("out", ROOT, 1.0, 1e-15)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ParameterError):
+            RCTree().add("a", "nope", 1.0, 1e-15)
+
+    def test_invalid_values_rejected(self):
+        tree = RCTree()
+        with pytest.raises(ParameterError):
+            tree.add("a", ROOT, 0.0, 1e-15)
+        with pytest.raises(ParameterError):
+            tree.add("a", ROOT, 1.0, -1e-15)
+        with pytest.raises(ParameterError):
+            RCTree(root_capacitance=-1.0)
+
+    def test_add_chain(self):
+        tree = RCTree()
+        leaf = tree.add_chain(ROOT, "w", 4, 100.0, 4e-13)
+        assert leaf == "w.4"
+        assert len(tree.nodes) == 5
+        assert tree.total_capacitance() == pytest.approx(4e-13)
+
+
+class TestElmore:
+    def test_lumped_rc(self):
+        tree = lumped_rc(1000.0, 1e-12)
+        assert tree.elmore_delay("out") == pytest.approx(1e-9)
+
+    def test_two_segment_chain_hand_computed(self):
+        """R1=1k C1=1p, R2=2k C2=3p:
+        m1(n1) = R1 (C1 + C2) = 4n;  m1(n2) = m1(n1) + R2 C2 = 10n."""
+        tree = RCTree()
+        tree.add("n1", ROOT, 1000.0, 1e-12)
+        tree.add("n2", "n1", 2000.0, 3e-12)
+        assert tree.elmore_delay("n1") == pytest.approx(4e-9)
+        assert tree.elmore_delay("n2") == pytest.approx(10e-9)
+
+    def test_branching_shares_upstream_resistance(self):
+        """Two equal branches off one stem: both leaves see the stem's
+        delay plus their own, and the stem carries the total C."""
+        tree = RCTree()
+        tree.add("stem", ROOT, 1000.0, 1e-12)
+        tree.add("left", "stem", 500.0, 2e-12)
+        tree.add("right", "stem", 500.0, 2e-12)
+        # m1(stem) = 1000 * 5p = 5n; leaves add 500 * 2p = 1n.
+        assert tree.elmore_delay("stem") == pytest.approx(5e-9)
+        assert tree.elmore_delay("left") == pytest.approx(6e-9)
+        assert tree.elmore_delay("right") == pytest.approx(6e-9)
+
+    def test_root_has_zero_delay(self):
+        tree = lumped_rc()
+        assert tree.elmore_delay(ROOT) == 0.0
+
+    def test_unknown_node(self):
+        with pytest.raises(ParameterError):
+            lumped_rc().elmore_delay("missing")
+
+
+class TestSecondMoments:
+    def test_lumped_rc_moments(self):
+        """Single RC: m1 = RC, m2 = (RC)^2, so b2 = 0 (exactly one pole)."""
+        tree = lumped_rc(1000.0, 1e-12)
+        rc = 1e-9
+        assert tree.second_moment("out") == pytest.approx(rc * rc)
+        b1, b2 = tree.pade_moments("out")
+        assert b1 == pytest.approx(rc)
+        assert b2 == pytest.approx(0.0, abs=1e-24)
+
+    def test_two_segment_hand_computed(self):
+        """m2(n2) = R1 (C1 m1(n1) + C2 m1(n2)) + R2 C2 m1(n2)."""
+        tree = RCTree()
+        tree.add("n1", ROOT, 1000.0, 1e-12)
+        tree.add("n2", "n1", 2000.0, 3e-12)
+        m1_n1, m1_n2 = 4e-9, 10e-9
+        expected = (1000.0 * (1e-12 * m1_n1 + 3e-12 * m1_n2)
+                    + 2000.0 * 3e-12 * m1_n2)
+        assert tree.second_moment("n2") == pytest.approx(expected)
+
+    def test_distributed_chain_matches_analytic_limit(self):
+        """Many segments -> distributed line moments: b1 = RC/2 + ...,
+        here a bare wire: b1 -> RC/2, b2 -> (RC)^2 (1/4 - 1/24...)."""
+        total_r, total_c = 100.0, 2e-12
+        tree = RCTree()
+        leaf = tree.add_chain(ROOT, "w", 200, total_r, total_c)
+        b1, b2 = tree.pade_moments(leaf)
+        rc = total_r * total_c
+        # Distributed-line Pade moments: b1 = rc/2, b2 = rc^2 (1/4 - 1/24)
+        # ... from b1^2 - m2 with m2 = rc^2 / 24 * ... use known values:
+        # for an open-ended distributed RC line b1 = rc/2 and
+        # b2 = rc^2 * 5/24? Validate against repro.core.moments instead.
+        from repro.core.moments import moments_from_lumped
+        b1_ref, b2_ref = moments_from_lumped(
+            r_series=1e-9, c_parasitic=0.0, c_load=0.0,
+            r=total_r, l=0.0, c=total_c, h=1.0)
+        assert b1 == pytest.approx(b1_ref, rel=0.01)
+        assert b2 == pytest.approx(b2_ref, rel=0.02)
+
+
+class TestTreeDelay:
+    def test_lumped_rc_is_ln2(self):
+        tree = lumped_rc(1000.0, 1e-12)
+        assert tree.delay("out") == pytest.approx(math.log(2.0) * 1e-9,
+                                                  rel=1e-9)
+
+    def test_matches_chain_stage_model(self, node, rc_opt):
+        """A tree built as driver + uniform chain + load reproduces the
+        stage two-pole delay (the chain special case)."""
+        from repro import Stage, threshold_delay
+        stage = Stage(line=node.line, driver=node.driver,
+                      h=rc_opt.h_opt, k=rc_opt.k_opt)
+        drv = stage.sized_driver
+        tree = RCTree(root_capacitance=0.0)
+        # Driver resistance as a first segment carrying C_P.
+        tree.add("drv", ROOT, drv.r_series, drv.c_parasitic)
+        leaf = tree.add_chain("drv", "w", 400, stage.total_line_resistance,
+                              stage.total_line_capacitance)
+        tree.add("sink", leaf, 1e-9, drv.c_load)
+        tau_tree = tree.delay("sink")
+        tau_stage = threshold_delay(stage).tau
+        assert tau_tree == pytest.approx(tau_stage, rel=0.01)
+
+    def test_delay_monotone_along_chain(self):
+        tree = RCTree()
+        tree.add_chain(ROOT, "w", 10, 1000.0, 1e-12)
+        delays = [tree.delay(f"w.{i}") for i in range(1, 11)]
+        assert delays == sorted(delays)
+
+    def test_balanced_tree_leaves_equal(self):
+        tree = RCTree()
+        tree.add("stem", ROOT, 100.0, 1e-13)
+        for side in ("a", "b"):
+            tree.add_chain("stem", side, 5, 500.0, 5e-13)
+        assert tree.delay("a.5") == pytest.approx(tree.delay("b.5"))
+
+    def test_sibling_load_slows_a_leaf(self):
+        """Adding capacitance on a sibling branch raises a leaf's delay
+        (shared upstream resistance) — the tree effect a chain misses."""
+        def leaf_delay(sibling_c):
+            tree = RCTree()
+            tree.add("stem", ROOT, 1000.0, 1e-13)
+            tree.add("leaf", "stem", 500.0, 1e-12)
+            if sibling_c:
+                tree.add("sibling", "stem", 500.0, sibling_c)
+            return tree.delay("leaf")
+
+        assert leaf_delay(5e-12) > leaf_delay(0.0)

@@ -1,0 +1,51 @@
+"""Unit tests for the unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestRoundTrips:
+    def test_resistance(self):
+        assert units.to_ohm_per_mm(
+            units.resistance_per_length_from_ohm_per_mm(4.4)) == \
+            pytest.approx(4.4)
+
+    def test_inductance(self):
+        assert units.to_nh_per_mm(
+            units.inductance_per_length_from_nh_per_mm(2.2)) == \
+            pytest.approx(2.2)
+
+    def test_capacitance(self):
+        assert units.to_pf_per_m(
+            units.capacitance_per_length_from_pf_per_m(203.5)) == \
+            pytest.approx(203.5)
+
+    def test_length(self):
+        assert units.to_mm(units.length_from_mm(14.4)) == pytest.approx(14.4)
+
+
+class TestAbsoluteValues:
+    def test_resistance_si(self):
+        assert units.resistance_per_length_from_ohm_per_mm(4.4) == \
+            pytest.approx(4400.0)
+
+    def test_inductance_si(self):
+        assert units.inductance_per_length_from_nh_per_mm(1.0) == \
+            pytest.approx(1e-6)
+
+    def test_capacitance_si(self):
+        assert units.capacitance_per_length_from_pf_per_m(203.5) == \
+            pytest.approx(203.5e-12)
+
+    def test_time_and_component_scales(self):
+        assert units.to_ps(1e-12) == pytest.approx(1.0)
+        assert units.to_ff(1e-15) == pytest.approx(1.0)
+        assert units.to_kohm(11784.0) == pytest.approx(11.784)
+
+    def test_physical_constants(self):
+        assert units.EPSILON_0 == pytest.approx(8.854e-12, rel=1e-3)
+        assert units.MU_0 == pytest.approx(1.2566e-6, rel=1e-3)
+        # c = 1/sqrt(eps0 mu0):
+        assert units.C_LIGHT == pytest.approx(
+            (units.EPSILON_0 * units.MU_0) ** -0.5, rel=1e-9)

@@ -1,0 +1,66 @@
+"""Unit tests for the statistical delay-variation module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variation import (delay_variation,
+                                      stage_parameter_values)
+from repro.errors import ParameterError
+
+
+class TestVariation:
+    def test_zero_spread_zero_variance(self, stage_rlc):
+        result = delay_variation(stage_rlc, {"l": 0.0}, samples=16)
+        assert result.std_tau == pytest.approx(0.0, abs=1e-18)
+        assert result.mean_tau == pytest.approx(result.nominal_tau,
+                                                rel=1e-9)
+
+    def test_linearization_matches_monte_carlo(self, stage_rlc):
+        """For modest spreads the analytic first-order sigma agrees with
+        Monte Carlo within ~15%."""
+        result = delay_variation(stage_rlc, {"l": 0.15, "c": 0.05},
+                                 samples=600, seed=7)
+        assert result.linearization_error < 0.15
+        assert result.std_tau > 0.0
+
+    def test_larger_spread_larger_sigma(self, stage_rlc):
+        small = delay_variation(stage_rlc, {"l": 0.05}, samples=300, seed=3)
+        large = delay_variation(stage_rlc, {"l": 0.25}, samples=300, seed=3)
+        assert large.std_tau > small.std_tau
+
+    def test_reproducible_with_seed(self, stage_rlc):
+        a = delay_variation(stage_rlc, {"l": 0.2}, samples=50, seed=11)
+        b = delay_variation(stage_rlc, {"l": 0.2}, samples=50, seed=11)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_custom_rng(self, stage_rlc):
+        rng = np.random.default_rng(99)
+        result = delay_variation(stage_rlc, {"l": 0.2}, samples=50, rng=rng)
+        assert result.samples.shape == (50,)
+
+    def test_three_sigma_fraction(self, stage_rlc):
+        result = delay_variation(stage_rlc, {"l": 0.2}, samples=300, seed=5)
+        assert result.three_sigma_fraction == pytest.approx(
+            3.0 * result.std_tau / result.nominal_tau)
+
+    def test_multi_parameter_variances_add(self, stage_rlc):
+        """Independent parameters: linear sigmas add in quadrature."""
+        only_l = delay_variation(stage_rlc, {"l": 0.2}, samples=8)
+        only_c = delay_variation(stage_rlc, {"c": 0.1}, samples=8)
+        both = delay_variation(stage_rlc, {"l": 0.2, "c": 0.1}, samples=8)
+        quadrature = np.hypot(only_l.linear_std_tau, only_c.linear_std_tau)
+        assert both.linear_std_tau == pytest.approx(quadrature, rel=1e-9)
+
+    def test_parameter_values_helper(self, stage_rlc):
+        values = stage_parameter_values(stage_rlc)
+        assert values["h"] == stage_rlc.h
+        assert values["l"] == stage_rlc.line.l
+        assert len(values) == 8
+
+    def test_validation(self, stage_rlc):
+        with pytest.raises(ParameterError):
+            delay_variation(stage_rlc, {"bogus": 0.1})
+        with pytest.raises(ParameterError):
+            delay_variation(stage_rlc, {"l": -0.1})
+        with pytest.raises(ParameterError):
+            delay_variation(stage_rlc, {"l": 0.1}, samples=1)

@@ -1,0 +1,101 @@
+"""Tests for the inverter VTC and the rise/fall-time (slew) metrics."""
+
+import numpy as np
+import pytest
+
+from repro import StepResponse, compute_moments
+from repro.analysis import Waveform
+from repro.errors import ParameterError
+from repro.tech import NODE_100NM, calibrate_inverter
+from repro.tech.characterize import inverter_vtc
+
+
+class TestInverterVtc:
+    @pytest.fixture(scope="class")
+    def vtc(self):
+        calibration = calibrate_inverter(NODE_100NM)
+        return inverter_vtc(calibration, points=41)
+
+    def test_rails(self, vtc):
+        assert vtc.output_voltages[0] == pytest.approx(NODE_100NM.vdd,
+                                                       abs=0.02)
+        assert vtc.output_voltages[-1] == pytest.approx(0.0, abs=0.02)
+
+    def test_monotone_decreasing(self, vtc):
+        assert np.all(np.diff(vtc.output_voltages) <= 1e-6)
+
+    def test_symmetric_threshold(self, vtc):
+        assert vtc.symmetric
+        assert vtc.switching_threshold == pytest.approx(
+            0.5 * NODE_100NM.vdd, abs=0.05)
+
+    def test_gain_exceeds_one(self, vtc):
+        """A restoring logic gate needs |gain| > 1 at the threshold."""
+        assert vtc.peak_gain > 2.0
+
+    def test_noise_margins_positive_and_symmetric(self, vtc):
+        assert vtc.noise_margin_low > 0.2 * NODE_100NM.vdd
+        assert vtc.noise_margin_high > 0.2 * NODE_100NM.vdd
+        assert vtc.noise_margin_low == pytest.approx(
+            vtc.noise_margin_high, abs=0.1 * NODE_100NM.vdd)
+
+
+class TestWaveformSlew:
+    def exponential_rise(self, tau=1e-9):
+        t = np.linspace(0.0, 10.0 * tau, 4000)
+        return Waveform(t, 1.0 - np.exp(-t / tau))
+
+    def test_exponential_rise_time(self):
+        """10-90% rise of 1-exp(-t/tau) is tau ln 9."""
+        tau = 1e-9
+        waveform = self.exponential_rise(tau)
+        assert waveform.rise_time(0.0, 1.0) == pytest.approx(
+            tau * np.log(9.0), rel=1e-3)
+
+    def test_exponential_fall_time(self):
+        tau = 1e-9
+        t = np.linspace(0.0, 10.0 * tau, 4000)
+        waveform = Waveform(t, np.exp(-t / tau))
+        assert waveform.fall_time(0.0, 1.0) == pytest.approx(
+            tau * np.log(9.0), rel=1e-3)
+
+    def test_custom_fractions(self):
+        tau = 1e-9
+        waveform = self.exponential_rise(tau)
+        t_20_80 = waveform.rise_time(0.0, 1.0, fractions=(0.2, 0.8))
+        assert t_20_80 == pytest.approx(tau * np.log(0.8 / 0.2), rel=1e-3)
+
+    def test_fraction_validation(self):
+        waveform = self.exponential_rise()
+        with pytest.raises(ParameterError):
+            waveform.rise_time(0.0, 1.0, fractions=(0.9, 0.1))
+        with pytest.raises(ParameterError):
+            waveform.fall_time(0.0, 1.0, fractions=(-0.1, 0.9))
+
+
+class TestStepResponseRiseTime:
+    def test_matches_sampled_waveform(self, stage_rlc):
+        response = StepResponse.from_moments(compute_moments(stage_rlc))
+        analytic = response.rise_time()
+        t = np.linspace(0.0, 10.0 * response.settling_time(0.01), 20000)
+        sampled = Waveform(t, response(t)).rise_time(0.0, 1.0)
+        assert analytic == pytest.approx(sampled, rel=1e-3)
+
+    def test_inductance_sharpens_the_edge(self, node, rc_opt):
+        """More inductance -> steeper (more LC-like) leading edge relative
+        to the delay: rise/delay ratio falls with l."""
+        from repro import Stage, threshold_delay, units
+        ratios = []
+        for l_nh in (0.5, 2.0, 4.0):
+            stage = Stage(line=node.line_with_inductance(
+                l_nh * units.NH_PER_MM), driver=node.driver,
+                h=rc_opt.h_opt, k=rc_opt.k_opt)
+            response = StepResponse.from_moments(compute_moments(stage))
+            tau = threshold_delay(stage, polish_with_newton=False).tau
+            ratios.append(response.rise_time() / tau)
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_fraction_validation(self, stage_rc):
+        response = StepResponse.from_moments(compute_moments(stage_rc))
+        with pytest.raises(ValueError):
+            response.rise_time(fractions=(0.9, 0.1))

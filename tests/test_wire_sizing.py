@@ -1,0 +1,97 @@
+"""Unit tests for the wire-width co-optimization."""
+
+import pytest
+
+from repro import optimize_repeater, units
+from repro.core.wire_sizing import (WireSizingResult, line_from_geometry,
+                                    optimize_wire_width)
+from repro.errors import ParameterError
+from repro.extraction import wire_from_tech
+from repro.tech import NODE_100NM
+
+
+@pytest.fixture(scope="module")
+def reference_wire():
+    return wire_from_tech(NODE_100NM.geometry)
+
+
+class TestLineFromGeometry:
+    def test_resistance_scales_inversely_with_width(self, reference_wire):
+        node = NODE_100NM
+        narrow = line_from_geometry(reference_wire, 1e-6, 4e-6,
+                                    node.epsilon_r, inductance=1e-6)
+        wide = line_from_geometry(reference_wire, 2e-6, 4e-6,
+                                  node.epsilon_r, inductance=1e-6)
+        assert narrow.r == pytest.approx(2.0 * wide.r, rel=1e-9)
+
+    def test_capacitance_grows_with_width_at_fixed_pitch(self,
+                                                         reference_wire):
+        node = NODE_100NM
+        narrow = line_from_geometry(reference_wire, 1e-6, 4e-6,
+                                    node.epsilon_r, inductance=1e-6)
+        wide = line_from_geometry(reference_wire, 3e-6, 4e-6,
+                                  node.epsilon_r, inductance=1e-6)
+        assert wide.c > narrow.c
+
+    def test_fixed_vs_extracted_inductance(self, reference_wire):
+        node = NODE_100NM
+        fixed = line_from_geometry(reference_wire, 2e-6, 4e-6,
+                                   node.epsilon_r, inductance=2e-6)
+        assert fixed.l == 2e-6
+        extracted = line_from_geometry(reference_wire, 2e-6, 4e-6,
+                                       node.epsilon_r, inductance=None)
+        assert 0.0 < extracted.l < 2e-6       # loop-over-plane is sub-nH/mm
+
+    def test_reproduces_table1_at_nominal_width(self, reference_wire):
+        node = NODE_100NM
+        line = line_from_geometry(reference_wire, node.geometry.width,
+                                  node.geometry.pitch, node.epsilon_r,
+                                  inductance=0.0 + 1e-9)
+        assert units.to_pf_per_m(line.c) == pytest.approx(123.33, rel=0.1)
+        assert units.to_ohm_per_mm(line.r) == pytest.approx(4.4, rel=0.01)
+
+    def test_validation(self, reference_wire):
+        node = NODE_100NM
+        with pytest.raises(ParameterError):
+            line_from_geometry(reference_wire, 0.0, 4e-6, node.epsilon_r)
+        with pytest.raises(ParameterError):
+            line_from_geometry(reference_wire, 4e-6, 4e-6, node.epsilon_r)
+
+
+class TestWidthOptimization:
+    @pytest.fixture(scope="class")
+    def sized(self, ):
+        node = NODE_100NM
+        reference = wire_from_tech(node.geometry)
+        return optimize_wire_width(reference, node.geometry.pitch,
+                                   node.epsilon_r, node.driver,
+                                   inductance=1.0 * units.NH_PER_MM)
+
+    def test_result_structure(self, sized):
+        assert isinstance(sized, WireSizingResult)
+        assert 0.0 < sized.width < NODE_100NM.geometry.pitch
+        assert sized.delay_per_length > 0.0
+        assert sized.evaluations > 5
+
+    def test_optimum_beats_boundary_widths(self, sized, reference_wire):
+        node = NODE_100NM
+        for width in (0.5e-6, 3.5e-6):
+            line = line_from_geometry(reference_wire, width,
+                                      node.geometry.pitch, node.epsilon_r,
+                                      inductance=1.0 * units.NH_PER_MM)
+            other = optimize_repeater(line, node.driver)
+            assert other.delay_per_length >= sized.delay_per_length \
+                * (1.0 - 1e-4)
+
+    def test_interior_optimum(self, sized):
+        """The r-vs-c trade-off puts the best width strictly inside the
+        pitch (neither minimum nor maximum width wins)."""
+        pitch = NODE_100NM.geometry.pitch
+        assert 0.15 * pitch < sized.width < 0.85 * pitch
+
+    def test_bounds_validated(self, reference_wire):
+        node = NODE_100NM
+        with pytest.raises(ParameterError):
+            optimize_wire_width(reference_wire, node.geometry.pitch,
+                                node.epsilon_r, node.driver,
+                                width_bounds=(3e-6, 1e-6))
