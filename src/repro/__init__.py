@@ -17,6 +17,8 @@ Public API highlights
   by the ring-oscillator failure studies (Figs. 9-12).
 """
 
+__version__ = "1.0.0"
+
 from . import units
 from .core import (Damping, DelayResult, DelaySensitivities, DriverParams,
                    InductanceSweep, LineParams, Moments, OptimizerMethod,
@@ -34,11 +36,10 @@ from .errors import (ConvergenceError, DelaySolverError, ExtractionError,
 from .tech.node import (MAX_PRACTICAL_INDUCTANCE, NODE_100NM,
                         NODE_100NM_EPS_250NM, NODE_250NM, NODES,
                         TechnologyNode, WireGeometrySpec, get_node)
-
-__version__ = "1.0.0"
+from . import engine
 
 __all__ = [
-    "__version__", "units",
+    "__version__", "units", "engine",
     # core
     "Damping", "DelayResult", "DriverParams", "InductanceSweep", "LineParams",
     "Moments", "OptimizerMethod", "PolePair", "RCOptimum", "RepeaterOptimum",

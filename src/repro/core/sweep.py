@@ -10,17 +10,23 @@ basin) and collects all derived quantities the figures need:
 * ratios against the closed-form RC optimum    (Figs. 5, 6, 7)
 * l_crit evaluated at the RLC optimum          (Fig. 4)
 * delay of the *RC-sized* stage at each l      (Fig. 8)
+
+Each sweep point is submitted through the batch engine
+(:mod:`repro.engine`) as one ``OptimizeJob`` plus one ``DelayJob``.  The
+default backend is the serial in-process executor, which preserves the
+warm-start chain (point i seeds point i+1, so the evaluation order is
+inherently sequential) and bitwise determinism; passing an executor with
+a result cache makes repeated sweeps replay from disk.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import OptimizationError
 from .critical import critical_inductance
-from .delay import threshold_delay
 from .elmore import RCOptimum, rc_optimum
 from .optimize import OptimizerMethod, RepeaterOptimum, optimize_repeater
 from .params import DriverParams, LineParams, Stage
@@ -41,7 +47,7 @@ class InductanceSweep:
     l_crit: np.ndarray
     rc_reference: RCOptimum
     threshold: float
-    rc_sized_delay_per_length: np.ndarray = field(default=None)  # type: ignore[assignment]
+    rc_sized_delay_per_length: np.ndarray
 
     @property
     def h_ratio(self) -> np.ndarray:
@@ -80,8 +86,8 @@ class InductanceSweep:
 
 def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
                      l_values, f: float = 0.5, *,
-                     method: OptimizerMethod = OptimizerMethod.AUTO
-                     ) -> InductanceSweep:
+                     method: OptimizerMethod = OptimizerMethod.AUTO,
+                     executor=None) -> InductanceSweep:
     """Run the repeater optimizer for each inductance in ``l_values``.
 
     Parameters
@@ -96,10 +102,22 @@ def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
         for effective warm starting.
     f:
         Delay threshold fraction.
+    executor:
+        Optional :class:`repro.engine.executor.BatchExecutor` the per-point
+        jobs are submitted through.  Defaults to a fresh serial in-process
+        executor (no cache); attach a cached executor to make repeated
+        sweeps replay from disk.  Because each point warm-starts the next,
+        points are submitted one at a time regardless of the executor's
+        worker count.
     """
+    from ..engine.executor import BatchExecutor
+    from ..engine.jobs import DelayJob, OptimizeJob
+
     l_array = np.asarray(list(l_values), dtype=float)
     if l_array.size == 0:
         raise ValueError("l_values must be non-empty")
+    if executor is None:
+        executor = BatchExecutor(jobs=1)
 
     rc_ref = rc_optimum(line_zero_l, driver)
     n = l_array.size
@@ -113,26 +131,28 @@ def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
     warm_start = (rc_ref.h_opt, rc_ref.k_opt)
     for i, l in enumerate(l_array):
         line = line_zero_l.with_inductance(float(l))
-        try:
-            optimum = optimize_repeater(line, driver, f, method=method,
-                                        initial=warm_start)
-        except OptimizationError:
-            # Re-seed from the RC optimum once before giving up.
-            optimum = optimize_repeater(line, driver, f, method=method,
-                                        initial=(rc_ref.h_opt, rc_ref.k_opt))
-        warm_start = (optimum.h_opt, optimum.k_opt)
-        h_opt[i] = optimum.h_opt
-        k_opt[i] = optimum.k_opt
-        tau[i] = optimum.tau
-        dpl[i] = optimum.delay_per_length
+        # OptimizeJob retries once from the RC optimum when the warm
+        # start fails — the recovery this loop used to apply inline.
+        outcome = executor.run_one(OptimizeJob(
+            line=line, driver=driver, f=f, method=method,
+            initial=warm_start))
+        if not outcome.ok:
+            raise OptimizationError(
+                f"sweep point {i} (l = {l:.4g} H/m) failed: "
+                f"{outcome.error_type}: {outcome.error}")
+        optimum = outcome.result
+        warm_start = (optimum["h_opt"], optimum["k_opt"])
+        h_opt[i] = optimum["h_opt"]
+        k_opt[i] = optimum["k_opt"]
+        tau[i] = optimum["tau"]
+        dpl[i] = optimum["delay_per_length"]
         optimum_stage = Stage(line=line, driver=driver,
-                              h=optimum.h_opt, k=optimum.k_opt)
+                              h=optimum["h_opt"], k=optimum["k_opt"])
         l_crit[i] = critical_inductance(optimum_stage)
-        rc_stage = Stage(line=line, driver=driver,
-                         h=rc_ref.h_opt, k=rc_ref.k_opt)
-        rc_sized_dpl[i] = (threshold_delay(rc_stage, f,
-                                           polish_with_newton=False).tau
-                           / rc_ref.h_opt)
+        rc_sized = executor.run_one(DelayJob(
+            line=line, driver=driver,
+            h=rc_ref.h_opt, k=rc_ref.k_opt, f=f)).unwrap()
+        rc_sized_dpl[i] = rc_sized["tau"] / rc_ref.h_opt
 
     return InductanceSweep(l_values=l_array, h_opt=h_opt, k_opt=k_opt,
                            tau=tau, delay_per_length=dpl, l_crit=l_crit,

@@ -1,0 +1,31 @@
+"""Batch-evaluation engine: job specs, caching, scheduling, metrics.
+
+This package turns the library's one-shot functions into a job-oriented
+batch service.  Declarative job specs (:mod:`repro.engine.jobs`) are
+content-addressed into an on-disk result cache
+(:mod:`repro.engine.cache`) and scheduled over a serial or process-pool
+backend (:mod:`repro.engine.executor`) with per-job fault isolation and
+batch instrumentation (:mod:`repro.engine.metrics`).  The ``repro-batch``
+CLI (:mod:`repro.engine.cli`) evaluates JSON/CSV manifests
+(:mod:`repro.engine.manifest`).
+
+The engine is the single evaluation path:
+:func:`repro.core.sweep.sweep_inductance` and the ``repro-experiments``
+runner both submit their work through it.
+"""
+
+from .cache import CacheStats, ResultCache, code_version_salt, \
+    default_cache_dir
+from .executor import BatchExecutor, BatchReport, JobOutcome
+from .jobs import (DelayJob, ExperimentJob, OptimizeJob, SweepJob,
+                   TransientJob, job_from_dict, job_to_dict)
+from .manifest import ManifestError, load_manifest
+from .metrics import BatchMetrics, JobMetrics
+
+__all__ = [
+    "BatchExecutor", "BatchMetrics", "BatchReport", "CacheStats",
+    "DelayJob", "ExperimentJob", "JobMetrics", "JobOutcome",
+    "ManifestError", "OptimizeJob", "ResultCache", "SweepJob",
+    "TransientJob", "code_version_salt", "default_cache_dir",
+    "job_from_dict", "job_to_dict", "load_manifest",
+]

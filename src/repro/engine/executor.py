@@ -1,0 +1,217 @@
+"""Batch scheduler: serial in-process or ``ProcessPoolExecutor`` backed.
+
+The executor turns a sequence of job specs into an ordered sequence of
+:class:`JobOutcome` records.  Guarantees:
+
+* **Determinism** — results are collected in submission order and contain
+  no wall-clock data, so ``jobs=4`` is bitwise identical to ``jobs=1``.
+* **Fault isolation** — a job that raises (``OptimizationError``,
+  convergence failure, bad parameters, ...) is reported failed with its
+  captured traceback; the rest of the batch completes.  The bounded
+  RC-optimum re-seed retry for optimizer jobs lives in the job spec
+  itself (:class:`repro.engine.jobs.OptimizeJob`), so every backend
+  applies the same recovery.
+* **Caching** — with a :class:`repro.engine.cache.ResultCache` attached,
+  hits are served in-process without spawning work and fresh successes
+  are written back.  Failures are never cached.
+
+The serial backend (``jobs=1``, the default) runs everything in-process:
+monkeypatching, shared ``lru_cache`` state and warm-start chaining all
+behave exactly as direct function calls — which is why it is the default
+evaluation path for :func:`repro.core.sweep.sweep_inductance`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .jobs import job_to_dict
+from .metrics import BatchMetrics, JobMetrics, iterations_of
+
+
+def _execute_job(job: Any) -> Dict[str, Any]:
+    """Evaluate one job, never raising — the unit of fault isolation.
+
+    Module-level so it pickles for the process-pool backend.  Returns an
+    envelope ``{"ok", "result" | ("error", "error_type", "traceback"),
+    "wall_time"}``.
+    """
+    start = time.perf_counter()
+    try:
+        result = job.run()
+    except Exception as exc:  # noqa: BLE001 — isolate *any* job failure
+        return {"ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+                "traceback": traceback.format_exc(),
+                "wall_time": time.perf_counter() - start}
+    return {"ok": True, "result": result,
+            "wall_time": time.perf_counter() - start}
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's fate within a batch, in submission order."""
+
+    job: Any
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    traceback: Optional[str] = None
+    from_cache: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Dict[str, Any]:
+        """Return the result dict, raising ``RuntimeError`` on failure."""
+        if not self.ok:
+            raise RuntimeError(
+                f"{self.job.kind} job failed: "
+                f"{self.error_type}: {self.error}")
+        assert self.result is not None
+        return self.result
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Deterministic JSON form (no wall time) for batch result files."""
+        payload: Dict[str, Any] = {
+            "kind": self.job.kind,
+            "job": job_to_dict(self.job),
+            "status": "ok" if self.ok else "failed",
+        }
+        if self.ok:
+            payload["result"] = self.result
+        else:
+            payload["error"] = self.error
+            payload["error_type"] = self.error_type
+        return payload
+
+
+@dataclass
+class BatchReport:
+    """Ordered outcomes plus the batch's instrumentation."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    metrics: BatchMetrics = field(default_factory=BatchMetrics)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.failures
+
+    def to_payload(self) -> List[Dict[str, Any]]:
+        """Deterministic JSON form of the whole batch, in order."""
+        return [outcome.to_payload() for outcome in self.outcomes]
+
+
+class BatchExecutor:
+    """Schedules job batches over a serial or process-pool backend.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count.  1 (default) evaluates serially in-process; > 1
+        uses a ``ProcessPoolExecutor`` with that many workers.
+    cache:
+        Optional result cache consulted before evaluating and updated
+        with fresh successes.
+    chunksize:
+        Jobs handed to a pool worker per pickle round-trip.  Defaults to
+        ``max(1, pending // (4 * jobs))`` which keeps all workers busy
+        while amortizing IPC for large batches.
+    """
+
+    def __init__(self, jobs: int = 1, *, cache: Optional[ResultCache] = None,
+                 chunksize: Optional[int] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"worker count must be >= 1, got {jobs}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.jobs = jobs
+        self.cache = cache
+        self.chunksize = chunksize
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def run(self, job_specs: Sequence[Any]) -> BatchReport:
+        """Evaluate every job; outcomes are returned in submission order."""
+        job_list = list(job_specs)
+        report = BatchReport()
+        report.metrics.workers = self.jobs
+        start = time.perf_counter()
+
+        # Serve cache hits in-process; only misses are evaluated.
+        outcomes: List[Optional[JobOutcome]] = [None] * len(job_list)
+        pending: List[int] = []
+        for index, job in enumerate(job_list):
+            cached = self.cache.get(job) if self.cache is not None else None
+            if cached is not None:
+                outcomes[index] = JobOutcome(job=job, result=cached,
+                                             from_cache=True)
+            else:
+                pending.append(index)
+
+        for index, envelope in zip(pending, self._evaluate(
+                [job_list[i] for i in pending])):
+            outcomes[index] = self._outcome_from_envelope(
+                job_list[index], envelope)
+
+        for outcome in outcomes:
+            assert outcome is not None
+            report.outcomes.append(outcome)
+            report.metrics.record(JobMetrics(
+                kind=outcome.job.kind,
+                wall_time=outcome.wall_time,
+                from_cache=outcome.from_cache,
+                failed=not outcome.ok,
+                newton_iterations=iterations_of(outcome.result or {}),
+                retried=bool((outcome.result or {}).get("retried", False))))
+        report.metrics.wall_time = time.perf_counter() - start
+        return report
+
+    def run_one(self, job: Any) -> JobOutcome:
+        """Evaluate a single job through the same cache/isolation path."""
+        return self.run([job]).outcomes[0]
+
+    # ------------------------------------------------------------------
+    # Backends.
+    # ------------------------------------------------------------------
+    def _evaluate(self, job_list: List[Any]) -> List[Dict[str, Any]]:
+        if not job_list:
+            return []
+        if self.jobs == 1:
+            return [_execute_job(job) for job in job_list]
+        chunksize = self.chunksize or max(
+            1, len(job_list) // (4 * self.jobs))
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(_execute_job, job_list,
+                                 chunksize=chunksize))
+
+    def _outcome_from_envelope(self, job: Any,
+                               envelope: Dict[str, Any]) -> JobOutcome:
+        if envelope["ok"]:
+            if self.cache is not None:
+                self.cache.put(job, envelope["result"])
+            return JobOutcome(job=job, result=envelope["result"],
+                              wall_time=envelope["wall_time"])
+        return JobOutcome(job=job, error=envelope["error"],
+                          error_type=envelope["error_type"],
+                          traceback=envelope["traceback"],
+                          wall_time=envelope["wall_time"])

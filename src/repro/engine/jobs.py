@@ -1,0 +1,374 @@
+"""Declarative, hashable job specifications for the batch engine.
+
+A *job* is a frozen dataclass that fully describes one evaluation of the
+library — a threshold-delay solve, a repeater optimization, an inductance
+sweep, a ring-oscillator transient, or a whole registered experiment.
+Jobs serialize to a canonical, JSON-stable dictionary (``canonical()``)
+which is the unit of content addressing: two jobs with the same canonical
+form are the same computation and may share a cached result.
+
+Every job knows how to execute itself (``run()``) and returns a plain,
+JSON-serializable result dictionary with no timestamps or other
+nondeterministic fields, so a batch run with ``--jobs 4`` is bitwise
+identical to a serial one and a cached replay is bitwise identical to a
+fresh evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type
+
+from ..core.delay import threshold_delay
+from ..core.elmore import rc_optimum
+from ..core.optimize import OptimizerMethod, optimize_repeater
+from ..core.params import DriverParams, LineParams, Stage
+from ..errors import OptimizationError, ParameterError
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize ``obj`` to the canonical JSON form used for hashing.
+
+    Keys are sorted and separators minimized so the text depends only on
+    the content.  ``float`` round-trips exactly through ``repr``, so equal
+    specs hash equally and unequal ones (almost surely) do not.
+    """
+    return json.dumps(jsonify(obj), sort_keys=True, separators=(",", ":"))
+
+
+def jsonify(obj: Any) -> Any:
+    """Recursively convert ``obj`` to plain JSON types.
+
+    Handles numpy scalars/arrays, tuples and enums so result payloads and
+    job specs built from library objects serialize deterministically.
+    """
+    import enum
+
+    import numpy as np
+
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return [jsonify(x) for x in obj.tolist()]
+    if isinstance(obj, dict):
+        return {str(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(x) for x in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def line_to_dict(line: LineParams) -> Dict[str, float]:
+    """Canonical dictionary form of per-unit-length line parameters."""
+    return {"r": line.r, "l": line.l, "c": line.c}
+
+
+def line_from_dict(data: Dict[str, float]) -> LineParams:
+    """Rebuild :class:`LineParams` from its canonical dictionary."""
+    return LineParams(r=float(data["r"]), l=float(data["l"]),
+                      c=float(data["c"]))
+
+
+def driver_to_dict(driver: DriverParams) -> Dict[str, float]:
+    """Canonical dictionary form of minimum-repeater parameters."""
+    return {"r_s": driver.r_s, "c_p": driver.c_p, "c_0": driver.c_0}
+
+
+def driver_from_dict(data: Dict[str, float]) -> DriverParams:
+    """Rebuild :class:`DriverParams` from its canonical dictionary."""
+    return DriverParams(r_s=float(data["r_s"]), c_p=float(data["c_p"]),
+                        c_0=float(data["c_0"]))
+
+
+@dataclass(frozen=True)
+class DelayJob:
+    """Threshold-delay solve of one fully specified stage (paper Eq. 3)."""
+
+    kind: ClassVar[str] = "delay"
+
+    line: LineParams
+    driver: DriverParams
+    h: float
+    k: float
+    f: float = 0.5
+    polish_with_newton: bool = False
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "line": line_to_dict(self.line),
+                "driver": driver_to_dict(self.driver),
+                "h": self.h, "k": self.k, "f": self.f,
+                "polish_with_newton": self.polish_with_newton}
+
+    def run(self) -> Dict[str, Any]:
+        stage = Stage(line=self.line, driver=self.driver, h=self.h, k=self.k)
+        delay = threshold_delay(stage, self.f,
+                                polish_with_newton=self.polish_with_newton)
+        return {"tau": delay.tau,
+                "delay_per_length": delay.tau / self.h,
+                "threshold": delay.threshold,
+                "damping": delay.damping.value,
+                "newton_iterations": delay.newton_iterations}
+
+    def summary(self, result: Dict[str, Any]) -> str:
+        return (f"tau={result['tau']:.6g}s "
+                f"damping={result['damping']}")
+
+
+@dataclass(frozen=True)
+class OptimizeJob:
+    """Repeater-insertion optimization of one (line, driver, f) config.
+
+    ``initial`` is the warm start; when it fails with
+    :class:`OptimizationError` and ``retry_reseed`` is true, the job
+    retries exactly once from the closed-form RC optimum — the same
+    recovery :func:`repro.core.sweep.sweep_inductance` has always applied
+    inline.  The retry is part of the spec, so it is deterministic and
+    cache-safe.
+    """
+
+    kind: ClassVar[str] = "optimize"
+
+    line: LineParams
+    driver: DriverParams
+    f: float = 0.5
+    method: OptimizerMethod = OptimizerMethod.AUTO
+    initial: Optional[Tuple[float, float]] = None
+    tol: float = 1e-9
+    max_iterations: int = 200
+    retry_reseed: bool = True
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "line": line_to_dict(self.line),
+                "driver": driver_to_dict(self.driver),
+                "f": self.f, "method": self.method.value,
+                "initial": list(self.initial) if self.initial else None,
+                "tol": self.tol, "max_iterations": self.max_iterations,
+                "retry_reseed": self.retry_reseed}
+
+    def run(self) -> Dict[str, Any]:
+        kwargs = dict(method=self.method, tol=self.tol,
+                      max_iterations=self.max_iterations)
+        retried = False
+        try:
+            optimum = optimize_repeater(self.line, self.driver, self.f,
+                                        initial=self.initial, **kwargs)
+        except OptimizationError:
+            if not (self.retry_reseed and self.initial is not None):
+                raise
+            # Re-seed from the RC optimum once before giving up (the
+            # Elmore optimum ignores l, so this is the l = 0 seed).
+            rc_ref = rc_optimum(self.line, self.driver)
+            optimum = optimize_repeater(
+                self.line, self.driver, self.f,
+                initial=(rc_ref.h_opt, rc_ref.k_opt), **kwargs)
+            retried = True
+        return {"h_opt": optimum.h_opt, "k_opt": optimum.k_opt,
+                "tau": optimum.tau,
+                "delay_per_length": optimum.delay_per_length,
+                "damping": optimum.damping.value,
+                "method": optimum.method.value,
+                "iterations": optimum.iterations,
+                "retried": retried}
+
+    def summary(self, result: Dict[str, Any]) -> str:
+        return (f"h={result['h_opt']:.6g}m k={result['k_opt']:.6g} "
+                f"tau/h={result['delay_per_length']:.6g}s/m "
+                f"[{result['method']}:{result['iterations']}"
+                f"{' reseed' if result['retried'] else ''}]")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """Warm-started inductance sweep of the repeater optimum (Figs. 4-8)."""
+
+    kind: ClassVar[str] = "sweep"
+
+    line_zero_l: LineParams
+    driver: DriverParams
+    l_values: Tuple[float, ...]
+    f: float = 0.5
+    method: OptimizerMethod = OptimizerMethod.AUTO
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "line": line_to_dict(self.line_zero_l),
+                "driver": driver_to_dict(self.driver),
+                "l_values": list(self.l_values),
+                "f": self.f, "method": self.method.value}
+
+    def run(self) -> Dict[str, Any]:
+        from ..core.sweep import sweep_inductance
+
+        sweep = sweep_inductance(self.line_zero_l, self.driver,
+                                 self.l_values, self.f, method=self.method)
+        return {"l_values": jsonify(sweep.l_values),
+                "h_opt": jsonify(sweep.h_opt),
+                "k_opt": jsonify(sweep.k_opt),
+                "tau": jsonify(sweep.tau),
+                "delay_per_length": jsonify(sweep.delay_per_length),
+                "l_crit": jsonify(sweep.l_crit),
+                "rc_sized_delay_per_length":
+                    jsonify(sweep.rc_sized_delay_per_length),
+                "rc_reference": {"h_opt": sweep.rc_reference.h_opt,
+                                 "k_opt": sweep.rc_reference.k_opt,
+                                 "tau_opt": sweep.rc_reference.tau_opt},
+                "threshold": sweep.threshold}
+
+    def summary(self, result: Dict[str, Any]) -> str:
+        dpl = result["delay_per_length"]
+        return (f"{len(result['l_values'])} points "
+                f"degradation={dpl[-1] / dpl[0]:.4g}x")
+
+
+@dataclass(frozen=True)
+class TransientJob:
+    """Ring-oscillator transient at one inductance (Figs. 9-12 testbench)."""
+
+    kind: ClassVar[str] = "transient"
+
+    node_name: str
+    l_nh_per_mm: float
+    n_stages: int = 5
+    segments: int = 10
+    style: str = "mosfet"
+    probe_stage: int = 2
+    period_budget: float = 14.0
+    steps_per_period: int = 700
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "node_name": self.node_name,
+                "l_nh_per_mm": self.l_nh_per_mm,
+                "n_stages": self.n_stages, "segments": self.segments,
+                "style": self.style, "probe_stage": self.probe_stage,
+                "period_budget": self.period_budget,
+                "steps_per_period": self.steps_per_period}
+
+    def run(self) -> Dict[str, Any]:
+        from ..errors import SimulationError
+        from ..experiments.ring import run_ring
+
+        ring = run_ring(self.node_name, self.l_nh_per_mm,
+                        n_stages=self.n_stages, segments=self.segments,
+                        style=self.style, probe_stage=self.probe_stage,
+                        period_budget=self.period_budget,
+                        steps_per_period=self.steps_per_period)
+        try:
+            period = ring.period()
+        except (ParameterError, SimulationError):
+            period = None  # non-oscillating run (false switching)
+        wave = ring.input_waveform
+        return {"node_name": self.node_name,
+                "l_nh_per_mm": self.l_nh_per_mm,
+                "period": period,
+                "oscillates": period is not None,
+                "input_min": float(wave.values.min()),
+                "input_max": float(wave.values.max())}
+
+    def summary(self, result: Dict[str, Any]) -> str:
+        if result["period"] is None:
+            return "no oscillation (false switching)"
+        return f"period={result['period']:.6g}s"
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One registered paper/extension experiment, run as a batch job.
+
+    ``options_json`` holds the experiment keyword overrides as canonical
+    JSON text so the spec stays hashable; build instances through
+    :meth:`create` rather than passing the string by hand.
+    """
+
+    kind: ClassVar[str] = "experiment"
+
+    experiment_id: str
+    options_json: str = "{}"
+
+    @classmethod
+    def create(cls, experiment_id: str, **options: Any) -> "ExperimentJob":
+        return cls(experiment_id=experiment_id,
+                   options_json=canonical_json(options))
+
+    @property
+    def options(self) -> Dict[str, Any]:
+        return json.loads(self.options_json)
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "experiment_id": self.experiment_id,
+                "options": self.options}
+
+    def run(self) -> Dict[str, Any]:
+        from ..experiments.base import run_experiment
+
+        result = run_experiment(self.experiment_id, **self.options)
+        return result.to_payload()
+
+    def summary(self, result: Dict[str, Any]) -> str:
+        return f"{result['title']} ({len(result['rows'])} rows)"
+
+
+#: All job classes by their ``kind`` tag, for manifest/cache round-trips.
+JOB_TYPES: Dict[str, Type[Any]] = {
+    cls.kind: cls
+    for cls in (DelayJob, OptimizeJob, SweepJob, TransientJob, ExperimentJob)
+}
+
+
+def job_to_dict(job: Any) -> Dict[str, Any]:
+    """Serialize any job to its canonical dictionary (includes ``kind``)."""
+    return job.canonical()
+
+
+def job_from_dict(data: Dict[str, Any]) -> Any:
+    """Rebuild a job from a canonical dictionary produced by ``canonical()``."""
+    kind = data.get("kind")
+    if kind not in JOB_TYPES:
+        known = ", ".join(sorted(JOB_TYPES))
+        raise ValueError(f"unknown job kind {kind!r}; known: {known}")
+    if kind == "delay":
+        return DelayJob(line=line_from_dict(data["line"]),
+                        driver=driver_from_dict(data["driver"]),
+                        h=float(data["h"]), k=float(data["k"]),
+                        f=float(data.get("f", 0.5)),
+                        polish_with_newton=bool(
+                            data.get("polish_with_newton", False)))
+    if kind == "optimize":
+        initial = data.get("initial")
+        return OptimizeJob(line=line_from_dict(data["line"]),
+                           driver=driver_from_dict(data["driver"]),
+                           f=float(data.get("f", 0.5)),
+                           method=OptimizerMethod(
+                               data.get("method", "auto")),
+                           initial=(tuple(float(x) for x in initial)
+                                    if initial else None),
+                           tol=float(data.get("tol", 1e-9)),
+                           max_iterations=int(
+                               data.get("max_iterations", 200)),
+                           retry_reseed=bool(
+                               data.get("retry_reseed", True)))
+    if kind == "sweep":
+        return SweepJob(line_zero_l=line_from_dict(data["line"]),
+                        driver=driver_from_dict(data["driver"]),
+                        l_values=tuple(float(x)
+                                       for x in data["l_values"]),
+                        f=float(data.get("f", 0.5)),
+                        method=OptimizerMethod(data.get("method", "auto")))
+    if kind == "transient":
+        return TransientJob(
+            node_name=str(data["node_name"]),
+            l_nh_per_mm=float(data["l_nh_per_mm"]),
+            n_stages=int(data.get("n_stages", 5)),
+            segments=int(data.get("segments", 10)),
+            style=str(data.get("style", "mosfet")),
+            probe_stage=int(data.get("probe_stage", 2)),
+            period_budget=float(data.get("period_budget", 14.0)),
+            steps_per_period=int(data.get("steps_per_period", 700)))
+    return ExperimentJob(experiment_id=str(data["experiment_id"]),
+                         options_json=canonical_json(
+                             data.get("options", {})))

@@ -1,0 +1,88 @@
+"""Lightweight instrumentation attached to every batch report.
+
+The metrics are observability data, deliberately kept *out* of the job
+results themselves: result payloads stay deterministic (cacheable,
+bitwise-reproducible across worker counts) while wall times, cache
+accounting and failure counts live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """Per-job observability record (parallel to one ``JobOutcome``)."""
+
+    kind: str
+    wall_time: float          #: seconds spent evaluating (0.0 on cache hit)
+    from_cache: bool
+    failed: bool
+    newton_iterations: int    #: solver iterations reported by the result
+    retried: bool             #: recovered via the RC-optimum re-seed
+
+
+def iterations_of(result: Dict[str, Any]) -> int:
+    """Extract the solver iteration count a result payload reports, if any."""
+    for key in ("iterations", "newton_iterations"):
+        value = result.get(key)
+        if isinstance(value, int):
+            return value
+    return 0
+
+
+@dataclass
+class BatchMetrics:
+    """Aggregated instrumentation for one executor batch."""
+
+    jobs_total: int = 0
+    jobs_failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_time: float = 0.0           #: whole-batch wall time in seconds
+    evaluation_time: float = 0.0     #: sum of per-job evaluation times
+    newton_iterations: int = 0
+    retries: int = 0
+    workers: int = 1
+    per_job: List[JobMetrics] = field(default_factory=list)
+
+    def record(self, job_metrics: JobMetrics) -> None:
+        self.per_job.append(job_metrics)
+        self.jobs_total += 1
+        if job_metrics.failed:
+            self.jobs_failed += 1
+        elif job_metrics.from_cache:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        self.evaluation_time += job_metrics.wall_time
+        self.newton_iterations += job_metrics.newton_iterations
+        if job_metrics.retried:
+            self.retries += 1
+
+    @property
+    def jobs_succeeded(self) -> int:
+        return self.jobs_total - self.jobs_failed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over all *successful* evaluations; 0.0 for an empty batch."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def format_summary(self) -> str:
+        """Human-readable one-paragraph summary for batch reports."""
+        lines = [
+            f"jobs: {self.jobs_total} total, {self.jobs_succeeded} ok, "
+            f"{self.jobs_failed} failed ({self.workers} worker"
+            f"{'s' if self.workers != 1 else ''})",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({100.0 * self.cache_hit_rate:.1f}% hit rate)",
+            f"time: {self.wall_time:.3f}s wall, "
+            f"{self.evaluation_time:.3f}s evaluating",
+            f"solver: {self.newton_iterations} iterations, "
+            f"{self.retries} RC re-seed retries",
+        ]
+        return "\n".join(lines)

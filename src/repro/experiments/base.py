@@ -67,6 +67,41 @@ class ExperimentResult:
             parts.extend(f"note: {note}" for note in self.notes)
         return "\n".join(parts)
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form for the batch engine's result cache.
+
+        Numpy arrays/scalars in ``rows`` and ``data`` become plain lists
+        and floats; ``data`` entries holding rich library objects (e.g. a
+        whole :class:`~repro.core.sweep.InductanceSweep`) are omitted and
+        listed under ``data_omitted``.  :meth:`from_payload` therefore
+        returns an equivalent *report* (identical tables and notes), not
+        an identical object.
+        """
+        from ..engine.jobs import jsonify
+
+        data: Dict[str, Any] = {}
+        omitted = []
+        for key, value in self.data.items():
+            try:
+                data[key] = jsonify(value)
+            except TypeError:
+                omitted.append(key)
+        return {"experiment_id": self.experiment_id, "title": self.title,
+                "headers": list(self.headers),
+                "rows": jsonify(self.rows),
+                "notes": list(self.notes),
+                "data": data, "data_omitted": omitted}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        return cls(experiment_id=payload["experiment_id"],
+                   title=payload["title"],
+                   headers=list(payload["headers"]),
+                   rows=[list(row) for row in payload["rows"]],
+                   notes=list(payload.get("notes", [])),
+                   data=dict(payload.get("data", {})))
+
 
 #: Global registry: experiment id -> runner callable.
 REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}

@@ -6,19 +6,31 @@ Usage::
     repro-experiments run fig7 fig8
     repro-experiments run all --fast
     repro-experiments run fig11 --out results.txt
+    repro-experiments run all --fast --jobs 4 --cache
 
 ``--fast`` shrinks sweeps/segment counts so the full suite finishes in a
 couple of minutes; the default settings match the paper's resolution.
+
+Every experiment is submitted through the batch engine
+(:mod:`repro.engine`) as one ``ExperimentJob``.  The default backend is
+the serial in-process executor (identical behaviour to calling the
+experiment functions directly); ``--jobs N`` fans the requested
+experiments out over N worker processes and ``--cache`` replays
+previously computed experiments from the content-addressed result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Iterable
 
-from .base import DESCRIPTIONS, all_experiment_ids, run_experiment
+from ..engine.cache import ResultCache
+from ..engine.executor import BatchExecutor
+from ..engine.jobs import ExperimentJob
+from .base import DESCRIPTIONS, ExperimentResult, all_experiment_ids
 
 #: Reduced-cost keyword overrides per experiment for --fast runs.
 FAST_OVERRIDES = {
@@ -49,10 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--fast", action="store_true",
                             help="reduced sweeps for a quick pass")
     run_parser.add_argument("--out", default=None,
-                            help="also append reports to this file")
+                            help="also write reports to this file")
+    run_parser.add_argument("--append", action="store_true",
+                            help="append to --out instead of overwriting")
     run_parser.add_argument("--csv-dir", default=None,
                             help="write each experiment's table as "
                                  "<id>.csv into this directory")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes for the batch engine "
+                                 "(1 = serial in-process)")
+    run_parser.add_argument("--cache", action="store_true",
+                            help="replay results from the engine's "
+                                 "content-addressed cache when possible")
+    run_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="cache directory (with --cache; default: "
+                                 "$REPRO_CACHE_DIR or ./.repro-cache)")
     return parser
 
 
@@ -82,26 +105,48 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:10s} {DESCRIPTIONS[experiment_id]}")
         return 0
 
-    reports = []
-    for experiment_id in resolve_ids(args.ids):
+    ids = resolve_ids(args.ids)
+    job_specs = []
+    for experiment_id in ids:
         kwargs = FAST_OVERRIDES.get(experiment_id, {}) if args.fast else {}
-        start = time.perf_counter()
-        result = run_experiment(experiment_id, **kwargs)
-        elapsed = time.perf_counter() - start
-        report = result.format_report() + f"\n[{elapsed:.1f}s]"
+        job_specs.append(ExperimentJob.create(experiment_id, **kwargs))
+
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    executor = BatchExecutor(jobs=args.jobs, cache=cache)
+    start = time.perf_counter()
+    batch = executor.run(job_specs)
+
+    reports = []
+    failed = []
+    for experiment_id, outcome in zip(ids, batch):
+        if not outcome.ok:
+            failed.append(experiment_id)
+            print(f"== {experiment_id}: FAILED ==\n"
+                  f"{outcome.error_type}: {outcome.error}")
+            print()
+            continue
+        result = ExperimentResult.from_payload(outcome.result)
+        stamp = ("cached" if outcome.from_cache
+                 else f"{outcome.wall_time:.1f}s")
+        report = result.format_report() + f"\n[{stamp}]"
         print(report)
         print()
         reports.append(report)
         if args.csv_dir:
-            import os
             from .export import write_csv
             os.makedirs(args.csv_dir, exist_ok=True)
             write_csv(result, os.path.join(args.csv_dir,
                                            f"{experiment_id}.csv"))
-    if args.out:
-        with open(args.out, "a", encoding="utf-8") as handle:
+
+    if len(ids) > 1 or failed:
+        metrics = batch.metrics
+        metrics.wall_time = time.perf_counter() - start
+        print(metrics.format_summary())
+    if args.out and reports:
+        mode = "a" if args.append else "w"
+        with open(args.out, mode, encoding="utf-8") as handle:
             handle.write("\n\n".join(reports) + "\n")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

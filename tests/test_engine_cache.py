@@ -1,0 +1,95 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro import NODE_100NM, units
+from repro.engine.cache import (CacheStats, ResultCache, code_version_salt,
+                                default_cache_dir)
+from repro.engine.jobs import OptimizeJob
+
+
+@pytest.fixture()
+def job():
+    line = NODE_100NM.line_with_inductance(1.0 * units.NH_PER_MM)
+    return OptimizeJob(line=line, driver=NODE_100NM.driver)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestKeys:
+    def test_key_is_stable_sha256(self, cache, job):
+        key = cache.key(job)
+        assert len(key) == 64
+        assert key == cache.key(job)
+        int(key, 16)  # hex digest
+
+    def test_key_depends_on_spec(self, cache, job):
+        other = OptimizeJob(line=job.line, driver=job.driver, f=0.4)
+        assert cache.key(job) != cache.key(other)
+
+    def test_key_depends_on_code_version_salt(self, tmp_path, job):
+        a = ResultCache(tmp_path, salt="v1")
+        b = ResultCache(tmp_path, salt="v2")
+        assert a.key(job) != b.key(job)
+
+    def test_default_salt_carries_version(self):
+        from repro import __version__
+        assert __version__ in code_version_salt()
+
+
+class TestStoreAndLookup:
+    def test_miss_then_hit(self, cache, job):
+        assert cache.get(job) is None
+        cache.put(job, {"h_opt": 1.0})
+        assert cache.get(job) == {"h_opt": 1.0}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_record_is_self_describing(self, cache, job):
+        key = cache.put(job, {"h_opt": 1.0})
+        record = json.loads(cache.path_for(key).read_text())
+        assert record["key"] == key
+        assert record["salt"] == cache.salt
+        assert record["job"]["kind"] == "optimize"
+
+    def test_corrupt_record_counts_as_miss(self, cache, job):
+        key = cache.put(job, {"h_opt": 1.0})
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(job) is None
+
+    def test_salt_mismatch_is_a_miss(self, tmp_path, job):
+        ResultCache(tmp_path, salt="v1").put(job, {"h_opt": 1.0})
+        assert ResultCache(tmp_path, salt="v2").get(job) is None
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, cache, job):
+        other = OptimizeJob(line=job.line, driver=job.driver, f=0.4)
+        cache.put(job, {"h_opt": 1.0})
+        cache.put(other, {"h_opt": 2.0})
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+    def test_stats_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.stats().entries == 0
+        assert cache.clear() == 0
+
+    def test_hit_rate_accounting(self):
+        stats = CacheStats(entries=0, total_bytes=0, hits=19, misses=1)
+        assert stats.hit_rate == pytest.approx(0.95)
+        assert "95.0%" in stats.format_summary()
+
+    def test_default_dir_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere-else")
+        assert str(default_cache_dir()) == "/tmp/somewhere-else"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert str(default_cache_dir()) == ".repro-cache"

@@ -1,0 +1,142 @@
+"""Tests for JSON/CSV manifest parsing."""
+
+import json
+
+import pytest
+
+from repro import NODE_100NM, OptimizerMethod, units
+from repro.engine.jobs import (DelayJob, ExperimentJob, OptimizeJob,
+                               SweepJob, TransientJob)
+from repro.engine.manifest import (ManifestError, job_from_entry,
+                                   load_manifest)
+
+NH = units.NH_PER_MM
+
+
+class TestEntryResolution:
+    def test_node_shorthand_with_inductance_override(self):
+        job = job_from_entry({"kind": "optimize", "node": "100nm",
+                              "l_nh_per_mm": 1.5})
+        assert isinstance(job, OptimizeJob)
+        assert job.line.l == pytest.approx(1.5 * NH)
+        assert job.driver == NODE_100NM.driver
+
+    def test_explicit_line_and_driver(self):
+        job = job_from_entry({
+            "kind": "optimize",
+            "line": {"r": 1e4, "l": 1e-6, "c": 1e-10},
+            "driver": {"r_s": 1e3, "c_p": 1e-15, "c_0": 2e-15}})
+        assert job.line.r == 1e4
+        assert job.driver.r_s == 1e3
+
+    def test_delay_entry_with_mm_units(self):
+        job = job_from_entry({"kind": "delay", "node": "100nm",
+                              "l_nh_per_mm": 1.0, "h_mm": 10.0,
+                              "k": 150.0})
+        assert isinstance(job, DelayJob)
+        assert job.h == pytest.approx(0.01)
+
+    def test_sweep_entry(self):
+        job = job_from_entry({"kind": "sweep", "node": "100nm",
+                              "l_values_nh_per_mm": [0.0, 1.0, 2.0]})
+        assert isinstance(job, SweepJob)
+        assert job.line_zero_l.l == 0.0
+        assert job.l_values == (0.0, 1.0 * NH, 2.0 * NH)
+
+    def test_transient_entry(self):
+        job = job_from_entry({"kind": "transient", "node": "100nm",
+                              "l_nh_per_mm": 1.8, "segments": 6})
+        assert isinstance(job, TransientJob)
+        assert job.segments == 6
+
+    def test_experiment_entry(self):
+        job = job_from_entry({"kind": "experiment", "id": "fig5",
+                              "options": {"points": 11}})
+        assert isinstance(job, ExperimentJob)
+        assert job.options == {"points": 11}
+
+    def test_method_parsing(self):
+        job = job_from_entry({"kind": "optimize", "node": "100nm",
+                              "method": "newton"})
+        assert job.method is OptimizerMethod.NEWTON
+
+    @pytest.mark.parametrize("entry, match", [
+        ({"kind": "bogus"}, "valid 'kind'"),
+        ({"kind": "optimize"}, "'node' or explicit"),
+        ({"kind": "optimize", "node": "9000nm"}, "unknown technology node"),
+        ({"kind": "optimize", "node": "100nm", "method": "magic"},
+         "unknown optimizer method"),
+        ({"kind": "delay", "node": "100nm"}, "needs 'h'"),
+        ({"kind": "sweep", "node": "100nm"}, "needs 'l_values'"),
+        ({"kind": "transient"}, "needs a technology 'node'"),
+        ({"kind": "experiment"}, "needs 'experiment_id'"),
+    ])
+    def test_invalid_entries(self, entry, match):
+        with pytest.raises(ManifestError, match=match):
+            job_from_entry(entry)
+
+
+class TestJsonManifest:
+    def test_bare_list(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(
+            [{"kind": "optimize", "node": "100nm", "l_nh_per_mm": l}
+             for l in (0.0, 1.0)]))
+        jobs = load_manifest(path)
+        assert len(jobs) == 2
+        assert {j.kind for j in jobs} == {"optimize"}
+
+    def test_defaults_block(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "defaults": {"kind": "optimize", "node": "100nm", "f": 0.4},
+            "jobs": [{"l_nh_per_mm": 1.0}, {"l_nh_per_mm": 2.0, "f": 0.6}],
+        }))
+        jobs = load_manifest(path)
+        assert [j.f for j in jobs] == [0.4, 0.6]
+
+    def test_bad_json_reports_path(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{nope")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            load_manifest(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="cannot read"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_object_without_jobs_list(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"defaults": {}}))
+        with pytest.raises(ManifestError, match="'jobs' list"):
+            load_manifest(path)
+
+
+class TestCsvManifest:
+    def test_flat_rows(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("kind,node,l_nh_per_mm,f\n"
+                        "optimize,100nm,1.5,0.5\n"
+                        "delay,100nm,1.0,0.5\n")
+        # The delay row is invalid (no h/k) — errors carry the position.
+        with pytest.raises(ManifestError, match="needs 'h'"):
+            load_manifest(path)
+        path.write_text("kind,node,l_nh_per_mm,h_mm,k\n"
+                        "optimize,100nm,1.5,,\n"
+                        "delay,100nm,1.0,10.0,150\n")
+        jobs = load_manifest(path)
+        assert [j.kind for j in jobs] == ["optimize", "delay"]
+        assert jobs[1].k == 150.0
+
+    def test_semicolon_lists(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("kind,node,l_values_nh_per_mm\n"
+                        "sweep,100nm,0;1;2\n")
+        (job,) = load_manifest(path)
+        assert job.l_values == (0.0, 1.0 * NH, 2.0 * NH)
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("kind,node\n")
+        with pytest.raises(ManifestError, match="no data rows"):
+            load_manifest(path)

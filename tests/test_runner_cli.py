@@ -33,6 +33,39 @@ class TestCli:
         content = out_file.read_text()
         assert "fig2" in content
 
+    def test_out_overwrites_by_default(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "fig2", "--out", str(out_file)]) == 0
+        assert main(["run", "fig2", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert out_file.read_text().count("== fig2:") == 1
+
+    def test_out_appends_with_flag(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "fig2", "--out", str(out_file)]) == 0
+        assert main(["run", "fig2", "--out", str(out_file),
+                     "--append"]) == 0
+        capsys.readouterr()
+        assert out_file.read_text().count("== fig2:") == 2
+
+    def test_run_with_worker_pool(self, capsys):
+        assert main(["run", "fig2", "table1", "--fast", "--jobs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "== fig2:" in output
+        assert "== table1:" in output
+        assert output.index("fig2") < output.index("table1")
+        assert "2 total, 2 ok, 0 failed (2 workers)" in output
+
+    def test_run_with_cache_replays(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["run", "fig2", "--cache", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "[cached]" in second
+        assert first.split("[")[0] == second.split("[")[0]
+
     def test_run_writes_csv(self, tmp_path, capsys):
         csv_dir = tmp_path / "csv"
         assert main(["run", "fig2", "table1", "--csv-dir",

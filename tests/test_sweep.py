@@ -67,3 +67,49 @@ class TestSweepPhysics:
         reference = rc_optimum(NODE_100NM.line, NODE_100NM.driver)
         assert sweep_100nm.rc_reference.h_opt == reference.h_opt
         assert sweep_100nm.rc_reference.k_opt == reference.k_opt
+
+
+class TestFailureRecovery:
+    def test_warm_start_failure_reseeds_from_rc_optimum(self, monkeypatch):
+        """A failing warm start must fall back to the RC-optimum seed.
+
+        The second sweep point's warm start (the first point's optimum) is
+        poisoned; the sweep must still complete by re-seeding that point
+        from the closed-form RC optimum, matching an unpoisoned sweep.
+        """
+        from repro import NODE_100NM, OptimizationError, rc_optimum
+        from repro.engine import jobs as jobs_module
+
+        rc_ref = rc_optimum(NODE_100NM.line, NODE_100NM.driver)
+        rc_seed = (rc_ref.h_opt, rc_ref.k_opt)
+        grid = np.array([0.0, 1.0]) * units.NH_PER_MM
+        real_optimize = jobs_module.optimize_repeater
+        seen = []
+
+        def flaky(line, driver, f=0.5, *, initial=None, **kwargs):
+            seen.append(initial)
+            if line.l > 0.0 and initial != rc_seed:
+                raise OptimizationError("poisoned warm start")
+            return real_optimize(line, driver, f, initial=initial, **kwargs)
+
+        monkeypatch.setattr(jobs_module, "optimize_repeater", flaky)
+        sweep = sweep_inductance(NODE_100NM.line, NODE_100NM.driver, grid)
+        # Point 1 was tried with the warm start, then re-seeded.
+        assert seen[1] != rc_seed
+        assert seen[2] == rc_seed
+        reference = sweep_inductance(NODE_100NM.line, NODE_100NM.driver,
+                                     grid)
+        assert sweep.h_opt[1] == pytest.approx(reference.h_opt[1],
+                                               rel=1e-5)
+
+    def test_unrecoverable_failure_propagates(self, monkeypatch):
+        from repro import NODE_100NM, OptimizationError
+        from repro.engine import jobs as jobs_module
+
+        def always_fails(*args, **kwargs):
+            raise OptimizationError("hopeless")
+
+        monkeypatch.setattr(jobs_module, "optimize_repeater", always_fails)
+        grid = np.array([0.0, 1.0]) * units.NH_PER_MM
+        with pytest.raises(OptimizationError, match="sweep point 0"):
+            sweep_inductance(NODE_100NM.line, NODE_100NM.driver, grid)
