@@ -13,6 +13,7 @@ from repro import (NODE_100NM, OptimizerMethod, Stage, StepResponse,
                    compute_moments, critical_inductance, optimize_repeater,
                    rc_optimum, threshold_delay, units)
 from repro.baselines import km_delay
+from repro.verify import unit_tolerance
 
 
 @pytest.fixture(scope="module")
@@ -34,7 +35,9 @@ def test_delay_brent_only(benchmark, stage):
     result = benchmark(threshold_delay, stage, 0.5,
                        polish_with_newton=False)
     reference = threshold_delay(stage, 0.5, polish_with_newton=True)
-    assert result.tau == pytest.approx(reference.tau, rel=1e-9)
+    assert result.tau == pytest.approx(
+        reference.tau,
+        rel=unit_tolerance("bench.solvers.newton_vs_bracketed.rel"))
 
 
 def test_delay_kahng_muddu_closed_form(benchmark, stage):
@@ -42,7 +45,8 @@ def test_delay_kahng_muddu_closed_form(benchmark, stage):
     tau_km = benchmark(km_delay, moments.b1, moments.b2, 0.5)
     tau_exact = threshold_delay(stage).tau
     # Cheap but biased: error is real yet bounded at this operating point.
-    assert tau_km == pytest.approx(tau_exact, rel=0.5)
+    assert tau_km == pytest.approx(
+        tau_exact, rel=unit_tolerance("bench.solvers.km_vs_exact.rel"))
 
 
 def test_kahng_muddu_l_blindness_at_critical(benchmark, stage):
@@ -80,6 +84,8 @@ def test_optimizer_direct(benchmark):
                        method=OptimizerMethod.DIRECT)
     newton = optimize_repeater(line, node.driver,
                                method=OptimizerMethod.NEWTON)
-    assert result.h_opt == pytest.approx(newton.h_opt, rel=1e-4)
+    assert result.h_opt == pytest.approx(
+        newton.h_opt,
+        rel=unit_tolerance("bench.solvers.direct_vs_newton.rel"))
     # Nelder-Mead needs far more outer iterations than the paper's Newton.
     assert result.iterations > 5 * newton.iterations

@@ -9,27 +9,33 @@ from the stored (r_s, c_p, c_0); the extraction substitutes land within
 import pytest
 
 from repro.experiments import run_experiment
+from repro.verify import unit_tolerance
 
 
 def test_table1_reproduction(benchmark):
     result = benchmark(run_experiment, "table1")
     rows = {row[0]: row for row in result.rows}
-    assert rows["250nm"][1] == pytest.approx(14.4, abs=0.05)
-    assert rows["250nm"][2] == pytest.approx(578, abs=1)
-    assert rows["250nm"][3] == pytest.approx(305.17, abs=0.1)
-    assert rows["100nm"][1] == pytest.approx(11.1, abs=0.05)
-    assert rows["100nm"][2] == pytest.approx(528, abs=1)
-    assert rows["100nm"][3] == pytest.approx(105.94, abs=0.1)
-    assert rows["250nm"][4] == pytest.approx(203.5, rel=0.10)
-    assert rows["100nm"][4] == pytest.approx(123.33, rel=0.10)
+    h_abs = unit_tolerance("bench.table1.h_opt_mm.abs")
+    k_abs = unit_tolerance("bench.table1.k_opt.abs")
+    tau_abs = unit_tolerance("bench.table1.tau_ps.abs")
+    ext_rel = unit_tolerance("bench.table1.extraction.rel")
+    assert rows["250nm"][1] == pytest.approx(14.4, abs=h_abs)
+    assert rows["250nm"][2] == pytest.approx(578, abs=k_abs)
+    assert rows["250nm"][3] == pytest.approx(305.17, abs=tau_abs)
+    assert rows["100nm"][1] == pytest.approx(11.1, abs=h_abs)
+    assert rows["100nm"][2] == pytest.approx(528, abs=k_abs)
+    assert rows["100nm"][3] == pytest.approx(105.94, abs=tau_abs)
+    assert rows["250nm"][4] == pytest.approx(203.5, rel=ext_rel)
+    assert rows["100nm"][4] == pytest.approx(123.33, rel=ext_rel)
 
 
 def test_table1_with_simulated_characterization(once):
     """Include the simulator path re-deriving r_s (the paper's SPICE leg)."""
     result = once(run_experiment, "table1", simulate=True)
     rows = {row[0]: row for row in result.rows}
-    # Simulated r_s (kohm) within 5% of Table 1.
-    assert rows["250nm"][6] == pytest.approx(11.784, rel=0.05)
-    assert rows["100nm"][6] == pytest.approx(7.534, rel=0.05)
+    # Simulated r_s (kohm) vs the stored Table 1 value.
+    rs_rel = unit_tolerance("bench.table1.r_s_simulated.rel")
+    assert rows["250nm"][6] == pytest.approx(11.784, rel=rs_rel)
+    assert rows["100nm"][6] == pytest.approx(7.534, rel=rs_rel)
     print()
     print(result.format_report())

@@ -37,9 +37,10 @@ from .tech.node import (MAX_PRACTICAL_INDUCTANCE, NODE_100NM,
                         NODE_100NM_EPS_250NM, NODE_250NM, NODES,
                         TechnologyNode, WireGeometrySpec, get_node)
 from . import engine
+from . import verify
 
 __all__ = [
-    "__version__", "units", "engine",
+    "__version__", "units", "engine", "verify",
     # core
     "Damping", "DelayResult", "DriverParams", "InductanceSweep", "LineParams",
     "Moments", "OptimizerMethod", "PolePair", "RCOptimum", "RepeaterOptimum",

@@ -17,15 +17,16 @@ runner both submit their work through it.
 from .cache import CacheStats, ResultCache, code_version_salt, \
     default_cache_dir
 from .executor import BatchExecutor, BatchReport, JobOutcome
-from .jobs import (DelayJob, ExperimentJob, OptimizeJob, SweepJob,
-                   TransientJob, job_from_dict, job_to_dict)
+from .jobs import (JOB_TYPES, DelayJob, ExperimentJob, OptimizeJob, SweepJob,
+                   TransientJob, job_from_dict, job_to_dict,
+                   register_job_type)
 from .manifest import ManifestError, load_manifest
 from .metrics import BatchMetrics, JobMetrics
 
 __all__ = [
     "BatchExecutor", "BatchMetrics", "BatchReport", "CacheStats",
-    "DelayJob", "ExperimentJob", "JobMetrics", "JobOutcome",
+    "DelayJob", "ExperimentJob", "JOB_TYPES", "JobMetrics", "JobOutcome",
     "ManifestError", "OptimizeJob", "ResultCache", "SweepJob",
     "TransientJob", "code_version_salt", "default_cache_dir",
-    "job_from_dict", "job_to_dict", "load_manifest",
+    "job_from_dict", "job_to_dict", "load_manifest", "register_job_type",
 ]

@@ -12,6 +12,13 @@ JSON-serializable result dictionary with no timestamps or other
 nondeterministic fields, so a batch run with ``--jobs 4`` is bitwise
 identical to a serial one and a cached replay is bitwise identical to a
 fresh evaluation.
+
+Job kinds are *pluggable*: any module may define a frozen dataclass with a
+``kind`` tag, ``canonical()``, ``run()``, ``summary()`` and a ``from_dict``
+classmethod, and register it with :func:`register_job_type`.  The registry
+is what ``job_from_dict`` (and therefore manifests and the result cache)
+dispatches on; :mod:`repro.verify.jobs` uses it to route verification
+oracles through the same executor and cache as every other evaluation.
 """
 
 from __future__ import annotations
@@ -62,6 +69,28 @@ def jsonify(obj: Any) -> Any:
     raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
 
 
+#: All registered job classes by their ``kind`` tag, for manifest/cache
+#: round-trips.  Populated by :func:`register_job_type`.
+JOB_TYPES: Dict[str, Type[Any]] = {}
+
+
+def register_job_type(cls: Type[Any]) -> Type[Any]:
+    """Class decorator registering a job kind for ``job_from_dict``.
+
+    The class must carry a ``kind`` class variable and a ``from_dict``
+    classmethod inverting its ``canonical()`` dictionary.  Registering a
+    kind twice replaces the earlier class (latest wins), which keeps
+    reloads idempotent.
+    """
+    kind = getattr(cls, "kind", None)
+    if not isinstance(kind, str) or not kind:
+        raise TypeError(f"{cls.__name__} must define a string 'kind' tag")
+    if not callable(getattr(cls, "from_dict", None)):
+        raise TypeError(f"{cls.__name__} must define a from_dict classmethod")
+    JOB_TYPES[kind] = cls
+    return cls
+
+
 def line_to_dict(line: LineParams) -> Dict[str, float]:
     """Canonical dictionary form of per-unit-length line parameters."""
     return {"r": line.r, "l": line.l, "c": line.c}
@@ -84,6 +113,7 @@ def driver_from_dict(data: Dict[str, float]) -> DriverParams:
                         c_0=float(data["c_0"]))
 
 
+@register_job_type
 @dataclass(frozen=True)
 class DelayJob:
     """Threshold-delay solve of one fully specified stage (paper Eq. 3)."""
@@ -118,7 +148,17 @@ class DelayJob:
         return (f"tau={result['tau']:.6g}s "
                 f"damping={result['damping']}")
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DelayJob":
+        return cls(line=line_from_dict(data["line"]),
+                   driver=driver_from_dict(data["driver"]),
+                   h=float(data["h"]), k=float(data["k"]),
+                   f=float(data.get("f", 0.5)),
+                   polish_with_newton=bool(
+                       data.get("polish_with_newton", False)))
 
+
+@register_job_type
 @dataclass(frozen=True)
 class OptimizeJob:
     """Repeater-insertion optimization of one (line, driver, f) config.
@@ -182,7 +222,21 @@ class OptimizeJob:
                 f"[{result['method']}:{result['iterations']}"
                 f"{' reseed' if result['retried'] else ''}]")
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OptimizeJob":
+        initial = data.get("initial")
+        return cls(line=line_from_dict(data["line"]),
+                   driver=driver_from_dict(data["driver"]),
+                   f=float(data.get("f", 0.5)),
+                   method=OptimizerMethod(data.get("method", "auto")),
+                   initial=(tuple(float(x) for x in initial)
+                            if initial else None),
+                   tol=float(data.get("tol", 1e-9)),
+                   max_iterations=int(data.get("max_iterations", 200)),
+                   retry_reseed=bool(data.get("retry_reseed", True)))
 
+
+@register_job_type
 @dataclass(frozen=True)
 class SweepJob:
     """Warm-started inductance sweep of the repeater optimum (Figs. 4-8)."""
@@ -225,7 +279,16 @@ class SweepJob:
         return (f"{len(result['l_values'])} points "
                 f"degradation={dpl[-1] / dpl[0]:.4g}x")
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepJob":
+        return cls(line_zero_l=line_from_dict(data["line"]),
+                   driver=driver_from_dict(data["driver"]),
+                   l_values=tuple(float(x) for x in data["l_values"]),
+                   f=float(data.get("f", 0.5)),
+                   method=OptimizerMethod(data.get("method", "auto")))
 
+
+@register_job_type
 @dataclass(frozen=True)
 class TransientJob:
     """Ring-oscillator transient at one inductance (Figs. 9-12 testbench)."""
@@ -275,7 +338,20 @@ class TransientJob:
             return "no oscillation (false switching)"
         return f"period={result['period']:.6g}s"
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TransientJob":
+        return cls(
+            node_name=str(data["node_name"]),
+            l_nh_per_mm=float(data["l_nh_per_mm"]),
+            n_stages=int(data.get("n_stages", 5)),
+            segments=int(data.get("segments", 10)),
+            style=str(data.get("style", "mosfet")),
+            probe_stage=int(data.get("probe_stage", 2)),
+            period_budget=float(data.get("period_budget", 14.0)),
+            steps_per_period=int(data.get("steps_per_period", 700)))
 
+
+@register_job_type
 @dataclass(frozen=True)
 class ExperimentJob:
     """One registered paper/extension experiment, run as a batch job.
@@ -312,12 +388,10 @@ class ExperimentJob:
     def summary(self, result: Dict[str, Any]) -> str:
         return f"{result['title']} ({len(result['rows'])} rows)"
 
-
-#: All job classes by their ``kind`` tag, for manifest/cache round-trips.
-JOB_TYPES: Dict[str, Type[Any]] = {
-    cls.kind: cls
-    for cls in (DelayJob, OptimizeJob, SweepJob, TransientJob, ExperimentJob)
-}
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentJob":
+        return cls(experiment_id=str(data["experiment_id"]),
+                   options_json=canonical_json(data.get("options", {})))
 
 
 def job_to_dict(job: Any) -> Dict[str, Any]:
@@ -329,46 +403,11 @@ def job_from_dict(data: Dict[str, Any]) -> Any:
     """Rebuild a job from a canonical dictionary produced by ``canonical()``."""
     kind = data.get("kind")
     if kind not in JOB_TYPES:
-        known = ", ".join(sorted(JOB_TYPES))
-        raise ValueError(f"unknown job kind {kind!r}; known: {known}")
-    if kind == "delay":
-        return DelayJob(line=line_from_dict(data["line"]),
-                        driver=driver_from_dict(data["driver"]),
-                        h=float(data["h"]), k=float(data["k"]),
-                        f=float(data.get("f", 0.5)),
-                        polish_with_newton=bool(
-                            data.get("polish_with_newton", False)))
-    if kind == "optimize":
-        initial = data.get("initial")
-        return OptimizeJob(line=line_from_dict(data["line"]),
-                           driver=driver_from_dict(data["driver"]),
-                           f=float(data.get("f", 0.5)),
-                           method=OptimizerMethod(
-                               data.get("method", "auto")),
-                           initial=(tuple(float(x) for x in initial)
-                                    if initial else None),
-                           tol=float(data.get("tol", 1e-9)),
-                           max_iterations=int(
-                               data.get("max_iterations", 200)),
-                           retry_reseed=bool(
-                               data.get("retry_reseed", True)))
-    if kind == "sweep":
-        return SweepJob(line_zero_l=line_from_dict(data["line"]),
-                        driver=driver_from_dict(data["driver"]),
-                        l_values=tuple(float(x)
-                                       for x in data["l_values"]),
-                        f=float(data.get("f", 0.5)),
-                        method=OptimizerMethod(data.get("method", "auto")))
-    if kind == "transient":
-        return TransientJob(
-            node_name=str(data["node_name"]),
-            l_nh_per_mm=float(data["l_nh_per_mm"]),
-            n_stages=int(data.get("n_stages", 5)),
-            segments=int(data.get("segments", 10)),
-            style=str(data.get("style", "mosfet")),
-            probe_stage=int(data.get("probe_stage", 2)),
-            period_budget=float(data.get("period_budget", 14.0)),
-            steps_per_period=int(data.get("steps_per_period", 700)))
-    return ExperimentJob(experiment_id=str(data["experiment_id"]),
-                         options_json=canonical_json(
-                             data.get("options", {})))
+        if kind == "verify":
+            # The verify job kind registers on package import; pull it in
+            # so manifests containing verification jobs load standalone.
+            from .. import verify  # noqa: F401
+        if kind not in JOB_TYPES:
+            known = ", ".join(sorted(JOB_TYPES))
+            raise ValueError(f"unknown job kind {kind!r}; known: {known}")
+    return JOB_TYPES[kind].from_dict(data)

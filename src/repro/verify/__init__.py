@@ -1,0 +1,50 @@
+"""repro.verify — differential-oracle verification subsystem.
+
+The repo computes the same physical quantity — the f*100% threshold delay
+of a distributed RLC stage — by several analytically independent routes:
+the two-pole Padé model, the Elmore single-pole limit, the Kahng–Muddu
+and Ismail–Friedman closed-form baselines, Talbot numerical inversion of
+the exact transfer function, and MNA transient simulation of the
+discretized ladder.  This package turns that redundancy into a
+verification harness:
+
+* :mod:`~repro.verify.oracles` wraps each route behind one
+  ``evaluate(case) -> DelayObservation`` interface;
+* :mod:`~repro.verify.cases` defines the structured case matrix (damping
+  regime x threshold x sizing x tech node);
+* :mod:`~repro.verify.tolerances` is the declarative ledger of pairwise
+  agreement bounds, each with a physical justification;
+* :mod:`~repro.verify.differential` sweeps the matrix through the batch
+  engine and scores every ledger pair into a machine-readable
+  discrepancy report;
+* :mod:`~repro.verify.golden` pins oracle outputs as content-hashed
+  fixtures, catching bitwise regressions without re-deriving physics;
+* :mod:`~repro.verify.cli` is the ``repro-verify run | diff | bless``
+  front end.
+
+Importing the package registers the ``verify`` job kind with the engine.
+"""
+
+from .cases import (VerifyCase, case_for_regime, default_case_matrix,
+                    dump_case_matrix, load_case_matrix)
+from .differential import (DiscrepancyReport, PairCheck, SkippedCheck,
+                           evaluate_matrix, run_differential)
+from .golden import GoldenMismatch, GoldenStore, entry_key
+from .jobs import VerifyJob
+from .oracles import (ORACLES, DelayObservation, Oracle, evaluate,
+                      get_oracle, oracle_names, register_oracle)
+from .tolerances import (ANY_REGIME, DEFAULT_LEDGER, UNIT_TOLERANCES,
+                         ToleranceLedger, ToleranceRule, unit_tolerance)
+
+__all__ = [
+    "VerifyCase", "case_for_regime", "default_case_matrix",
+    "dump_case_matrix", "load_case_matrix",
+    "DiscrepancyReport", "PairCheck", "SkippedCheck",
+    "evaluate_matrix", "run_differential",
+    "GoldenMismatch", "GoldenStore", "entry_key",
+    "VerifyJob",
+    "ORACLES", "DelayObservation", "Oracle", "evaluate", "get_oracle",
+    "oracle_names", "register_oracle",
+    "ANY_REGIME", "DEFAULT_LEDGER", "UNIT_TOLERANCES", "ToleranceLedger",
+    "ToleranceRule", "unit_tolerance",
+]

@@ -1,0 +1,188 @@
+"""Verification cases and the committed differential case matrix.
+
+A :class:`VerifyCase` pins down one driver-line-load configuration plus a
+delay threshold — everything an oracle needs to produce a
+:class:`~repro.verify.oracles.DelayObservation`.  The committed default
+matrix (:func:`default_case_matrix`) sweeps the axes the paper's claims
+hinge on:
+
+* **damping regime** — the line inductance is placed below, at and above
+  the critical inductance (Eq. 4) of the sized stage, so every oracle is
+  exercised on over-, critically- and under-damped responses;
+* **threshold f** — low (0.2), the paper's 0.5, and high (0.9), where the
+  two-pole error is known to grow for ringing responses;
+* **driver/load sizing** — the RC-optimal (h, k) and a deliberately
+  mistuned compact sizing (shorter segment, weaker driver), so agreement
+  is not checked only at the operating point every model was built for;
+* **technology node** — both Table 1 nodes (250 nm and 100 nm).
+
+Case identity for golden fixtures is the *physical content* (line,
+driver, h, k, f) — the ``case_id``/labels are presentation only, so
+renaming a case never invalidates its fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..core.critical import critical_inductance
+from ..core.elmore import rc_optimum
+from ..core.moments import compute_moments
+from ..core.params import DriverParams, LineParams, Stage
+from ..core.poles import classify_damping
+from ..engine.jobs import driver_from_dict, driver_to_dict, line_from_dict, \
+    line_to_dict
+from ..errors import ParameterError
+from ..tech.node import get_node
+
+#: Inductance multiples of l_crit realizing each intended damping regime.
+REGIME_L_FACTORS: Dict[str, float] = {
+    "overdamped": 0.4,
+    "critical": 1.0,
+    "underdamped": 2.5,
+}
+
+#: Thresholds of the committed matrix (low / paper's 0.5 / high).
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (0.2, 0.5, 0.9)
+
+#: Technology nodes of the committed matrix.
+DEFAULT_NODES: Tuple[str, ...] = ("250nm", "100nm")
+
+#: Driver/load sizing variants: (label, h factor, k factor) relative to
+#: the RC optimum.  ``compact`` is a deliberately mistuned short segment
+#: with a weak driver — off the sweet spot every model targets.
+DEFAULT_SIZINGS: Tuple[Tuple[str, float, float], ...] = (
+    ("rcopt", 1.0, 1.0),
+    ("compact", 0.6, 0.5),
+)
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One fully specified verification case.
+
+    Attributes
+    ----------
+    case_id:
+        Human-readable label (presentation only, not hashed).
+    line, driver, h, k:
+        The stage configuration in SI units.
+    f:
+        Delay threshold fraction in (0, 1).
+    regime:
+        Intended damping label ('overdamped' / 'critical' /
+        'underdamped'); informational — the authoritative regime is
+        recomputed from the moments via :meth:`damping`.
+    node:
+        Source technology node name, or '' for synthetic cases.
+    """
+
+    case_id: str
+    line: LineParams
+    driver: DriverParams
+    h: float
+    k: float
+    f: float
+    regime: str = ""
+    node: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.f < 1.0:
+            raise ParameterError(
+                f"threshold fraction must be in (0, 1), got {self.f}")
+
+    def stage(self) -> Stage:
+        """The driver-line-load stage this case describes."""
+        return Stage(line=self.line, driver=self.driver, h=self.h, k=self.k)
+
+    def damping(self) -> str:
+        """Authoritative damping regime from the two-pole moments."""
+        moments = compute_moments(self.stage())
+        return classify_damping(moments.b1, moments.b2).value
+
+    def content(self) -> Dict[str, Any]:
+        """Physical content only — the unit of golden-fixture hashing."""
+        return {"line": line_to_dict(self.line),
+                "driver": driver_to_dict(self.driver),
+                "h": self.h, "k": self.k, "f": self.f}
+
+    def canonical(self) -> Dict[str, Any]:
+        """Full dictionary form including presentation labels."""
+        data = self.content()
+        data["case_id"] = self.case_id
+        data["regime"] = self.regime
+        data["node"] = self.node
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "VerifyCase":
+        return cls(case_id=str(data.get("case_id", "")),
+                   line=line_from_dict(data["line"]),
+                   driver=driver_from_dict(data["driver"]),
+                   h=float(data["h"]), k=float(data["k"]),
+                   f=float(data["f"]),
+                   regime=str(data.get("regime", "")),
+                   node=str(data.get("node", "")))
+
+
+def case_for_regime(node_name: str, regime: str, f: float, *,
+                    sizing: str = "rcopt", h_factor: float = 1.0,
+                    k_factor: float = 1.0) -> VerifyCase:
+    """Build one case of the structured matrix.
+
+    The stage is sized from the node's RC optimum scaled by
+    ``(h_factor, k_factor)`` and its inductance is set to the regime's
+    multiple of the critical inductance of *that* sizing, so the intended
+    damping label is exact by construction (up to the critical-boundary
+    tolerance for ``regime='critical'``).
+    """
+    if regime not in REGIME_L_FACTORS:
+        known = ", ".join(sorted(REGIME_L_FACTORS))
+        raise ParameterError(f"unknown regime {regime!r}; known: {known}")
+    node = get_node(node_name)
+    rc_opt = rc_optimum(node.line, node.driver)
+    h = rc_opt.h_opt * h_factor
+    k = rc_opt.k_opt * k_factor
+    l_crit = critical_inductance(
+        Stage(line=node.line, driver=node.driver, h=h, k=k))
+    l = REGIME_L_FACTORS[regime] * l_crit
+    return VerifyCase(
+        case_id=f"{node_name}/{sizing}/{regime}/f{f:g}",
+        line=node.line.with_inductance(l),
+        driver=node.driver, h=h, k=k, f=f,
+        regime=regime, node=node_name)
+
+
+def default_case_matrix(
+        *, nodes: Sequence[str] = DEFAULT_NODES,
+        thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+        regimes: Sequence[str] = tuple(REGIME_L_FACTORS),
+        sizings: Sequence[Tuple[str, float, float]] = DEFAULT_SIZINGS,
+) -> Tuple[VerifyCase, ...]:
+    """The committed case matrix: node x sizing x regime x threshold."""
+    cases: List[VerifyCase] = []
+    for node_name in nodes:
+        for sizing, h_factor, k_factor in sizings:
+            for regime in regimes:
+                for f in thresholds:
+                    cases.append(case_for_regime(
+                        node_name, regime, f, sizing=sizing,
+                        h_factor=h_factor, k_factor=k_factor))
+    return tuple(cases)
+
+
+def load_case_matrix(path: str) -> Tuple[VerifyCase, ...]:
+    """Load a case matrix from a JSON file (a list of case dictionaries)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise ParameterError(
+            f"case matrix {path!r} must be a JSON list of case objects")
+    return tuple(VerifyCase.from_dict(entry) for entry in data)
+
+
+def dump_case_matrix(cases: Iterable[VerifyCase]) -> List[Dict[str, Any]]:
+    """JSON-ready form of a case matrix (inverse of :func:`load_case_matrix`)."""
+    return [case.canonical() for case in cases]

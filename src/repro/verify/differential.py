@@ -1,0 +1,222 @@
+"""Differential checker: sweep the case matrix, compare oracles pairwise.
+
+:func:`run_differential` evaluates every (case, oracle) pair through the
+batch engine — so verification work shares the executor's fault
+isolation, parallel backend and (opt-in) content-addressed cache with the
+rest of the repo — then scores each ledger pair and emits a
+machine-readable :class:`DiscrepancyReport`.
+
+Report semantics:
+
+* a **check** records one pairwise comparison: both taus, the relative
+  error, the bound that applied and whether it held;
+* a **skip** records a comparison that could not run (oracle out of
+  domain, oracle evaluation failed, or no ledger rule for the regime) —
+  skips are visible in the report so silent coverage loss is impossible;
+* the report **passes** iff there are no violated checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..engine.executor import BatchExecutor
+from .cases import VerifyCase
+from .jobs import VerifyJob
+from .oracles import DelayObservation, get_oracle, oracle_names
+from .tolerances import DEFAULT_LEDGER, ToleranceLedger
+
+
+@dataclass(frozen=True)
+class PairCheck:
+    """One pairwise oracle comparison on one case."""
+
+    case_id: str
+    regime: str
+    f: float
+    subject: str
+    reference: str
+    tau_subject: float
+    tau_reference: float
+    rel_error: float
+    rel_tol: float
+    ok: bool
+    justification: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"case_id": self.case_id, "regime": self.regime,
+                "f": self.f, "subject": self.subject,
+                "reference": self.reference,
+                "tau_subject": self.tau_subject,
+                "tau_reference": self.tau_reference,
+                "rel_error": self.rel_error, "rel_tol": self.rel_tol,
+                "ok": self.ok, "justification": self.justification}
+
+
+@dataclass(frozen=True)
+class SkippedCheck:
+    """One comparison (or evaluation) that did not run, and why."""
+
+    case_id: str
+    subject: str
+    reference: str
+    reason: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"case_id": self.case_id, "subject": self.subject,
+                "reference": self.reference, "reason": self.reason}
+
+
+@dataclass
+class DiscrepancyReport:
+    """Machine-readable outcome of one differential sweep."""
+
+    checks: List[PairCheck] = field(default_factory=list)
+    skipped: List[SkippedCheck] = field(default_factory=list)
+    oracles: List[str] = field(default_factory=list)
+    n_cases: int = 0
+
+    @property
+    def violations(self) -> List[PairCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Deterministic JSON form (written by ``repro-verify run --out``)."""
+        return {
+            "schema": "repro-verify-report/1",
+            "n_cases": self.n_cases,
+            "oracles": list(self.oracles),
+            "passed": self.passed,
+            "n_checks": len(self.checks),
+            "n_violations": len(self.violations),
+            "checks": [c.to_payload() for c in self.checks],
+            "skipped": [s.to_payload() for s in self.skipped],
+        }
+
+    def format_table(self, *, only_violations: bool = False) -> str:
+        """Fixed-width human summary of the checks."""
+        headers = ("case", "pair", "tau_subj", "tau_ref", "rel_err",
+                   "bound", "status")
+        rows: List[Tuple[str, ...]] = []
+        for check in self.checks:
+            if only_violations and check.ok:
+                continue
+            rows.append((check.case_id,
+                         f"{check.subject} vs {check.reference}",
+                         f"{check.tau_subject:.4g}",
+                         f"{check.tau_reference:.4g}",
+                         f"{check.rel_error:.3%}",
+                         f"{check.rel_tol:.3%}",
+                         "ok" if check.ok else "VIOLATION"))
+        if not rows:
+            return "(no checks)" if not only_violations else "(no violations)"
+        widths = [max(len(h), *(len(r[i]) for r in rows))
+                  for i, h in enumerate(headers)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+                 "  ".join("-" * w for w in widths)]
+        lines.extend("  ".join(c.ljust(w) for c, w in zip(row, widths))
+                     for row in rows)
+        return "\n".join(lines)
+
+
+def evaluate_matrix(cases: Sequence[VerifyCase],
+                    oracles: Sequence[str], *,
+                    executor: Optional[BatchExecutor] = None,
+                    ) -> Tuple[Dict[Tuple[int, str], DelayObservation],
+                               List[SkippedCheck]]:
+    """Evaluate each case with each supporting oracle via the engine.
+
+    Returns ``(observations, skipped)`` where observations are keyed by
+    (case index, oracle name).  Failed or out-of-domain evaluations land
+    in ``skipped`` with the oracle in the ``subject`` slot.
+    """
+    executor = executor or BatchExecutor()
+    jobs: List[VerifyJob] = []
+    slots: List[Tuple[int, str]] = []
+    skipped: List[SkippedCheck] = []
+    for index, case in enumerate(cases):
+        for name in oracles:
+            if not get_oracle(name).supports(case):
+                skipped.append(SkippedCheck(
+                    case_id=case.case_id, subject=name, reference="",
+                    reason=f"oracle {name} does not support this case "
+                           f"(f={case.f:g})"))
+                continue
+            jobs.append(VerifyJob(case=case, oracle=name))
+            slots.append((index, name))
+
+    observations: Dict[Tuple[int, str], DelayObservation] = {}
+    for (index, name), outcome in zip(slots, executor.run(jobs)):
+        if outcome.ok:
+            assert outcome.result is not None
+            observations[(index, name)] = DelayObservation.from_dict(
+                outcome.result)
+        else:
+            skipped.append(SkippedCheck(
+                case_id=cases[index].case_id, subject=name, reference="",
+                reason=f"evaluation failed: {outcome.error_type}: "
+                       f"{outcome.error}"))
+    return observations, skipped
+
+
+def run_differential(cases: Sequence[VerifyCase], *,
+                     oracles: Optional[Sequence[str]] = None,
+                     ledger: ToleranceLedger = DEFAULT_LEDGER,
+                     executor: Optional[BatchExecutor] = None,
+                     ) -> DiscrepancyReport:
+    """Sweep the matrix and compare oracles pairwise against the ledger.
+
+    Parameters
+    ----------
+    cases:
+        The case matrix to sweep.
+    oracles:
+        Oracle names to evaluate; defaults to every registered oracle.
+        Ledger pairs whose oracles were not evaluated are skipped (and
+        recorded as such).
+    ledger:
+        The tolerance ledger to score against.
+    executor:
+        Batch executor (worker count / cache) to run evaluations through;
+        defaults to a serial, uncached executor.
+    """
+    names = list(oracles) if oracles is not None else oracle_names()
+    observations, skipped = evaluate_matrix(cases, names, executor=executor)
+
+    report = DiscrepancyReport(skipped=skipped, oracles=names,
+                               n_cases=len(cases))
+    for index, case in enumerate(cases):
+        regime = None
+        for subject, reference in ledger.pairs():
+            if subject not in names or reference not in names:
+                continue
+            obs_subject = observations.get((index, subject))
+            obs_reference = observations.get((index, reference))
+            if obs_subject is None or obs_reference is None:
+                # The evaluation-level skip is already recorded.
+                continue
+            if regime is None:
+                regime = obs_subject.damping
+            rule = ledger.bound_for(subject, reference, regime, case.f)
+            if rule is None:
+                report.skipped.append(SkippedCheck(
+                    case_id=case.case_id, subject=subject,
+                    reference=reference,
+                    reason=f"no ledger rule for regime={regime} f={case.f:g}"))
+                continue
+            rel_error = (abs(obs_subject.tau - obs_reference.tau)
+                         / abs(obs_reference.tau))
+            report.checks.append(PairCheck(
+                case_id=case.case_id, regime=regime, f=case.f,
+                subject=subject, reference=reference,
+                tau_subject=obs_subject.tau,
+                tau_reference=obs_reference.tau,
+                rel_error=rel_error, rel_tol=rule.rel_tol,
+                ok=rel_error <= rule.rel_tol,
+                justification=rule.justification))
+    return report

@@ -1,0 +1,294 @@
+"""Delay oracles: independent evaluation paths behind one interface.
+
+Each oracle computes the f*100% threshold delay of a
+:class:`~repro.verify.cases.VerifyCase` by a *different* route through the
+repo, so pairwise agreement is evidence of correctness rather than
+repetition:
+
+================  ==========================================================
+``two_pole``      Analytic two-pole Padé model + bracketed Newton solve
+                  (``core.moments`` -> ``core.poles`` -> ``core.delay``) —
+                  the paper's Eqs. 2-3 and the subject under test.
+``elmore``        Single-pole (dominant-pole) model with time constant b1:
+                  tau = -b1 ln(1 - f).  The inductance-blind RC baseline;
+                  exact limit of the two-pole model as the poles separate.
+``kahng_muddu``   Kahng-Muddu closed-form branches (baseline [23]).
+``ismail_friedman``  Ismail-Friedman curve-fitted 50% delay
+                  tau = (e^{-2.9 zeta^1.35} + 1.48 zeta)/omega_n
+                  (TVLSI 2000); valid at f = 0.5 only.
+``talbot``        Talbot numerical inversion of the *exact* transfer
+                  function (Eq. 1) + first-crossing search
+                  (``analysis.laplace``).  Analytically independent of the
+                  Padé truncation.
+``mna``           MNA transient simulation of the discretized ladder
+                  (``circuits.builders`` + ``circuits.transient``) — the
+                  repo's SPICE substitute, independent of every closed
+                  form.  Expensive; gated behind ``expensive=True``.
+================  ==========================================================
+
+Oracles return a :class:`DelayObservation` — a plain, JSON-stable record —
+and declare their domain via :meth:`Oracle.supports` (e.g. the
+Ismail-Friedman fit only exists for f = 0.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.laplace import step_response_exact
+from ..analysis.waveform import Waveform
+from ..baselines.kahng_muddu import km_delay
+from ..core.delay import threshold_delay
+from ..core.moments import compute_moments
+from ..core.poles import classify_damping
+from ..errors import ParameterError
+from .cases import VerifyCase
+
+#: Time-grid points used by the sampled (talbot / mna) oracles.
+SAMPLED_GRID_POINTS = 400
+
+#: Sampling horizon in units of the Elmore time constant b1.  b1 is the
+#: slowest physically meaningful time scale of the stage and — unlike the
+#: pole time scales — cannot be corrupted by an inductance-term bug, so
+#: the reference oracles stay independent of the code paths they check.
+SAMPLED_HORIZON_B1 = 12.0
+
+#: Ladder sections used by the MNA oracle (test_integration-grade accuracy).
+MNA_SEGMENTS = 20
+
+
+@dataclass(frozen=True)
+class DelayObservation:
+    """One oracle's verdict on one case — plain and JSON-stable.
+
+    Attributes
+    ----------
+    oracle:
+        Name of the oracle that produced the observation.
+    tau:
+        First time the response reaches f, in seconds.
+    threshold:
+        The threshold fraction f that was solved for.
+    damping:
+        Two-pole damping classification of the underlying stage
+        (informational; identical across oracles for the same case).
+    extras:
+        Oracle-specific diagnostics (iteration counts, grid sizes, ...).
+        Part of the golden fixture, so they must be deterministic.
+    """
+
+    oracle: str
+    tau: float
+    threshold: float
+    damping: str
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"oracle": self.oracle, "tau": self.tau,
+                "threshold": self.threshold, "damping": self.damping,
+                "extras": dict(self.extras)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DelayObservation":
+        return cls(oracle=str(data["oracle"]), tau=float(data["tau"]),
+                   threshold=float(data["threshold"]),
+                   damping=str(data["damping"]),
+                   extras=dict(data.get("extras", {})))
+
+
+class Oracle:
+    """Base class: one independent delay-evaluation path.
+
+    Subclasses set ``name`` (the registry key), optionally flip
+    ``expensive`` (excluded from default cheap sweeps), and implement
+    :meth:`evaluate`.
+    """
+
+    name: str = ""
+    expensive: bool = False
+
+    def supports(self, case: VerifyCase) -> bool:
+        """True when the oracle's domain covers the case (default: always)."""
+        return True
+
+    def evaluate(self, case: VerifyCase) -> DelayObservation:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _damping_of(self, case: VerifyCase) -> str:
+        moments = compute_moments(case.stage())
+        return classify_damping(moments.b1, moments.b2).value
+
+
+class TwoPoleOracle(Oracle):
+    """The paper's two-pole Padé model + Newton-polished delay solve."""
+
+    name = "two_pole"
+
+    def evaluate(self, case: VerifyCase) -> DelayObservation:
+        result = threshold_delay(case.stage(), case.f,
+                                 polish_with_newton=True)
+        return DelayObservation(
+            oracle=self.name, tau=result.tau, threshold=case.f,
+            damping=result.damping.value,
+            extras={"newton_iterations": result.newton_iterations})
+
+
+class ElmoreOracle(Oracle):
+    """Single-pole model with the Elmore time constant b1.
+
+    v(t) = 1 - exp(-t/b1) gives tau = -b1 ln(1 - f); at f = 0.5 this is
+    the classical 0.693 b1.  Blind to inductance by construction.
+    """
+
+    name = "elmore"
+
+    def evaluate(self, case: VerifyCase) -> DelayObservation:
+        b1 = compute_moments(case.stage()).b1
+        tau = -b1 * math.log1p(-case.f)
+        return DelayObservation(oracle=self.name, tau=tau, threshold=case.f,
+                                damping=self._damping_of(case),
+                                extras={"b1": b1})
+
+
+class KahngMudduOracle(Oracle):
+    """Kahng-Muddu closed-form delay (asymptotic branches + critical)."""
+
+    name = "kahng_muddu"
+
+    def evaluate(self, case: VerifyCase) -> DelayObservation:
+        moments = compute_moments(case.stage())
+        tau = km_delay(moments.b1, moments.b2, case.f)
+        return DelayObservation(oracle=self.name, tau=tau, threshold=case.f,
+                                damping=self._damping_of(case),
+                                extras={})
+
+
+class IsmailFriedmanOracle(Oracle):
+    """Ismail-Friedman fitted 50% delay (TVLSI 2000, Eq. for t_pd).
+
+    tau = (e^{-2.9 zeta^1.35} + 1.48 zeta) / omega_n with
+    zeta = b1/(2 sqrt(b2)), omega_n = 1/sqrt(b2).  The fit was calibrated
+    against SPICE at the 50% threshold only, so :meth:`supports` rejects
+    every other f.
+    """
+
+    name = "ismail_friedman"
+
+    def supports(self, case: VerifyCase) -> bool:
+        return case.f == 0.5
+
+    def evaluate(self, case: VerifyCase) -> DelayObservation:
+        if not self.supports(case):
+            raise ParameterError(
+                f"Ismail-Friedman delay fit is defined only for f = 0.5, "
+                f"got f = {case.f}")
+        moments = compute_moments(case.stage())
+        sqrt_b2 = math.sqrt(moments.b2)
+        zeta = moments.b1 / (2.0 * sqrt_b2)
+        omega_n = 1.0 / sqrt_b2
+        tau = (math.exp(-2.9 * zeta ** 1.35) + 1.48 * zeta) / omega_n
+        return DelayObservation(oracle=self.name, tau=tau, threshold=case.f,
+                                damping=self._damping_of(case),
+                                extras={"zeta": zeta})
+
+
+def _first_crossing_time(times: np.ndarray, values: np.ndarray,
+                         f: float) -> float:
+    """First rising crossing of ``f`` on a sampled waveform."""
+    return Waveform(times, values).first_crossing(f)
+
+
+def _sample_grid(case: VerifyCase) -> np.ndarray:
+    """Deterministic time grid spanning the stage's Elmore horizon."""
+    b1 = compute_moments(case.stage()).b1
+    return np.linspace(0.0, SAMPLED_HORIZON_B1 * b1,
+                       SAMPLED_GRID_POINTS + 1)[1:]
+
+
+class TalbotOracle(Oracle):
+    """Numerical inverse Laplace of the exact transfer function (Eq. 1)."""
+
+    name = "talbot"
+
+    def evaluate(self, case: VerifyCase) -> DelayObservation:
+        t_grid = _sample_grid(case)
+        values = step_response_exact(case.stage(), t_grid)
+        tau = _first_crossing_time(t_grid, values, case.f)
+        return DelayObservation(
+            oracle=self.name, tau=tau, threshold=case.f,
+            damping=self._damping_of(case),
+            extras={"grid_points": int(t_grid.size)})
+
+
+class MnaOracle(Oracle):
+    """MNA transient simulation of the discretized RLC ladder."""
+
+    name = "mna"
+    expensive = True
+
+    def supports(self, case: VerifyCase) -> bool:
+        # The testbench instantiates the driver's parasitic capacitance
+        # as a circuit element, and a zero-valued capacitor is not a
+        # legal element — c_p = 0 stages are analytic-oracle territory.
+        return case.driver.c_p > 0.0
+
+    def evaluate(self, case: VerifyCase) -> DelayObservation:
+        from ..circuits.builders import build_linear_stage
+        from ..circuits.transient import simulate
+
+        t_grid = _sample_grid(case)
+        t_end = float(t_grid[-1])
+        dt = t_end / (4 * SAMPLED_GRID_POINTS)
+        bench = build_linear_stage(case.stage(), segments=MNA_SEGMENTS)
+        result = simulate(bench.circuit, t_end, dt)
+        tau = _first_crossing_time(result.time,
+                                   result.voltage(bench.output_node),
+                                   case.f)
+        return DelayObservation(
+            oracle=self.name, tau=tau, threshold=case.f,
+            damping=self._damping_of(case),
+            extras={"segments": MNA_SEGMENTS,
+                    "steps": int(result.time.size)})
+
+
+#: The oracle registry, keyed by name.  Populated below and extensible via
+#: :func:`register_oracle`.
+ORACLES: Dict[str, Oracle] = {}
+
+
+def register_oracle(oracle: Oracle) -> Oracle:
+    """Register an oracle instance under its name (latest wins)."""
+    if not oracle.name:
+        raise ValueError(f"{type(oracle).__name__} has no name")
+    ORACLES[oracle.name] = oracle
+    return oracle
+
+
+for _oracle_cls in (TwoPoleOracle, ElmoreOracle, KahngMudduOracle,
+                    IsmailFriedmanOracle, TalbotOracle, MnaOracle):
+    register_oracle(_oracle_cls())
+
+
+def get_oracle(name: str) -> Oracle:
+    """Look up a registered oracle by name."""
+    try:
+        return ORACLES[name]
+    except KeyError:
+        known = ", ".join(sorted(ORACLES))
+        raise KeyError(f"unknown oracle {name!r}; known: {known}") from None
+
+
+def oracle_names(*, include_expensive: bool = True) -> List[str]:
+    """Registered oracle names, optionally excluding expensive ones."""
+    return sorted(name for name, oracle in ORACLES.items()
+                  if include_expensive or not oracle.expensive)
+
+
+def evaluate(case: VerifyCase, oracle: str) -> DelayObservation:
+    """Evaluate one case with one oracle — the registry's front door."""
+    return get_oracle(oracle).evaluate(case)

@@ -1,0 +1,82 @@
+"""Shared Hypothesis strategies over physically valid parameter spaces.
+
+One home for every strategy the property suites draw from, so "a
+physically plausible interconnect stage" means the same thing in
+``tests/test_properties.py``, the verification-layer property tests and
+the engine round-trip tests.  Ranges follow the repo's on-chip
+conventions: resistance 0.5-50 ohm/mm, capacitance 30-500 pF/m,
+inductance 0-10 nH/mm, driver resistance 1-100 kohm, femtofarad device
+capacitances, segment lengths 0.1-50 mm and repeater sizes 1-5000 —
+every draw is a meaningful stage, not a random float tuple.
+"""
+
+from hypothesis import strategies as st
+
+from repro import DriverParams, LineParams, Stage
+from repro.verify import VerifyCase
+
+#: Per-length line parasitics (SI: ohm/m, H/m, F/m).
+lines = st.builds(
+    LineParams,
+    r=st.floats(min_value=500.0, max_value=5e4),
+    l=st.floats(min_value=0.0, max_value=1e-5),
+    c=st.floats(min_value=3e-11, max_value=5e-10),
+)
+
+#: Lines with strictly positive inductance (for inductance-effect tests).
+inductive_lines = st.builds(
+    LineParams,
+    r=st.floats(min_value=500.0, max_value=5e4),
+    l=st.floats(min_value=1e-9, max_value=1e-5),
+    c=st.floats(min_value=3e-11, max_value=5e-10),
+)
+
+#: Purely resistive-capacitive lines (the Elmore/RC limit, l = 0).
+rc_lines = st.builds(
+    LineParams,
+    r=st.floats(min_value=500.0, max_value=5e4),
+    l=st.just(0.0),
+    c=st.floats(min_value=3e-11, max_value=5e-10),
+)
+
+#: Minimum-size driver characteristics.
+drivers = st.builds(
+    DriverParams,
+    r_s=st.floats(min_value=1e3, max_value=1e5),
+    c_p=st.floats(min_value=0.0, max_value=2e-14),
+    c_0=st.floats(min_value=2e-16, max_value=5e-15),
+)
+
+#: Segment lengths (m) and repeater sizes used across stage strategies.
+segment_lengths = st.floats(min_value=1e-4, max_value=5e-2)
+repeater_sizes = st.floats(min_value=1.0, max_value=5e3)
+
+#: Fully sized driver-line-load stages.
+stages = st.builds(
+    Stage,
+    line=lines,
+    driver=drivers,
+    h=segment_lengths,
+    k=repeater_sizes,
+)
+
+#: Stages on RC-only lines (overdamped by construction, l = 0).
+rc_stages = st.builds(
+    Stage,
+    line=rc_lines,
+    driver=drivers,
+    h=segment_lengths,
+    k=repeater_sizes,
+)
+
+#: Delay threshold fractions, clear of the f -> 0 and f -> 1 boundaries.
+thresholds = st.floats(min_value=0.05, max_value=0.95)
+
+#: Fully specified verification cases (stage + threshold).
+verify_cases = st.builds(
+    lambda stage, f: VerifyCase(
+        case_id="hypothesis", line=stage.line, driver=stage.driver,
+        h=stage.h, k=stage.k, f=f),
+    stage=stages,
+    f=thresholds,
+)

@@ -8,6 +8,7 @@ import pytest
 from repro import (Damping, DelaySolverError, ParameterError, StepResponse,
                    canonical_response, compute_moments, newton_delay,
                    stage_delay, threshold_delay)
+from repro.verify import unit_tolerance
 
 
 class TestThresholdDelay:
@@ -20,20 +21,23 @@ class TestThresholdDelay:
         tau = threshold_delay(response, 0.5).tau
         s1 = max(response.s1.real, response.s2.real)
         expected = math.log(2.0) / (-s1)
-        assert tau == pytest.approx(expected, rel=0.02)
+        assert tau == pytest.approx(
+            expected, rel=unit_tolerance("delay.dominant_pole_limit.rel"))
 
     def test_critically_damped_closed_form(self):
         """(1 + x) e^{-x} = 0.5 at x = 1.67835; tau = x / wn."""
         wn = 1e9
         response = canonical_response(1.0, wn)
         tau = threshold_delay(response, 0.5).tau
-        assert tau * wn == pytest.approx(1.67835, rel=1e-4)
+        assert tau * wn == pytest.approx(
+            1.67835, rel=unit_tolerance("delay.critical_closed_form.rel"))
 
     def test_solution_satisfies_delay_equation(self, stage_rlc):
         response = StepResponse.from_moments(compute_moments(stage_rlc))
         for f in (0.1, 0.5, 0.9):
             tau = threshold_delay(response, f).tau
-            assert response(tau) == pytest.approx(f, abs=1e-9)
+            assert response(tau) == pytest.approx(
+                f, abs=unit_tolerance("delay.on_threshold.abs"))
 
     def test_returns_first_crossing_for_underdamped(self, stage_rlc):
         """No earlier sample may exceed the threshold."""
@@ -75,13 +79,15 @@ class TestThresholdDelay:
         tau_stage = threshold_delay(stage_rlc, 0.5).tau
         tau_moments = threshold_delay(moments, 0.5).tau
         tau_response = threshold_delay(response, 0.5).tau
-        assert tau_stage == pytest.approx(tau_moments, rel=1e-12)
-        assert tau_stage == pytest.approx(tau_response, rel=1e-12)
+        rel = unit_tolerance("delay.source_equivalence.rel")
+        assert tau_stage == pytest.approx(tau_moments, rel=rel)
+        assert tau_stage == pytest.approx(tau_response, rel=rel)
 
     def test_brent_only_matches_polished(self, stage_rlc):
         polished = threshold_delay(stage_rlc, 0.5, polish_with_newton=True)
         brent = threshold_delay(stage_rlc, 0.5, polish_with_newton=False)
-        assert brent.tau == pytest.approx(polished.tau, rel=1e-9)
+        assert brent.tau == pytest.approx(
+            polished.tau, rel=unit_tolerance("delay.brent_vs_newton.rel"))
         assert brent.newton_iterations == 0
 
 
@@ -93,7 +99,8 @@ class TestNewtonDelay:
         reference = threshold_delay(response, 0.5,
                                     polish_with_newton=False).tau
         tau, iterations = newton_delay(response, 0.5, reference * 1.2)
-        assert tau == pytest.approx(reference, rel=1e-9)
+        assert tau == pytest.approx(
+            reference, rel=unit_tolerance("delay.brent_vs_newton.rel"))
         assert iterations <= 6
 
     def test_raises_on_stationary_start(self, stage_rlc):

@@ -1,0 +1,162 @@
+"""Underdamped edge cases for the threshold-delay solver.
+
+The solver's contract is *first* crossing: bracket on a dense grid, Brent
+inside the bracket, then an optional Newton polish that is accepted only
+if it stays on the same crossing.  These tests pin the edges of that
+contract — thresholds at the overshoot plateau, f -> 1, the critical
+boundary — and the two fallback paths (Newton diverging, Newton leaving
+the bracket) against brute-force dense bracketing.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.delay as delay_mod
+from repro import (Damping, DriverParams, LineParams, Stage, StepResponse,
+                   compute_moments, critical_inductance, threshold_delay)
+from repro.errors import DelaySolverError
+from repro.verify import unit_tolerance
+
+
+def _underdamped_stage(l_factor):
+    base = Stage(line=LineParams(r=4000.0, l=0.0, c=150e-12),
+                 driver=DriverParams(r_s=10e3, c_p=5e-15, c_0=1.5e-15),
+                 h=2e-3, k=100.0)
+    return base.with_inductance(l_factor * critical_inductance(base))
+
+
+def _brute_force_first_crossing(response, f, t_max, points=200_001):
+    """First grid bin where the sampled response reaches f."""
+    t = np.linspace(0.0, t_max, points)
+    v = response(t)
+    above = np.nonzero(v >= f)[0]
+    assert above.size, f"response never reached {f} within {t_max}"
+    i = int(above[0])
+    return t[i - 1], t[i]
+
+
+class TestOvershootPlateau:
+    """Thresholds between 1 and the ringing peak."""
+
+    @pytest.mark.parametrize("l_factor", [3.0, 10.0, 100.0])
+    def test_threshold_just_below_peak(self, l_factor):
+        stage = _underdamped_stage(l_factor)
+        response = StepResponse.from_moments(compute_moments(stage))
+        peak = 1.0 + response.overshoot()
+        assert peak > 1.0
+        f = min(0.999 * peak, 1.0 - 1e-9)
+        result = threshold_delay(stage, f)
+        assert result.damping is Damping.UNDERDAMPED
+        assert response(result.tau) == pytest.approx(
+            f, abs=unit_tolerance("delay.on_threshold.abs"))
+
+    @pytest.mark.parametrize("f", [0.9, 0.99, 1.0 - 1e-6])
+    def test_agrees_with_brute_force_bracketing(self, f):
+        stage = _underdamped_stage(10.0)
+        response = StepResponse.from_moments(compute_moments(stage))
+        result = threshold_delay(stage, f)
+        t_lo, t_hi = _brute_force_first_crossing(
+            response, f, 12.0 * compute_moments(stage).b1)
+        assert t_lo <= result.tau <= t_hi
+
+    def test_first_crossing_not_a_later_ring(self):
+        # A strongly ringing response crosses f = 0.9 several times; the
+        # reported tau must be the first one.
+        stage = _underdamped_stage(100.0)
+        response = StepResponse.from_moments(compute_moments(stage))
+        tau = threshold_delay(stage, 0.9).tau
+        t_before = np.linspace(1e-18, tau * (1.0 - 1e-9), 10_000)
+        assert np.all(response(t_before) < 0.9)
+
+
+class TestNearUnityThreshold:
+    def test_f_approaching_one_still_solves(self):
+        stage = _underdamped_stage(10.0)
+        response = StepResponse.from_moments(compute_moments(stage))
+        taus = [threshold_delay(stage, f).tau
+                for f in (0.9, 0.99, 0.999, 1.0 - 1e-6)]
+        assert all(np.diff(taus) > 0.0)
+        assert response(taus[-1]) == pytest.approx(
+            1.0 - 1e-6, abs=unit_tolerance("delay.on_threshold.abs"))
+
+    def test_overdamped_f_near_one_asymptotic_tail(self):
+        # Without ringing the response approaches 1 from below, so the
+        # crossing sits far out on the asymptotic tail — the stretched
+        # bracket search must still find it.
+        stage = Stage(line=LineParams(r=4000.0, l=0.0, c=150e-12),
+                      driver=DriverParams(r_s=10e3, c_p=5e-15, c_0=1.5e-15),
+                      h=2e-3, k=100.0)
+        result = threshold_delay(stage, 1.0 - 1e-6)
+        response = StepResponse.from_moments(compute_moments(stage))
+        assert response(result.tau) == pytest.approx(1.0 - 1e-6, abs=1e-9)
+
+
+class TestCriticalBoundary:
+    @pytest.mark.parametrize("offset", [-1e-9, 0.0, 1e-9])
+    def test_delay_continuous_across_l_crit(self, offset):
+        stage = _underdamped_stage(1.0 + offset)
+        at_crit = threshold_delay(_underdamped_stage(1.0), 0.5).tau
+        near = threshold_delay(stage, 0.5).tau
+        assert near == pytest.approx(at_crit, rel=1e-6)
+
+    def test_classification_flips_at_boundary(self):
+        below = threshold_delay(_underdamped_stage(1.0 - 1e-6), 0.5)
+        above = threshold_delay(_underdamped_stage(1.0 + 1e-6), 0.5)
+        assert below.damping is Damping.OVERDAMPED
+        assert above.damping is Damping.UNDERDAMPED
+
+
+class TestNewtonFallbacks:
+    """The two guarded paths of the polish step."""
+
+    def test_raw_newton_can_land_on_a_later_crossing(self):
+        # Seeded past the overshoot peak, the raw Newton iteration slides
+        # down the ring and converges to a *later* crossing of the same
+        # threshold — a valid root of Eq. 3 but the wrong arrival time.
+        # This is exactly why threshold_delay only accepts a polish that
+        # stayed inside the first-crossing bracket.
+        stage = _underdamped_stage(100.0)
+        response = StepResponse.from_moments(compute_moments(stage))
+        tau_first = threshold_delay(stage, 0.9, polish_with_newton=False).tau
+        seed = 1.5 * response.peak_time()
+        tau_newton, _ = delay_mod.newton_delay(response, 0.9, seed)
+        assert response(tau_newton) == pytest.approx(0.9, abs=1e-6)
+        assert tau_newton > 2.0 * tau_first
+        # The guarded solver is immune to the hazard.
+        assert threshold_delay(stage, 0.9).tau == pytest.approx(
+            tau_first, rel=unit_tolerance("delay.brent_vs_newton.rel"))
+
+    def test_rejected_polish_keeps_brent_solution(self, monkeypatch):
+        # Force the polish to land outside the bracket: threshold_delay
+        # must fall back to the Brent tau and report zero iterations.
+        stage = _underdamped_stage(10.0)
+        expected = threshold_delay(stage, 0.9, polish_with_newton=False)
+
+        def escaping_newton(response, f, tau0, **kwargs):
+            return 100.0 * tau0, 7
+        monkeypatch.setattr(delay_mod, "newton_delay", escaping_newton)
+
+        result = threshold_delay(stage, 0.9, polish_with_newton=True)
+        assert result.newton_iterations == 0
+        assert result.tau == expected.tau
+
+    def test_failing_polish_keeps_brent_solution(self, monkeypatch):
+        stage = _underdamped_stage(10.0)
+        expected = threshold_delay(stage, 0.9, polish_with_newton=False)
+
+        def raising_newton(response, f, tau0, **kwargs):
+            raise DelaySolverError("injected divergence")
+        monkeypatch.setattr(delay_mod, "newton_delay", raising_newton)
+
+        result = threshold_delay(stage, 0.9, polish_with_newton=True)
+        assert result.newton_iterations == 0
+        assert result.tau == expected.tau
+
+    @pytest.mark.parametrize("l_factor", [2.5, 10.0, 100.0])
+    @pytest.mark.parametrize("f", [0.2, 0.5, 0.9])
+    def test_polish_agrees_with_brent(self, l_factor, f):
+        stage = _underdamped_stage(l_factor)
+        brent = threshold_delay(stage, f, polish_with_newton=False).tau
+        polished = threshold_delay(stage, f, polish_with_newton=True).tau
+        assert polished == pytest.approx(
+            brent, rel=unit_tolerance("delay.brent_vs_newton.rel"))

@@ -17,6 +17,7 @@ import pytest
 from repro import (Stage, rc_optimum, threshold_delay, units)
 from repro.analysis import Waveform, step_response_exact
 from repro.circuits import build_linear_stage, simulate
+from repro.verify import unit_tolerance
 
 
 @pytest.fixture(scope="module")
@@ -45,10 +46,12 @@ class TestThreeWayCrossValidation:
         sim = Waveform(result.time, result.voltage(bench.output_node))
         tau_sim = sim.first_crossing(0.5)
 
-        # Simulator vs exact: discretization error only (< 3%).
-        assert tau_sim == pytest.approx(tau_exact, rel=0.03)
-        # Two-pole vs exact: the Pade model error the paper accepts (<15%).
-        assert tau_pade == pytest.approx(tau_exact, rel=0.15)
+        # Simulator vs exact: discretization error only.
+        assert tau_sim == pytest.approx(
+            tau_exact, rel=unit_tolerance("integration.sim_vs_exact.rel"))
+        # Two-pole vs exact: the Pade model error the paper accepts.
+        assert tau_pade == pytest.approx(
+            tau_exact, rel=unit_tolerance("integration.pade_vs_exact.rel"))
 
     def test_overshoot_agreement(self, validation_node):
         node = validation_node
@@ -63,8 +66,9 @@ class TestThreeWayCrossValidation:
         bench = build_linear_stage(stage, segments=20)
         result = simulate(bench.circuit, 8.0 * tau, tau / 300.0)
         sim = Waveform(result.time, result.voltage(bench.output_node))
-        assert sim.overshoot(1.0) == pytest.approx(exact.overshoot(1.0),
-                                                   abs=0.05)
+        assert sim.overshoot(1.0) == pytest.approx(
+            exact.overshoot(1.0),
+            abs=unit_tolerance("integration.overshoot.abs"))
 
     def test_segment_convergence(self, validation_node):
         """Ladder delay converges toward the exact value as N grows."""

@@ -1,10 +1,9 @@
 """Property-based tests (hypothesis) on the core invariants.
 
-Strategies draw physically plausible on-chip parameter ranges (resistance
-0.5-50 ohm/mm, capacitance 30-500 pF/m, inductance 0-10 nH/mm, driver
-1-100 kohm, femtofarad capacitances, segment lengths 0.1-50 mm, sizes
-1-5000) so every generated configuration is a meaningful interconnect
-stage, not just a random float tuple.
+Strategies live in :mod:`tests.strategies` (shared with the verification
+layer's property suites); they draw physically plausible on-chip
+parameter ranges so every generated configuration is a meaningful
+interconnect stage, not just a random float tuple.
 """
 
 import math
@@ -13,32 +12,11 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro import (Damping, DriverParams, LineParams, Stage, StepResponse,
+from repro import (Damping, LineParams, Stage, StepResponse,
                    classify_damping, compute_moments, compute_poles,
                    critical_inductance, elmore_stage_delay, rc_optimum,
                    threshold_delay)
-
-lines = st.builds(
-    LineParams,
-    r=st.floats(min_value=500.0, max_value=5e4),
-    l=st.floats(min_value=0.0, max_value=1e-5),
-    c=st.floats(min_value=3e-11, max_value=5e-10),
-)
-
-drivers = st.builds(
-    DriverParams,
-    r_s=st.floats(min_value=1e3, max_value=1e5),
-    c_p=st.floats(min_value=0.0, max_value=2e-14),
-    c_0=st.floats(min_value=2e-16, max_value=5e-15),
-)
-
-stages = st.builds(
-    Stage,
-    line=lines,
-    driver=drivers,
-    h=st.floats(min_value=1e-4, max_value=5e-2),
-    k=st.floats(min_value=1.0, max_value=5e3),
-)
+from tests.strategies import drivers, lines, stages
 
 
 class TestMomentInvariants:

@@ -7,14 +7,17 @@ import pytest
 
 from repro import (Damping, StepResponse, canonical_response, compute_moments,
                    compute_poles)
+from repro.verify import unit_tolerance
 
 
 class TestEvaluation:
     def test_starts_at_zero_settles_at_one(self, stage_rlc):
         response = StepResponse.from_moments(compute_moments(stage_rlc))
-        assert response(0.0) == pytest.approx(0.0, abs=1e-12)
+        assert response(0.0) == pytest.approx(
+            0.0, abs=unit_tolerance("response.initial_value.abs"))
         t_settle = response.settling_time(1e-6)
-        assert response(5.0 * t_settle) == pytest.approx(1.0, abs=1e-5)
+        assert response(5.0 * t_settle) == pytest.approx(
+            1.0, abs=unit_tolerance("response.settles_to_one.abs"))
 
     def test_scalar_and_array_evaluation_agree(self, stage_rlc):
         response = StepResponse.from_moments(compute_moments(stage_rlc))
@@ -28,7 +31,8 @@ class TestEvaluation:
         t0 = 1e-10
         eps = 1e-15
         fd = (response(t0 + eps) - response(t0 - eps)) / (2.0 * eps)
-        assert response.derivative(t0) == pytest.approx(fd, rel=1e-5)
+        assert response.derivative(t0) == pytest.approx(
+            fd, rel=unit_tolerance("response.derivative_fd.rel"))
 
     def test_initial_slope_zero(self, stage_rlc):
         """A two-pole response has zero slope at t = 0 (second order)."""
@@ -49,7 +53,8 @@ class TestCanonical:
         response = canonical_response(1.0, wn)
         t = np.linspace(1e-12, 10.0 / wn, 50)
         expected = 1.0 - (1.0 + wn * t) * np.exp(-wn * t)
-        assert response(t) == pytest.approx(expected, abs=1e-9)
+        assert response(t) == pytest.approx(
+            expected, abs=unit_tolerance("response.closed_form.abs"))
 
     def test_underdamped_closed_form(self):
         zeta, wn = 0.3, 1e9
@@ -59,7 +64,8 @@ class TestCanonical:
         envelope = np.exp(-zeta * wn * t) / math.sqrt(1.0 - zeta * zeta)
         phase = math.acos(zeta)
         expected = 1.0 - envelope * np.sin(wd * t + phase)
-        assert response(t) == pytest.approx(expected, abs=1e-9)
+        assert response(t) == pytest.approx(
+            expected, abs=unit_tolerance("response.closed_form.abs"))
 
     def test_rejects_invalid_parameters(self):
         with pytest.raises(ValueError):
@@ -89,7 +95,8 @@ class TestMetrics:
         response = StepResponse.from_moments(compute_moments(stage_rlc))
         t = np.linspace(0.0, 6.0 * response.settling_time(0.01), 20000)
         sampled_peak = float(response(t).max()) - 1.0
-        assert response.overshoot() == pytest.approx(sampled_peak, rel=1e-3)
+        assert response.overshoot() == pytest.approx(
+            sampled_peak, rel=unit_tolerance("response.overshoot_sampled.rel"))
 
     def test_undershoot_is_square_of_overshoot(self, stage_rlc):
         """First undershoot depth = overshoot^2 for a two-pole system."""

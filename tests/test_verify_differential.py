@@ -1,0 +1,170 @@
+"""Differential-checker tests, including the perturbation acceptance test.
+
+The last class deliberately breaks the core two-pole formula (a sign flip
+of the inductance term in b2, the exact bug class the paper's model is
+most sensitive to) and asserts the differential sweep catches it — the
+subsystem's reason to exist.
+"""
+
+from unittest import mock
+
+import pytest
+
+import repro.core.moments as moments_mod
+import repro.verify.oracles as oracles_mod
+from repro.core.moments import Moments
+from repro.engine import BatchExecutor
+from repro.verify import (DiscrepancyReport, PairCheck, SkippedCheck,
+                          ToleranceLedger, ToleranceRule, VerifyCase,
+                          case_for_regime, default_case_matrix,
+                          evaluate_matrix, run_differential)
+
+#: Cheap oracle subset used throughout (serial executor keeps
+#: monkeypatches visible to job evaluation).
+CHEAP = ("two_pole", "elmore", "kahng_muddu", "talbot")
+
+
+@pytest.fixture
+def small_matrix():
+    return tuple(case_for_regime("250nm", regime, f)
+                 for regime in ("overdamped", "underdamped")
+                 for f in (0.2, 0.5))
+
+
+class TestCaseMatrix:
+    def test_default_matrix_shape(self):
+        cases = default_case_matrix()
+        # 2 nodes x 2 sizings x 3 regimes x 3 thresholds
+        assert len(cases) == 36
+        assert len({case.case_id for case in cases}) == 36
+
+    def test_regimes_realized_by_construction(self):
+        for regime, expected in (("overdamped", "overdamped"),
+                                 ("critical", "critically_damped"),
+                                 ("underdamped", "underdamped")):
+            case = case_for_regime("100nm", regime, 0.5)
+            assert case.damping() == expected, regime
+
+    def test_case_round_trip(self, small_matrix):
+        for case in small_matrix:
+            assert VerifyCase.from_dict(case.canonical()) == case
+
+    def test_invalid_threshold_rejected(self, generic_line, generic_driver):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError, match=r"\(0, 1\)"):
+            VerifyCase(case_id="bad", line=generic_line,
+                       driver=generic_driver, h=1e-3, k=10.0, f=1.0)
+
+
+class TestEvaluateMatrix:
+    def test_observations_keyed_by_index_and_oracle(self, small_matrix):
+        observations, skipped = evaluate_matrix(small_matrix,
+                                                ["two_pole", "elmore"])
+        assert set(observations) == {(i, name)
+                                     for i in range(len(small_matrix))
+                                     for name in ("two_pole", "elmore")}
+        assert skipped == []
+
+    def test_unsupported_oracle_recorded_as_skip(self, small_matrix):
+        observations, skipped = evaluate_matrix(small_matrix,
+                                                ["ismail_friedman"])
+        # f = 0.5 cases evaluate; f = 0.2 cases are domain skips.
+        assert len(observations) == 2
+        assert len(skipped) == 2
+        assert all("does not support" in s.reason for s in skipped)
+
+    def test_evaluation_failure_isolated_as_skip(self, small_matrix):
+        def boom(case):
+            raise RuntimeError("injected oracle failure")
+
+        with mock.patch.object(oracles_mod.ORACLES["two_pole"], "evaluate",
+                               side_effect=boom):
+            observations, skipped = evaluate_matrix(
+                small_matrix[:1], ["two_pole", "elmore"])
+        assert (0, "elmore") in observations
+        assert (0, "two_pole") not in observations
+        assert len(skipped) == 1
+        assert "injected oracle failure" in skipped[0].reason
+
+
+class TestRunDifferential:
+    def test_clean_sweep_passes(self, small_matrix):
+        report = run_differential(small_matrix, oracles=CHEAP)
+        assert report.passed
+        assert report.n_cases == len(small_matrix)
+        assert report.checks
+        assert all(isinstance(c, PairCheck) for c in report.checks)
+
+    def test_missing_ledger_rule_recorded_not_silent(self, small_matrix):
+        # elmore vs two_pole has deliberately no underdamped rule.
+        report = run_differential(small_matrix,
+                                  oracles=("two_pole", "elmore"))
+        reasons = [s.reason for s in report.skipped]
+        assert any("no ledger rule for regime=underdamped" in r
+                   for r in reasons)
+
+    def test_violation_carries_justification(self, small_matrix):
+        strict = ToleranceLedger([
+            ToleranceRule("elmore", "two_pole", "*", 1e-12,
+                          justification="impossible bound for testing")])
+        report = run_differential(small_matrix,
+                                  oracles=("two_pole", "elmore"),
+                                  ledger=strict)
+        assert not report.passed
+        assert all(v.justification == "impossible bound for testing"
+                   for v in report.violations)
+
+    def test_payload_schema(self, small_matrix):
+        report = run_differential(small_matrix, oracles=CHEAP)
+        payload = report.to_payload()
+        assert payload["schema"] == "repro-verify-report/1"
+        assert payload["passed"] is True
+        assert payload["n_checks"] == len(report.checks)
+        assert len(payload["checks"]) == len(report.checks)
+
+    def test_parallel_executor_matches_serial(self, small_matrix):
+        serial = run_differential(small_matrix, oracles=CHEAP)
+        parallel = run_differential(small_matrix, oracles=CHEAP,
+                                    executor=BatchExecutor(jobs=2))
+        assert serial.to_payload() == parallel.to_payload()
+
+    def test_format_table_lists_checks(self, small_matrix):
+        report = run_differential(small_matrix,
+                                  oracles=("two_pole", "elmore"))
+        table = report.format_table()
+        assert "two_pole" in table or "elmore" in table
+        assert report.format_table(only_violations=True) == "(no violations)"
+
+
+def _b2_sign_flipped(real_compute):
+    """compute_moments with the b2 inductance term's sign inverted."""
+    def perturbed(source):
+        moments = real_compute(source)
+        try:
+            l, c, h = source.line.l, source.line.c, source.h
+        except AttributeError:
+            return moments
+        inductance_term = 0.5 * l * c * h * h
+        return Moments(b1=moments.b1,
+                       b2=moments.b2 - 2.0 * inductance_term,
+                       db1_dh=moments.db1_dh, db1_dk=moments.db1_dk,
+                       db2_dh=moments.db2_dh, db2_dk=moments.db2_dk)
+    return perturbed
+
+
+class TestPerturbationDetection:
+    """A deliberately broken core formula must not survive the sweep."""
+
+    def test_b2_sign_flip_caught_by_differential(self):
+        perturbed = _b2_sign_flipped(moments_mod.compute_moments)
+        with mock.patch.object(moments_mod, "compute_moments", perturbed), \
+                mock.patch.object(oracles_mod, "compute_moments", perturbed):
+            report = run_differential(default_case_matrix(), oracles=CHEAP)
+        assert not report.passed
+        # The independent exact-inversion oracle is the witness: talbot
+        # inverts Eq. 1 directly and never touches the Pade moments.
+        assert any(v.reference == "talbot" for v in report.violations)
+
+    def test_unperturbed_sweep_is_clean(self):
+        report = run_differential(default_case_matrix(), oracles=CHEAP)
+        assert report.passed, report.format_table(only_violations=True)

@@ -1,0 +1,106 @@
+"""Golden-fixture store tests: hashing, bless/diff round trips, staleness."""
+
+import json
+
+import pytest
+
+from repro.verify import (DelayObservation, GoldenStore, VerifyCase,
+                          case_for_regime, entry_key, evaluate)
+from repro.verify.golden import DEFAULT_GOLDEN_PATH, golden_salt
+
+
+@pytest.fixture
+def case():
+    return case_for_regime("250nm", "overdamped", 0.5)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return GoldenStore(tmp_path / "golden.json")
+
+
+def _observe(case, oracle="two_pole"):
+    return evaluate(case, oracle)
+
+
+class TestEntryKey:
+    def test_key_ignores_presentation_labels(self, case):
+        renamed = VerifyCase(case_id="totally/renamed", line=case.line,
+                             driver=case.driver, h=case.h, k=case.k,
+                             f=case.f, regime="", node="")
+        assert entry_key(case, "two_pole") == entry_key(renamed, "two_pole")
+
+    def test_key_sensitive_to_physics_and_oracle(self, case):
+        shifted = VerifyCase(case_id=case.case_id, line=case.line,
+                             driver=case.driver, h=case.h * 1.0001,
+                             k=case.k, f=case.f)
+        assert entry_key(case, "two_pole") != entry_key(shifted, "two_pole")
+        assert entry_key(case, "two_pole") != entry_key(case, "elmore")
+
+
+class TestBlessDiffRoundTrip:
+    def test_missing_store_diffs_as_missing(self, store, case):
+        mismatches = store.diff([(case, _observe(case))])
+        assert [m.kind for m in mismatches] == ["missing"]
+
+    def test_bless_then_diff_clean(self, store, case):
+        observation = _observe(case)
+        assert store.bless([(case, observation)]) == 1
+        assert store.diff([(case, observation)]) == []
+        assert store.get(case, "two_pole") == observation
+
+    def test_partial_bless_preserves_other_entries(self, store, case):
+        other = case_for_regime("100nm", "underdamped", 0.9)
+        store.bless([(case, _observe(case))])
+        assert store.bless([(other, _observe(other))]) == 2
+        assert store.get(case, "two_pole") is not None
+
+    def test_any_float_drift_is_a_mismatch(self, store, case):
+        observation = _observe(case)
+        store.bless([(case, observation)])
+        drifted = DelayObservation(
+            oracle=observation.oracle,
+            tau=observation.tau * (1.0 + 1e-15),
+            threshold=observation.threshold, damping=observation.damping,
+            extras=observation.extras)
+        mismatches = store.diff([(case, drifted)])
+        assert [m.kind for m in mismatches] == ["changed"]
+
+    def test_schema_salt_change_invalidates_everything(self, store, case,
+                                                       monkeypatch):
+        store.bless([(case, _observe(case))])
+        monkeypatch.setattr("repro.verify.golden.GOLDEN_SCHEMA_VERSION", 2)
+        assert store.load() == {}
+        assert store.get(case, "two_pole") is None
+
+
+class TestCommittedStore:
+    """The fixtures committed to the repo must be live and loadable."""
+
+    def test_default_store_exists_with_current_salt(self):
+        with open(DEFAULT_GOLDEN_PATH, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["salt"] == golden_salt()
+        # 36 cases x 6 oracles, minus 24 ismail_friedman domain skips.
+        assert len(data["entries"]) == 192
+
+    def test_committed_fixture_matches_fresh_evaluation(self, case):
+        # Spot check one cheap oracle: a fresh evaluation must agree
+        # bitwise with the committed fixture (full coverage is the CI
+        # `repro-verify diff` job).
+        store = GoldenStore()
+        stored = store.get(case, "two_pole")
+        assert stored is not None
+        assert store.diff([(case, _observe(case))]) == []
+
+    def test_b2_sign_flip_caught_by_golden(self, case):
+        from unittest import mock
+
+        import repro.core.moments as moments_mod
+        from tests.test_verify_differential import _b2_sign_flipped
+
+        perturbed = _b2_sign_flipped(moments_mod.compute_moments)
+        with mock.patch.object(moments_mod, "compute_moments", perturbed):
+            fresh = _observe(case)
+        mismatches = GoldenStore().diff([(case, fresh)])
+        assert [m.kind for m in mismatches] == ["changed"]

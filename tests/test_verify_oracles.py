@@ -1,0 +1,131 @@
+"""Unit tests for the oracle registry and individual oracles."""
+
+import math
+
+import pytest
+
+from repro import Stage, compute_moments, threshold_delay
+from repro.errors import ParameterError
+from repro.verify import (ORACLES, DelayObservation, VerifyCase,
+                          case_for_regime, evaluate, get_oracle,
+                          oracle_names, register_oracle)
+from repro.verify.oracles import Oracle
+
+
+@pytest.fixture
+def case(generic_line, generic_driver):
+    return VerifyCase(case_id="unit", line=generic_line,
+                      driver=generic_driver, h=2e-3, k=100.0, f=0.5)
+
+
+class TestRegistry:
+    def test_all_six_oracles_registered(self):
+        assert oracle_names() == ["elmore", "ismail_friedman", "kahng_muddu",
+                                  "mna", "talbot", "two_pole"]
+
+    def test_expensive_excluded_on_request(self):
+        cheap = oracle_names(include_expensive=False)
+        assert "mna" not in cheap
+        assert "two_pole" in cheap
+
+    def test_unknown_oracle_error_names_known(self):
+        with pytest.raises(KeyError, match="two_pole"):
+            get_oracle("spice")
+
+    def test_register_requires_name(self):
+        with pytest.raises(ValueError):
+            register_oracle(Oracle())
+
+    def test_register_latest_wins(self):
+        class FakeTwoPole(Oracle):
+            name = "two_pole"
+
+        original = ORACLES["two_pole"]
+        try:
+            register_oracle(FakeTwoPole())
+            assert isinstance(get_oracle("two_pole"), FakeTwoPole)
+        finally:
+            ORACLES["two_pole"] = original
+
+
+class TestDelayObservation:
+    def test_round_trip(self):
+        obs = DelayObservation(oracle="two_pole", tau=1.5e-10, threshold=0.5,
+                               damping="overdamped", extras={"n": 3})
+        assert DelayObservation.from_dict(obs.to_dict()) == obs
+
+    def test_extras_copied_not_aliased(self):
+        extras = {"n": 3}
+        obs = DelayObservation(oracle="o", tau=1.0, threshold=0.5,
+                               damping="overdamped", extras=extras)
+        obs.to_dict()["extras"]["n"] = 99
+        assert obs.extras["n"] == 3
+
+
+class TestTwoPoleOracle:
+    def test_matches_threshold_delay(self, case):
+        obs = evaluate(case, "two_pole")
+        expected = threshold_delay(case.stage(), case.f,
+                                   polish_with_newton=True)
+        assert obs.tau == expected.tau
+        assert obs.damping == expected.damping.value
+
+
+class TestElmoreOracle:
+    def test_half_threshold_is_ln2_b1(self, case):
+        obs = evaluate(case, "elmore")
+        b1 = compute_moments(case.stage()).b1
+        assert obs.tau == pytest.approx(math.log(2.0) * b1, rel=1e-12)
+
+    def test_inductance_blind(self, case):
+        heavier = VerifyCase(
+            case_id="unit-l", line=case.line.with_inductance(5 * case.line.l),
+            driver=case.driver, h=case.h, k=case.k, f=case.f)
+        assert evaluate(case, "elmore").tau == \
+            evaluate(heavier, "elmore").tau
+
+
+class TestIsmailFriedmanOracle:
+    def test_supports_only_half_threshold(self, case):
+        oracle = get_oracle("ismail_friedman")
+        assert oracle.supports(case)
+        off = VerifyCase(case_id="unit", line=case.line, driver=case.driver,
+                         h=case.h, k=case.k, f=0.9)
+        assert not oracle.supports(off)
+        with pytest.raises(ParameterError, match="f = 0.5"):
+            oracle.evaluate(off)
+
+    def test_matches_published_fit(self, case):
+        moments = compute_moments(case.stage())
+        zeta = moments.b1 / (2.0 * math.sqrt(moments.b2))
+        omega_n = 1.0 / math.sqrt(moments.b2)
+        expected = (math.exp(-2.9 * zeta ** 1.35) + 1.48 * zeta) / omega_n
+        assert evaluate(case, "ismail_friedman").tau == \
+            pytest.approx(expected, rel=1e-12)
+
+
+class TestSampledOracles:
+    def test_talbot_agrees_with_two_pole_overdamped(self):
+        case = case_for_regime("250nm", "overdamped", 0.5)
+        two_pole = evaluate(case, "two_pole")
+        talbot = evaluate(case, "talbot")
+        assert talbot.tau == pytest.approx(two_pole.tau, rel=0.2)
+        assert talbot.extras["grid_points"] == 400
+
+    def test_talbot_deterministic(self):
+        case = case_for_regime("250nm", "underdamped", 0.5)
+        assert evaluate(case, "talbot").to_dict() == \
+            evaluate(case, "talbot").to_dict()
+
+    @pytest.mark.slow
+    def test_mna_agrees_with_talbot(self):
+        case = case_for_regime("100nm", "underdamped", 0.5)
+        mna = evaluate(case, "mna")
+        talbot = evaluate(case, "talbot")
+        assert mna.tau == pytest.approx(talbot.tau, rel=0.05)
+        assert mna.extras["segments"] == 20
+
+    def test_damping_consistent_across_oracles(self, case):
+        labels = {evaluate(case, name).damping
+                  for name in ("two_pole", "elmore", "kahng_muddu", "talbot")}
+        assert len(labels) == 1

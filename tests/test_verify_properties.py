@@ -1,0 +1,134 @@
+"""Property-based coverage for the verification layer's physical claims.
+
+These are the cross-cutting invariants the differential checker relies
+on, asserted over the shared physically-valid strategy space
+(:mod:`tests.strategies`) rather than a handful of fixtures:
+
+* delay grows with the line's RC product (inductance-free stages);
+* the Elmore single-pole oracle is the limit of the two-pole model as
+  the poles separate (large zeta);
+* the repeater optimizer's stationarity residuals vanish at reported
+  optima;
+* the MNA ladder tracks the exact inversion on arbitrary cases (slow —
+  runs in the CI verify job).
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (OptimizationError, OptimizerMethod, compute_moments,
+                   optimize_repeater, threshold_delay)
+from repro.core.optimize import stationarity_residuals
+from repro.verify import VerifyCase, evaluate, get_oracle
+from tests.strategies import (drivers, inductive_lines, lines, rc_lines,
+                              rc_stages, thresholds, verify_cases)
+
+
+class TestDelayMonotoneInRC:
+    @given(stage=rc_stages, f=thresholds,
+           scale=st.floats(min_value=1.1, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_delay_grows_with_line_resistance(self, stage, f, scale):
+        base = threshold_delay(stage, f, polish_with_newton=False).tau
+        scaled_line = type(stage.line)(r=scale * stage.line.r, l=0.0,
+                                       c=stage.line.c)
+        heavier = type(stage)(line=scaled_line, driver=stage.driver,
+                              h=stage.h, k=stage.k)
+        assert threshold_delay(heavier, f,
+                               polish_with_newton=False).tau > base
+
+    @given(stage=rc_stages, f=thresholds,
+           scale=st.floats(min_value=1.1, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_delay_grows_with_line_capacitance(self, stage, f, scale):
+        base = threshold_delay(stage, f, polish_with_newton=False).tau
+        scaled_line = type(stage.line)(r=stage.line.r, l=0.0,
+                                       c=scale * stage.line.c)
+        heavier = type(stage)(line=scaled_line, driver=stage.driver,
+                              h=stage.h, k=stage.k)
+        assert threshold_delay(heavier, f,
+                               polish_with_newton=False).tau > base
+
+
+class TestElmoreIsOverdampedLimit:
+    @given(stage=rc_stages, f=st.floats(min_value=0.3, max_value=0.9))
+    @settings(max_examples=100, deadline=None)
+    def test_two_pole_approaches_elmore_at_large_zeta(self, stage, f):
+        moments = compute_moments(stage)
+        zeta = moments.b1 / (2.0 * math.sqrt(moments.b2))
+        assume(zeta >= 5.0)
+        case = VerifyCase(case_id="prop", line=stage.line,
+                          driver=stage.driver, h=stage.h, k=stage.k, f=f)
+        two_pole = evaluate(case, "two_pole").tau
+        elmore = evaluate(case, "elmore").tau
+        # Pole-separation ratio >= (2 zeta)^2 ~ 100 at zeta = 5; the
+        # fast-pole residue bounds the disagreement at a few percent.
+        assert two_pole == pytest.approx(elmore, rel=0.05)
+
+    @given(stage=rc_stages, f=st.floats(min_value=0.3, max_value=0.9),
+           r_s_scale=st.floats(min_value=4.0, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_agreement_improves_as_poles_separate(self, stage, f,
+                                                  r_s_scale):
+        # A larger driver resistance separates the poles (b1 grows
+        # linearly, sqrt(b2) sub-linearly).  Where zeta genuinely grows,
+        # the Elmore error must shrink.
+        def zeta_of(the_stage):
+            moments = compute_moments(the_stage)
+            return moments.b1 / (2.0 * math.sqrt(moments.b2))
+
+        def elmore_error(the_stage):
+            case = VerifyCase(case_id="prop", line=the_stage.line,
+                              driver=the_stage.driver, h=the_stage.h,
+                              k=the_stage.k, f=f)
+            two_pole = evaluate(case, "two_pole").tau
+            return abs(two_pole - evaluate(case, "elmore").tau) / two_pole
+
+        wider = type(stage)(
+            line=stage.line,
+            driver=type(stage.driver)(r_s=r_s_scale * stage.driver.r_s,
+                                      c_p=stage.driver.c_p,
+                                      c_0=stage.driver.c_0),
+            h=stage.h, k=stage.k)
+        # Line-dominated stages barely move; only claim monotonicity
+        # where the separation materially changed.
+        assume(2.0 <= zeta_of(stage) <= 20.0)
+        assume(zeta_of(wider) >= 1.5 * zeta_of(stage))
+        assert elmore_error(wider) < elmore_error(stage)
+
+
+class TestOptimizerStationarity:
+    @given(line=inductive_lines, driver=drivers)
+    @settings(max_examples=25, deadline=None)
+    def test_residuals_vanish_at_reported_optimum(self, line, driver):
+        try:
+            optimum = optimize_repeater(line, driver,
+                                        method=OptimizerMethod.DIRECT)
+        except OptimizationError:
+            assume(False)
+        g1, g2, tau = stationarity_residuals(line, driver, optimum.h_opt,
+                                             optimum.k_opt, 0.5)
+        assert abs(g1) < 1e-4
+        assert abs(g2) < 1e-4
+        assert tau == pytest.approx(optimum.tau, rel=1e-6)
+
+
+@pytest.mark.slow
+class TestMnaOracleProperties:
+    @given(case=verify_cases)
+    @settings(max_examples=15, deadline=None)
+    def test_mna_tracks_exact_inversion(self, case):
+        assume(get_oracle("mna").supports(case))
+        mna = evaluate(case, "mna").tau
+        talbot = evaluate(case, "talbot").tau
+        assert mna == pytest.approx(talbot, rel=0.05)
+
+    @given(case=verify_cases)
+    @settings(max_examples=10, deadline=None)
+    def test_mna_deterministic(self, case):
+        assume(get_oracle("mna").supports(case))
+        assert evaluate(case, "mna").to_dict() == \
+            evaluate(case, "mna").to_dict()

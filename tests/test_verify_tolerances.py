@@ -1,0 +1,97 @@
+"""Unit tests for the tolerance ledger and named unit tolerances."""
+
+import pytest
+
+from repro.verify import (ANY_REGIME, DEFAULT_LEDGER, UNIT_TOLERANCES,
+                          ToleranceLedger, ToleranceRule, oracle_names,
+                          unit_tolerance)
+
+
+class TestToleranceRule:
+    def test_regime_wildcard_matches_everything(self):
+        rule = ToleranceRule("a", "b", ANY_REGIME, 0.1)
+        for regime in ("overdamped", "critically_damped", "underdamped"):
+            assert rule.matches(regime, 0.5)
+
+    def test_specific_regime_excludes_others(self):
+        rule = ToleranceRule("a", "b", "underdamped", 0.1)
+        assert rule.matches("underdamped", 0.5)
+        assert not rule.matches("overdamped", 0.5)
+
+    def test_threshold_range_inclusive(self):
+        rule = ToleranceRule("a", "b", ANY_REGIME, 0.1, f_min=0.3, f_max=0.7)
+        assert rule.matches("overdamped", 0.3)
+        assert rule.matches("overdamped", 0.7)
+        assert not rule.matches("overdamped", 0.29)
+        assert not rule.matches("overdamped", 0.71)
+
+
+class TestToleranceLedger:
+    def test_first_match_wins(self):
+        ledger = ToleranceLedger([
+            ToleranceRule("a", "b", "underdamped", 0.5, f_min=0.75),
+            ToleranceRule("a", "b", ANY_REGIME, 0.1),
+        ])
+        assert ledger.bound_for("a", "b", "underdamped", 0.9).rel_tol == 0.5
+        assert ledger.bound_for("a", "b", "underdamped", 0.5).rel_tol == 0.1
+        assert ledger.bound_for("a", "b", "overdamped", 0.9).rel_tol == 0.1
+
+    def test_missing_rule_returns_none(self):
+        ledger = ToleranceLedger([ToleranceRule("a", "b", "overdamped", 0.1)])
+        assert ledger.bound_for("a", "b", "underdamped", 0.5) is None
+        assert ledger.bound_for("x", "y", "overdamped", 0.5) is None
+
+    def test_pairs_deduplicated_in_order(self):
+        ledger = ToleranceLedger([
+            ToleranceRule("a", "b", "overdamped", 0.1),
+            ToleranceRule("c", "d", ANY_REGIME, 0.2),
+            ToleranceRule("a", "b", "underdamped", 0.3),
+        ])
+        assert ledger.pairs() == [("a", "b"), ("c", "d")]
+
+    def test_payload_round_trips_fields(self):
+        payload = DEFAULT_LEDGER.to_payload()
+        assert len(payload) == len(DEFAULT_LEDGER.rules)
+        assert all(entry["justification"] for entry in payload)
+
+
+class TestDefaultLedger:
+    def test_every_rule_names_registered_oracles(self):
+        names = set(oracle_names())
+        for rule in DEFAULT_LEDGER.rules:
+            assert rule.subject in names, rule
+            assert rule.reference in names, rule
+
+    def test_every_rule_physically_sane(self):
+        for rule in DEFAULT_LEDGER.rules:
+            assert rule.rel_tol > 0.0
+            assert 0.0 <= rule.f_min <= rule.f_max <= 1.0
+            assert len(rule.justification) > 40, \
+                f"{rule.subject} vs {rule.reference} lacks a justification"
+
+    def test_elmore_underdamped_intentionally_unchecked(self):
+        # The single-pole model cannot represent ringing; there must be
+        # no rule claiming otherwise.
+        assert DEFAULT_LEDGER.bound_for(
+            "elmore", "two_pole", "underdamped", 0.5) is None
+
+    def test_km_critical_is_bit_tight(self):
+        rule = DEFAULT_LEDGER.bound_for(
+            "kahng_muddu", "two_pole", "critically_damped", 0.5)
+        assert rule.rel_tol <= 1e-6
+
+
+class TestUnitTolerances:
+    def test_lookup_returns_value(self):
+        assert unit_tolerance("delay.critical_closed_form.rel") == 1e-4
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="delay.on_threshold.abs"):
+            unit_tolerance("delay.nonexistent.rel")
+
+    def test_names_follow_suite_subject_kind_convention(self):
+        for name in UNIT_TOLERANCES:
+            parts = name.split(".")
+            assert len(parts) >= 3, name
+            assert parts[-1] in ("rel", "abs"), name
+            assert UNIT_TOLERANCES[name] > 0.0, name
