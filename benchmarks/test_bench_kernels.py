@@ -1,0 +1,93 @@
+"""Kernel-layer throughput: batched vs scalar threshold-delay pipeline.
+
+Times the full moments→poles→response→delay pipeline both ways on the
+same inductance sweep — N scalar :func:`repro.threshold_delay` calls
+against one :func:`repro.core.kernels.threshold_delay_v` batch — at
+N ∈ {16, 256, 4096}, and writes the measurements to
+``BENCH_kernels.json`` (path override: ``REPRO_BENCH_OUT``).
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a single repetition per size (the CI
+smoke mode); the JSON is emitted either way.  Unlike the figure
+benchmarks this file does not use pytest-benchmark: the quantity under
+test is the *ratio* of two implementations on identical work, so both
+sides are timed with the same bare ``perf_counter`` loop.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import NODE_100NM, rc_optimum, threshold_delay, units
+from repro.core.kernels import StageBatch, threshold_delay_v
+
+SIZES = (16, 256, 4096)
+
+#: Conservative floor asserted on the N = 4096 speedup; the acceptance
+#: target (>= 5x, recorded in the JSON) has headroom over this so a
+#: loaded CI box cannot flake the suite.
+MIN_SPEEDUP_AT_4096 = 3.0
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _out_path() -> str:
+    return os.environ.get("REPRO_BENCH_OUT", "BENCH_kernels.json")
+
+
+def _sweep_batch(n: int) -> StageBatch:
+    node = NODE_100NM
+    rc_opt = rc_optimum(node.line, node.driver)
+    l_values = np.linspace(0.0, 2.0 * units.NH_PER_MM, n)
+    return StageBatch.from_inductance_sweep(
+        node.line, node.driver, l_values, h=rc_opt.h_opt, k=rc_opt.k_opt)
+
+
+def _time(func, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batched_pipeline_throughput():
+    reps = 1 if _smoke() else 3
+    report = {"sizes": [], "smoke": _smoke(), "reps": reps}
+    for n in SIZES:
+        batch = _sweep_batch(n)
+        stages = [batch.stage(i) for i in range(n)]
+
+        def scalar():
+            return [threshold_delay(s, 0.5, polish_with_newton=False).tau
+                    for s in stages]
+
+        def batched():
+            return threshold_delay_v(batch, 0.5).tau
+
+        t_scalar = _time(scalar, reps)
+        t_batch = _time(batched, reps)
+        tau_scalar = np.array(scalar())
+        tau_batch = batched()
+        assert np.array_equal(tau_scalar, tau_batch), n
+
+        report["sizes"].append({
+            "n": n,
+            "scalar_seconds": t_scalar,
+            "batched_seconds": t_batch,
+            "speedup": t_scalar / t_batch,
+            "scalar_per_lane_us": 1e6 * t_scalar / n,
+            "batched_per_lane_us": 1e6 * t_batch / n,
+        })
+
+    with open(_out_path(), "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+
+    largest = report["sizes"][-1]
+    assert largest["n"] == 4096
+    assert largest["speedup"] >= MIN_SPEEDUP_AT_4096, report

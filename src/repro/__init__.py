@@ -17,19 +17,26 @@ Public API highlights
   by the ring-oscillator failure studies (Figs. 9-12).
 """
 
-__version__ = "1.0.0"
+# 1.1.0: array-first kernel layer (repro.core.kernels); the bump salts the
+# engine's content-addressed cache so pre-kernel results are not replayed.
+__version__ = "1.1.0"
 
 from . import units
-from .core import (Damping, DelayResult, DelaySensitivities, DriverParams,
-                   InductanceSweep, LineParams, Moments, OptimizerMethod,
-                   PolePair, RCOptimum, RCTree, RepeaterOptimum, SizedDriver,
-                   Stage, StepResponse, canonical_response, classify_damping,
-                   compute_moments, compute_poles, critical_inductance,
-                   damping_margin, delay_sensitivities,
-                   driver_from_rc_optimum, elmore_stage_delay,
-                   elmore_total_delay, exact_transfer, newton_delay,
-                   optimize_repeater, pade_transfer, rc_optimum, stage_delay,
-                   stage_delay_per_length, sweep_inductance, threshold_delay)
+from .core import (Damping, DelayBatchResult, DelayResult,
+                   DelaySensitivities, DriverParams, InductanceSweep,
+                   LineParams, Moments, MomentsBatch, OptimizerMethod,
+                   PoleBatch, PolePair, RCOptimum, RCTree, RepeaterOptimum,
+                   ResponseBatch, SizedDriver, Stage, StageBatch,
+                   StepResponse, canonical_response, classify_damping,
+                   classify_damping_v, compute_moments, compute_moments_v,
+                   compute_poles, critical_inductance,
+                   critical_inductance_v, damping_margin,
+                   delay_sensitivities, driver_from_rc_optimum,
+                   elmore_stage_delay, elmore_total_delay, exact_transfer,
+                   newton_delay, optimize_repeater, pade_transfer, poles_v,
+                   rc_optimum, response_v, stage_delay,
+                   stage_delay_per_length, sweep_inductance,
+                   threshold_delay, threshold_delay_v)
 from .errors import (ConvergenceError, DelaySolverError, ExtractionError,
                      NetlistError, OptimizationError, ParameterError,
                      ReproError, SimulationError)
@@ -52,6 +59,10 @@ __all__ = [
     "stage_delay", "stage_delay_per_length", "sweep_inductance",
     "threshold_delay", "DelaySensitivities", "delay_sensitivities",
     "RCTree",
+    # core kernels (array-first batched pipeline)
+    "DelayBatchResult", "MomentsBatch", "PoleBatch", "ResponseBatch",
+    "StageBatch", "classify_damping_v", "compute_moments_v",
+    "critical_inductance_v", "poles_v", "response_v", "threshold_delay_v",
     # errors
     "ConvergenceError", "DelaySolverError", "ExtractionError", "NetlistError",
     "OptimizationError", "ParameterError", "ReproError", "SimulationError",

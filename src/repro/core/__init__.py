@@ -7,6 +7,8 @@ This package implements the paper's primary contribution:
 * :mod:`~repro.core.poles` — pole pair and sizing derivatives,
 * :mod:`~repro.core.response` — two-pole step response and SI metrics,
 * :mod:`~repro.core.delay` — threshold-crossing delay solver (Eq. 3),
+* :mod:`~repro.core.kernels` — array-first batched kernels: the
+  vectorized moments→poles→response→delay pipeline,
 * :mod:`~repro.core.critical` — critical inductance l_crit (Eq. 4),
 * :mod:`~repro.core.elmore` — RC/Elmore baselines and closed-form optima,
 * :mod:`~repro.core.abcd`, :mod:`~repro.core.transfer` — exact H(s) (Eq. 1),
@@ -15,7 +17,14 @@ This package implements the paper's primary contribution:
 """
 
 from .critical import critical_inductance, damping_margin
-from .delay import DelayResult, newton_delay, stage_delay, threshold_delay
+from .delay import (DelayResult, brent_threshold_delay, newton_delay,
+                    stage_delay, threshold_delay)
+from .kernels import (DAMPING_BY_CODE, DelayBatchResult, MomentsBatch,
+                      PoleBatch, ResponseBatch, StageBatch,
+                      classify_damping_v, compute_moments_v,
+                      critical_inductance_v, poles_v, response_v,
+                      threshold_delay_v, two_pole_derivative,
+                      two_pole_values)
 from .elmore import (RCOptimum, driver_from_rc_optimum, elmore_stage_delay,
                      elmore_total_delay, rc_optimum)
 from .line_theory import (LineRegime, attenuation, characteristic_impedance,
@@ -39,7 +48,12 @@ from .transfer import (exact_transfer, exact_transfer_via_abcd,
 
 __all__ = [
     "critical_inductance", "damping_margin",
-    "DelayResult", "newton_delay", "stage_delay", "threshold_delay",
+    "DelayResult", "brent_threshold_delay", "newton_delay", "stage_delay",
+    "threshold_delay",
+    "DAMPING_BY_CODE", "DelayBatchResult", "MomentsBatch", "PoleBatch",
+    "ResponseBatch", "StageBatch", "classify_damping_v",
+    "compute_moments_v", "critical_inductance_v", "poles_v", "response_v",
+    "threshold_delay_v", "two_pole_derivative", "two_pole_values",
     "RCOptimum", "driver_from_rc_optimum", "elmore_stage_delay",
     "elmore_total_delay", "rc_optimum",
     "Moments", "compute_moments", "moments_from_lumped",

@@ -20,6 +20,7 @@ drive the optimization.
 
 from __future__ import annotations
 
+from .kernels import critical_inductance_terms
 from .params import Stage
 
 
@@ -33,26 +34,10 @@ def critical_inductance(stage: Stage) -> float:
     driver/line parameters, but the formula is returned unclamped so that
     callers can detect it).
     """
-    r, c = stage.line.r, stage.line.c
-    h = stage.h
     driver = stage.sized_driver
-    r_series = driver.r_series
-    c_par = driver.c_parasitic
-    c_load = driver.c_load
-
-    rc = r * c
-    b1 = (r_series * (c_par + c_load)
-          + 0.5 * rc * h * h
-          + r_series * c * h
-          + c_load * r * h)
-
-    b2_rest = (rc * rc * h ** 4 / 24.0
-               + 0.5 * r_series * (c_par + c_load) * rc * h * h
-               + (r_series * c * h + c_load * r * h) * rc * h * h / 6.0
-               + r_series * c_par * c_load * r * h)
-
-    l_coefficient = 0.5 * c * h * h + c_load * h
-    return (0.25 * b1 * b1 - b2_rest) / l_coefficient
+    return critical_inductance_terms(
+        stage.line.r, stage.line.c, driver.r_series, driver.c_parasitic,
+        driver.c_load, stage.h)
 
 
 def damping_margin(stage: Stage) -> float:

@@ -21,8 +21,11 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.optimize import brentq
 
 from ..errors import DelaySolverError, ParameterError
+from .kernels import (GRID_PER_TIMESCALE, MAX_HORIZON_FACTOR,
+                      ResponseBatch, threshold_delay_v)
 from .moments import Moments
 from .params import Stage
 from .poles import Damping
@@ -30,10 +33,12 @@ from .response import StepResponse
 from . import moments as _moments_mod
 
 #: Samples per characteristic time when hunting for the first crossing.
-_GRID_PER_TIMESCALE = 64
+#: (Aliases of the kernel-layer constants — the scalar reference path and
+#: the batched solver must hunt on identical grids.)
+_GRID_PER_TIMESCALE = GRID_PER_TIMESCALE
 
 #: Hard cap on the bracket search horizon, in units of the slow time scale.
-_MAX_HORIZON_FACTOR = 400.0
+_MAX_HORIZON_FACTOR = MAX_HORIZON_FACTOR
 
 
 @dataclass(frozen=True)
@@ -76,7 +81,6 @@ def _bracket_first_crossing(response: StepResponse, f: float
     horizon = _MAX_HORIZON_FACTOR * max(fast, slow)
     chunk = 512
     t_start = 0.0
-    v_prev = 0.0
     while t_start < horizon:
         t = t_start + dt * np.arange(1, chunk + 1)
         v = response(t)
@@ -86,21 +90,18 @@ def _bracket_first_crossing(response: StepResponse, f: float
             t_lo = t[i - 1] if i > 0 else t_start
             return float(t_lo), float(t[i])
         t_start = float(t[-1])
-        v_prev = float(v[-1])
         # Far beyond the slow time scale the response is monotone within
         # (1 - f); stretch the step to reach the asymptote faster.
         if t_start > 10.0 * slow:
             dt *= 2.0
     raise DelaySolverError(
         f"step response never reached threshold {f} within t < {horizon:.3e}s "
-        f"(final sampled value {v_prev:.6f})")
+        f"(final sampled value {float(response(t_start)):.6f})")
 
 
 def _brent(response: StepResponse, f: float, t_lo: float, t_hi: float,
            rtol: float) -> float:
     """Refine the bracketed crossing with Brent's method."""
-    from scipy.optimize import brentq
-
     if response(t_lo) >= f:          # crossing exactly at grid point
         return t_lo
     xtol = max(rtol, 4.0 * np.finfo(float).eps) * max(t_hi, 1e-30)
@@ -147,6 +148,14 @@ def threshold_delay(source, f: float = 0.5, *, rtol: float = 1e-12,
                     polish_with_newton: bool = True) -> DelayResult:
     """Compute the f*100% delay of a stage, moments or response.
 
+    This is a batch-of-1 shim over the vectorized solver
+    (:func:`repro.core.kernels.threshold_delay_v`): the bracketing and the
+    masked Newton/bisection refinement run through the same kernels as a
+    full sweep, so a scalar call and a batch lane agree bitwise.  The
+    optional polish step still runs the module-level :func:`newton_delay`
+    (the paper's iteration) and is accepted only when it stays on the
+    first-crossing bracket, exactly as the legacy Brent path did.
+
     Parameters
     ----------
     source:
@@ -157,7 +166,7 @@ def threshold_delay(source, f: float = 0.5, *, rtol: float = 1e-12,
     rtol:
         Relative tolerance on tau.
     polish_with_newton:
-        When true (default), polish the Brent solution with the paper's
+        When true (default), polish the kernel solution with the paper's
         Newton iteration and report the iteration count.
 
     Returns
@@ -166,6 +175,43 @@ def threshold_delay(source, f: float = 0.5, *, rtol: float = 1e-12,
         The *first* time the response reaches f — this is the physically
         meaningful arrival time even when an underdamped waveform later
         rings back below the threshold.
+    """
+    if not 0.0 <= f < 1.0:
+        raise ParameterError(f"threshold fraction must be in [0, 1), got {f}")
+    response = _as_response(source)
+    if f == 0.0:
+        return DelayResult(tau=0.0, threshold=0.0, damping=response.damping,
+                           newton_iterations=0)
+    batch = ResponseBatch.from_s1s2(response.s1, response.s2)
+    solved = threshold_delay_v(batch, f, rtol=rtol)
+    tau = float(solved.tau[0])
+    t_lo = float(solved.bracket_lo[0])
+    t_hi = float(solved.bracket_hi[0])
+    iterations = 0
+    if polish_with_newton:
+        try:
+            tau_newton, iterations = newton_delay(response, f, tau, rtol=rtol)
+        except DelaySolverError:
+            # Keep the kernel solution; the bracket guarantees its validity.
+            tau_newton = tau
+        # Accept the polish only if it stayed on the same crossing.
+        if t_lo * (1.0 - 1e-9) <= tau_newton <= t_hi * (1.0 + 1e-9):
+            tau = tau_newton
+        else:
+            iterations = 0
+    return DelayResult(tau=tau, threshold=f, damping=response.damping,
+                       newton_iterations=iterations)
+
+
+def brent_threshold_delay(source, f: float = 0.5, *, rtol: float = 1e-12,
+                          polish_with_newton: bool = True) -> DelayResult:
+    """Reference scalar solver: grid bracket + Brent + guarded Newton polish.
+
+    This is the pre-kernel implementation, retained verbatim as the
+    independent per-point oracle for the scalar-vs-vector equivalence
+    property tests and the solver-ablation benchmarks.  Production call
+    sites should use :func:`threshold_delay` (scalar) or
+    :func:`repro.core.kernels.threshold_delay_v` (batched).
     """
     if not 0.0 <= f < 1.0:
         raise ParameterError(f"threshold fraction must be in [0, 1), got {f}")

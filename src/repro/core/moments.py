@@ -47,6 +47,47 @@ class Moments:
         return self.b1 * self.b1 - 4.0 * self.b2
 
 
+def moments_terms(r, l, c, r_s, c_p, c_0, h, k):
+    """Evaluate (b1, b2, db1_dh, db1_dk, db2_dh, db2_dk) elementwise.
+
+    Every operation is elementwise ``+ - * /`` (integer powers are spelled
+    as explicit products), so the same expression graph serves plain
+    floats (:func:`compute_moments`) and parallel numpy arrays
+    (:func:`repro.core.kernels.compute_moments_v`) with bitwise-identical
+    results — the scalar API and a batch lane cannot drift apart.
+    """
+    # b1 = r_s (c_p + c_0) + r c h^2/2 + (r_s c / k) h + c_0 r k h
+    b1 = (r_s * (c_p + c_0)
+          + 0.5 * r * c * h * h
+          + r_s * c * h / k
+          + c_0 * r * h * k)
+
+    # b2 = l c h^2/2 + r^2 c^2 h^4/24 + r_s (c_p + c_0) r c h^2/2
+    #      + (r_s c h/k + c_0 r h k) r c h^2/6 + c_0 k l h + r_s c_p c_0 k r h
+    rc = r * c
+    h2 = h * h
+    b2 = (0.5 * l * c * h * h
+          + rc * rc * (h2 * h2) / 24.0
+          + 0.5 * r_s * (c_p + c_0) * rc * h * h
+          + (r_s * c / k + c_0 * r * k) * rc * (h2 * h) / 6.0
+          + c_0 * k * l * h
+          + r_s * c_p * c_0 * k * r * h)
+
+    db1_dh = rc * h + r_s * c / k + c_0 * r * k
+    db1_dk = -r_s * c * h / (k * k) + c_0 * r * h
+
+    db2_dh = (l * c * h
+              + rc * rc * (h2 * h) / 6.0
+              + r_s * (c_p + c_0) * rc * h
+              + (r_s * c / k + c_0 * r * k) * rc * h * h / 2.0
+              + c_0 * k * l
+              + r_s * c_p * c_0 * k * r)
+    db2_dk = ((-r_s * c / (k * k) + c_0 * r) * rc * (h2 * h) / 6.0
+              + c_0 * l * h
+              + r_s * c_p * c_0 * r * h)
+    return b1, b2, db1_dh, db1_dk, db2_dh, db2_dk
+
+
 def compute_moments(stage: Stage) -> Moments:
     """Evaluate b1, b2 and their partial derivatives for a stage.
 
@@ -61,39 +102,10 @@ def compute_moments(stage: Stage) -> Moments:
         b1 (s), b2 (s^2) and the four partials w.r.t. h (m) and k
         (dimensionless size).
     """
-    r, l, c = stage.line.r, stage.line.l, stage.line.c
-    r_s, c_p, c_0 = stage.driver.r_s, stage.driver.c_p, stage.driver.c_0
-    h, k = stage.h, stage.k
-
-    # b1 = r_s (c_p + c_0) + r c h^2/2 + (r_s c / k) h + c_0 r k h
-    b1 = (r_s * (c_p + c_0)
-          + 0.5 * r * c * h * h
-          + r_s * c * h / k
-          + c_0 * r * h * k)
-
-    # b2 = l c h^2/2 + r^2 c^2 h^4/24 + r_s (c_p + c_0) r c h^2/2
-    #      + (r_s c h/k + c_0 r h k) r c h^2/6 + c_0 k l h + r_s c_p c_0 k r h
-    rc = r * c
-    b2 = (0.5 * l * c * h * h
-          + rc * rc * h ** 4 / 24.0
-          + 0.5 * r_s * (c_p + c_0) * rc * h * h
-          + (r_s * c / k + c_0 * r * k) * rc * h ** 3 / 6.0
-          + c_0 * k * l * h
-          + r_s * c_p * c_0 * k * r * h)
-
-    db1_dh = rc * h + r_s * c / k + c_0 * r * k
-    db1_dk = -r_s * c * h / (k * k) + c_0 * r * h
-
-    db2_dh = (l * c * h
-              + rc * rc * h ** 3 / 6.0
-              + r_s * (c_p + c_0) * rc * h
-              + (r_s * c / k + c_0 * r * k) * rc * h * h / 2.0
-              + c_0 * k * l
-              + r_s * c_p * c_0 * k * r)
-    db2_dk = ((-r_s * c / (k * k) + c_0 * r) * rc * h ** 3 / 6.0
-              + c_0 * l * h
-              + r_s * c_p * c_0 * r * h)
-
+    b1, b2, db1_dh, db1_dk, db2_dh, db2_dk = moments_terms(
+        stage.line.r, stage.line.l, stage.line.c,
+        stage.driver.r_s, stage.driver.c_p, stage.driver.c_0,
+        stage.h, stage.k)
     return Moments(b1=b1, b2=b2, db1_dh=db1_dh, db1_dk=db1_dk,
                    db2_dh=db2_dh, db2_dk=db2_dk)
 

@@ -22,11 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .kernels import COINCIDENT_RTOL, two_pole_derivative, two_pole_values
 from .moments import Moments
 from .poles import Damping, PolePair, classify_damping, compute_poles
 
 #: Poles closer (relatively) than this are treated as coincident.
-_COINCIDENT_RTOL = 1e-9
+#: (Alias of the kernel-layer constant; evaluation happens in
+#: :mod:`repro.core.kernels` so scalar and batched paths agree bitwise.)
+_COINCIDENT_RTOL = COINCIDENT_RTOL
 
 
 @dataclass(frozen=True)
@@ -73,36 +76,29 @@ class StepResponse:
     # Evaluation.
     # ------------------------------------------------------------------
     def __call__(self, t):
-        """Evaluate v(t); accepts a scalar or a numpy array, t >= 0."""
+        """Evaluate v(t); accepts a scalar or a numpy array, t >= 0.
+
+        Thin shim over :func:`repro.core.kernels.two_pole_values` — a
+        batch-of-1 lane of the vectorized kernel, so scalar and batched
+        evaluation are bitwise identical.
+        """
         t_arr = np.asarray(t, dtype=float)
-        if self._coincident:
-            p = 0.5 * (self.s1 + self.s2)
-            v = 1.0 - (1.0 - p * t_arr) * np.exp(p * t_arr)
-        else:
-            denom = self.s2 - self.s1
-            v = (1.0
-                 - (self.s2 / denom) * np.exp(self.s1 * t_arr)
-                 + (self.s1 / denom) * np.exp(self.s2 * t_arr))
-        v_real = np.real(v)
+        v = two_pole_values(self.s1, self.s2, t_arr)
         if np.isscalar(t) or t_arr.ndim == 0:
-            return float(v_real)
-        return v_real
+            return float(v)
+        return v
 
     def derivative(self, t):
-        """Evaluate dv/dt; accepts a scalar or a numpy array."""
+        """Evaluate dv/dt; accepts a scalar or a numpy array.
+
+        Shim over :func:`repro.core.kernels.two_pole_derivative` (see
+        :meth:`__call__`).
+        """
         t_arr = np.asarray(t, dtype=float)
-        if self._coincident:
-            p = 0.5 * (self.s1 + self.s2)
-            dv = (p * p) * t_arr * np.exp(p * t_arr)
-        else:
-            denom = self.s2 - self.s1
-            s1s2 = self.s1 * self.s2
-            dv = (s1s2 / denom) * (np.exp(self.s2 * t_arr)
-                                   - np.exp(self.s1 * t_arr))
-        dv_real = np.real(dv)
+        dv = two_pole_derivative(self.s1, self.s2, t_arr)
         if np.isscalar(t) or t_arr.ndim == 0:
-            return float(dv_real)
-        return dv_real
+            return float(dv)
+        return dv
 
     # ------------------------------------------------------------------
     # Waveform-quality metrics (Sec. 3.3).

@@ -12,11 +12,14 @@ basin) and collects all derived quantities the figures need:
 * delay of the *RC-sized* stage at each l      (Fig. 8)
 
 Each sweep point is submitted through the batch engine
-(:mod:`repro.engine`) as one ``OptimizeJob`` plus one ``DelayJob``.  The
-default backend is the serial in-process executor, which preserves the
-warm-start chain (point i seeds point i+1, so the evaluation order is
-inherently sequential) and bitwise determinism; passing an executor with
-a result cache makes repeated sweeps replay from disk.
+(:mod:`repro.engine`) as one ``OptimizeJob``; the derived columns are
+array-first: l_crit is one :func:`repro.core.kernels.critical_inductance_v`
+call and the RC-sized delay column is one ``BatchDelayJob`` (a single
+cache entry covering all n points).  The default backend is the serial
+in-process executor, which preserves the warm-start chain (point i seeds
+point i+1, so the evaluation order is inherently sequential) and bitwise
+determinism; passing an executor with a result cache makes repeated
+sweeps replay from disk.
 """
 
 from __future__ import annotations
@@ -26,10 +29,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import OptimizationError
-from .critical import critical_inductance
 from .elmore import RCOptimum, rc_optimum
+from .kernels import StageBatch, critical_inductance_v
 from .optimize import OptimizerMethod, RepeaterOptimum, optimize_repeater
-from .params import DriverParams, LineParams, Stage
+from .params import DriverParams, LineParams
 
 
 @dataclass(frozen=True)
@@ -111,7 +114,7 @@ def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
         worker count.
     """
     from ..engine.executor import BatchExecutor
-    from ..engine.jobs import DelayJob, OptimizeJob
+    from ..engine.jobs import BatchDelayJob, OptimizeJob
 
     l_array = np.asarray(list(l_values), dtype=float)
     if l_array.size == 0:
@@ -125,8 +128,6 @@ def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
     k_opt = np.empty(n)
     tau = np.empty(n)
     dpl = np.empty(n)
-    l_crit = np.empty(n)
-    rc_sized_dpl = np.empty(n)
 
     warm_start = (rc_ref.h_opt, rc_ref.k_opt)
     for i, l in enumerate(l_array):
@@ -146,13 +147,25 @@ def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
         k_opt[i] = optimum["k_opt"]
         tau[i] = optimum["tau"]
         dpl[i] = optimum["delay_per_length"]
-        optimum_stage = Stage(line=line, driver=driver,
-                              h=optimum["h_opt"], k=optimum["k_opt"])
-        l_crit[i] = critical_inductance(optimum_stage)
-        rc_sized = executor.run_one(DelayJob(
-            line=line, driver=driver,
-            h=rc_ref.h_opt, k=rc_ref.k_opt, f=f)).unwrap()
-        rc_sized_dpl[i] = rc_sized["tau"] / rc_ref.h_opt
+
+    # l_crit at each RLC optimum (Fig. 4) — one vectorized kernel call.
+    optima = StageBatch.from_arrays(
+        r=line_zero_l.r, l=l_array, c=line_zero_l.c,
+        r_s=driver.r_s, c_p=driver.c_p, c_0=driver.c_0, h=h_opt, k=k_opt)
+    l_crit = critical_inductance_v(optima)
+
+    # Delay of the RC-sized stage at each l (Fig. 8) — one batched,
+    # cacheable job instead of n per-point DelayJobs.
+    rc_sized = executor.run_one(BatchDelayJob.from_inductance_sweep(
+        line_zero_l, driver, l_array, h=rc_ref.h_opt, k=rc_ref.k_opt, f=f))
+    if not rc_sized.ok:
+        raise OptimizationError(
+            f"RC-sized delay column failed for sweep of {n} points "
+            f"(l = {l_array[0]:.4g}..{l_array[-1]:.4g} H/m, "
+            f"h = {rc_ref.h_opt:.4g} m, k = {rc_ref.k_opt:.4g}): "
+            f"{rc_sized.error_type}: {rc_sized.error}")
+    rc_sized_dpl = np.asarray(rc_sized.result["delay_per_length"],
+                              dtype=float)
 
     return InductanceSweep(l_values=l_array, h_opt=h_opt, k_opt=k_opt,
                            tau=tau, delay_per_length=dpl, l_crit=l_crit,

@@ -27,6 +27,8 @@ import json
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
+import numpy as np
+
 from ..core.delay import threshold_delay
 from ..core.elmore import rc_optimum
 from ..core.optimize import OptimizerMethod, optimize_repeater
@@ -153,6 +155,134 @@ class DelayJob:
         return cls(line=line_from_dict(data["line"]),
                    driver=driver_from_dict(data["driver"]),
                    h=float(data["h"]), k=float(data["k"]),
+                   f=float(data.get("f", 0.5)),
+                   polish_with_newton=bool(
+                       data.get("polish_with_newton", False)))
+
+
+@register_job_type
+@dataclass(frozen=True)
+class BatchDelayJob:
+    """Vectorized threshold-delay solve of N stages as *one* cached unit.
+
+    The batch is evaluated with
+    :func:`repro.core.kernels.threshold_delay_v`, so an inductance sweep's
+    whole RC-sized delay column is a single job — one cache entry, one
+    process-pool dispatch — instead of N per-point :class:`DelayJob`\\ s.
+    With ``polish_with_newton`` false (the default of both specs), lane
+    values are bitwise identical to the corresponding scalar
+    :class:`DelayJob` results.
+
+    When ``polish_with_newton`` is true the result's
+    ``newton_iterations`` reports the masked hybrid's accepted Newton
+    steps per lane (the batched analogue of the paper's iteration count);
+    otherwise it is all zeros, mirroring the scalar job's "0 unless
+    polished" contract.
+    """
+
+    kind: ClassVar[str] = "batch_delay"
+
+    driver: DriverParams
+    lines: Tuple[LineParams, ...]
+    h: Tuple[float, ...]
+    k: Tuple[float, ...]
+    f: float = 0.5
+    polish_with_newton: bool = False
+
+    def __post_init__(self) -> None:
+        n = len(self.lines)
+        if n == 0:
+            raise ParameterError("BatchDelayJob needs at least one stage")
+        if len(self.h) != n or len(self.k) != n:
+            raise ParameterError(
+                f"BatchDelayJob field lengths disagree: "
+                f"{n} lines, {len(self.h)} h, {len(self.k)} k")
+
+    @classmethod
+    def from_stages(cls, stages, f: float = 0.5, *,
+                    polish_with_newton: bool = False) -> "BatchDelayJob":
+        """Pack stages sharing one driver into a batch job."""
+        stages = list(stages)
+        drivers = {stage.driver for stage in stages}
+        if len(drivers) != 1:
+            raise ParameterError(
+                f"BatchDelayJob stages must share one driver, got "
+                f"{len(drivers)}")
+        return cls(driver=stages[0].driver,
+                   lines=tuple(stage.line for stage in stages),
+                   h=tuple(stage.h for stage in stages),
+                   k=tuple(stage.k for stage in stages),
+                   f=f, polish_with_newton=polish_with_newton)
+
+    @classmethod
+    def from_inductance_sweep(cls, line_zero_l: LineParams,
+                              driver: DriverParams, l_values, *,
+                              h: float, k: float,
+                              f: float = 0.5) -> "BatchDelayJob":
+        """One fixed (h, k) sizing swept across an inductance grid."""
+        lines = tuple(line_zero_l.with_inductance(float(l))
+                      for l in l_values)
+        return cls(driver=driver, lines=lines,
+                   h=(float(h),) * len(lines), k=(float(k),) * len(lines),
+                   f=f)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "driver": driver_to_dict(self.driver),
+                "lines": [line_to_dict(line) for line in self.lines],
+                "h": list(self.h), "k": list(self.k), "f": self.f,
+                "polish_with_newton": self.polish_with_newton}
+
+    def run(self) -> Dict[str, Any]:
+        from ..core.kernels import StageBatch, threshold_delay_v
+        from ..errors import DelaySolverError
+
+        batch = StageBatch.from_arrays(
+            r=[line.r for line in self.lines],
+            l=[line.l for line in self.lines],
+            c=[line.c for line in self.lines],
+            r_s=self.driver.r_s, c_p=self.driver.c_p,
+            c_0=self.driver.c_0, h=self.h, k=self.k)
+        try:
+            solved = threshold_delay_v(batch, self.f)
+        except DelaySolverError as exc:
+            # Name the failing sweep points, not just the kernel lanes.
+            lanes = getattr(exc, "lanes", [])
+            where = "; ".join(
+                f"point {i} (l = {self.lines[i].l:.4g} H/m, "
+                f"h = {self.h[i]:.4g} m, k = {self.k[i]:.4g})"
+                for i in lanes[:3])
+            suffix = f" and {len(lanes) - 3} more" if len(lanes) > 3 else ""
+            raise DelaySolverError(
+                f"batch delay solve of {len(self)} points failed at "
+                f"{where or 'unknown point'}{suffix}: {exc}",
+                iterations=exc.iterations,
+                residual=exc.residual) from exc
+        tau = solved.tau
+        h_arr = np.asarray(self.h, dtype=float)
+        iterations = (solved.newton_iterations if self.polish_with_newton
+                      else np.zeros(len(self), dtype=np.int64))
+        return {"n": len(self),
+                "tau": jsonify(tau),
+                "delay_per_length": jsonify(tau / h_arr),
+                "threshold": self.f,
+                "damping": [d.value for d in solved.damping_values()],
+                "newton_iterations": jsonify(iterations)}
+
+    def summary(self, result: Dict[str, Any]) -> str:
+        tau = result["tau"]
+        return (f"{result['n']} lanes tau=[{min(tau):.6g}.."
+                f"{max(tau):.6g}]s")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchDelayJob":
+        return cls(driver=driver_from_dict(data["driver"]),
+                   lines=tuple(line_from_dict(d) for d in data["lines"]),
+                   h=tuple(float(x) for x in data["h"]),
+                   k=tuple(float(x) for x in data["k"]),
                    f=float(data.get("f", 0.5)),
                    polish_with_newton=bool(
                        data.get("polish_with_newton", False)))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.delay import threshold_delay
+from ..core.kernels import response_v, threshold_delay_v
 from ..core.response import canonical_response
 from .base import ExperimentResult, experiment
 
@@ -29,10 +29,13 @@ def run(omega_n: float = 1.0e10, samples: int = 400) -> ExperimentResult:
     data: dict = {"omega_n": omega_n}
     t_end = 12.0 / omega_n
     t = np.linspace(0.0, t_end, samples)
-    for label, zeta in REGIMES:
-        response = canonical_response(zeta, omega_n)
-        tau = threshold_delay(response, 0.5).tau
-        values = response(t)
+    # All three regimes solved/sampled as one batch through the kernels.
+    responses = [canonical_response(zeta, omega_n) for _, zeta in REGIMES]
+    taus = threshold_delay_v(responses, 0.5).tau
+    sampled = response_v(responses, t)
+    for (label, zeta), response, tau, values in zip(REGIMES, responses,
+                                                    taus, sampled):
+        tau = float(tau)
         rows.append([label, zeta, response.overshoot(),
                      response.undershoot(), tau * omega_n,
                      bool(np.all(np.diff(values) >= -1e-12))])

@@ -6,9 +6,10 @@ repo, so pairwise agreement is evidence of correctness rather than
 repetition:
 
 ================  ==========================================================
-``two_pole``      Analytic two-pole Padé model + bracketed Newton solve
-                  (``core.moments`` -> ``core.poles`` -> ``core.delay``) —
-                  the paper's Eqs. 2-3 and the subject under test.
+``two_pole``      Analytic two-pole Padé model + masked Newton/bisection
+                  solve (the vectorized ``core.kernels`` pipeline:
+                  moments -> poles -> bracketed first crossing) — the
+                  paper's Eqs. 2-3 and the subject under test.
 ``elmore``        Single-pole (dominant-pole) model with time constant b1:
                   tau = -b1 ln(1 - f).  The inductance-blind RC baseline;
                   exact limit of the two-pole model as the poles separate.
@@ -42,7 +43,8 @@ import numpy as np
 from ..analysis.laplace import step_response_exact
 from ..analysis.waveform import Waveform
 from ..baselines.kahng_muddu import km_delay
-from ..core.delay import threshold_delay
+from ..core.kernels import (DAMPING_BY_CODE, StageBatch, classify_damping_v,
+                            compute_moments_v, threshold_delay_v)
 from ..core.moments import compute_moments
 from ..core.poles import classify_damping
 from ..errors import ParameterError
@@ -118,24 +120,49 @@ class Oracle:
     def evaluate(self, case: VerifyCase) -> DelayObservation:
         raise NotImplementedError
 
+    def evaluate_batch(self, cases: List[VerifyCase]
+                       ) -> List[DelayObservation]:
+        """Evaluate many cases; kernel-backed oracles override this with a
+        single vectorized solve (default: loop over :meth:`evaluate`)."""
+        return [self.evaluate(case) for case in cases]
+
     # ------------------------------------------------------------------
     def _damping_of(self, case: VerifyCase) -> str:
         moments = compute_moments(case.stage())
         return classify_damping(moments.b1, moments.b2).value
 
 
+def _case_batch(cases: List[VerifyCase]) -> StageBatch:
+    """Pack the cases' stages into one kernel batch."""
+    return StageBatch.from_stages([case.stage() for case in cases])
+
+
 class TwoPoleOracle(Oracle):
-    """The paper's two-pole Padé model + Newton-polished delay solve."""
+    """The paper's two-pole Padé model + masked Newton/bisection solve.
+
+    Routed through :func:`repro.core.kernels.threshold_delay_v`; a whole
+    case matrix is one vectorized solve, and a single case is the same
+    kernel with batch size one, so the two entry points cannot disagree.
+    """
 
     name = "two_pole"
 
     def evaluate(self, case: VerifyCase) -> DelayObservation:
-        result = threshold_delay(case.stage(), case.f,
-                                 polish_with_newton=True)
-        return DelayObservation(
-            oracle=self.name, tau=result.tau, threshold=case.f,
-            damping=result.damping.value,
-            extras={"newton_iterations": result.newton_iterations})
+        return self.evaluate_batch([case])[0]
+
+    def evaluate_batch(self, cases: List[VerifyCase]
+                       ) -> List[DelayObservation]:
+        if not cases:
+            return []
+        solved = threshold_delay_v(_case_batch(cases),
+                                   np.array([case.f for case in cases]))
+        return [DelayObservation(
+                    oracle=self.name, tau=float(solved.tau[i]),
+                    threshold=cases[i].f,
+                    damping=DAMPING_BY_CODE[int(solved.damping[i])].value,
+                    extras={"newton_iterations":
+                            int(solved.newton_iterations[i])})
+                for i in range(len(cases))]
 
 
 class ElmoreOracle(Oracle):
@@ -143,16 +170,28 @@ class ElmoreOracle(Oracle):
 
     v(t) = 1 - exp(-t/b1) gives tau = -b1 ln(1 - f); at f = 0.5 this is
     the classical 0.693 b1.  Blind to inductance by construction.
+    Batched through :func:`repro.core.kernels.compute_moments_v`.
     """
 
     name = "elmore"
 
     def evaluate(self, case: VerifyCase) -> DelayObservation:
-        b1 = compute_moments(case.stage()).b1
-        tau = -b1 * math.log1p(-case.f)
-        return DelayObservation(oracle=self.name, tau=tau, threshold=case.f,
-                                damping=self._damping_of(case),
-                                extras={"b1": b1})
+        return self.evaluate_batch([case])[0]
+
+    def evaluate_batch(self, cases: List[VerifyCase]
+                       ) -> List[DelayObservation]:
+        if not cases:
+            return []
+        moments = compute_moments_v(_case_batch(cases))
+        f = np.array([case.f for case in cases])
+        tau = -moments.b1 * np.log1p(-f)
+        codes = classify_damping_v(moments.b1, moments.b2)
+        return [DelayObservation(
+                    oracle=self.name, tau=float(tau[i]),
+                    threshold=cases[i].f,
+                    damping=DAMPING_BY_CODE[int(codes[i])].value,
+                    extras={"b1": float(moments.b1[i])})
+                for i in range(len(cases))]
 
 
 class KahngMudduOracle(Oracle):

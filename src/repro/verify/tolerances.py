@@ -287,6 +287,22 @@ UNIT_TOLERANCES: Dict[str, float] = {
     "bench.table1.extraction.rel": 0.10,
     # Simulator-characterized r_s vs the stored Table 1 value.
     "bench.table1.r_s_simulated.rel": 0.05,
+    # tests/test_kernels*.py ----------------------------------------------
+    # Batched kernels vs the scalar pipeline on identical stages.  The
+    # kernels share the scalar path's expression graphs (moments_terms,
+    # two_pole_values, critical_inductance_terms), so moments, poles,
+    # responses and l_crit agree bitwise; the solved crossing itself may
+    # differ between the masked-hybrid and Brent refiners by solver
+    # stopping tolerance only.  Golden fixtures were re-blessed with this
+    # change: critical_inductance now evaluates through the shared
+    # elementwise graph (h2*h2 products instead of `**`), moving the
+    # regime-defining l values of the case matrix by ~1 ulp, which rewrites
+    # every content-hashed entry key; the observations themselves agree to
+    # these bounds.
+    "kernels.scalar_vs_vector.rel": 1e-9,
+    # Brent reference solver vs the vectorized masked Newton/bisection
+    # hybrid on the same response (independent refiners, same bracket).
+    "kernels.brent_vs_vector.rel": 1e-9,
 }
 
 

@@ -80,3 +80,26 @@ verify_cases = st.builds(
     stage=stages,
     f=thresholds,
 )
+
+#: Inductance as a multiple of the sizing's own critical inductance, so a
+#: draw lands in a *chosen* damping regime instead of wherever random
+#: (l, h, k) happens to fall: < 1 overdamped, = 1 critically damped,
+#: > 1 underdamped.
+l_crit_factors = st.sampled_from([0.0, 0.4, 1.0, 2.5, 6.0])
+
+
+def _stage_at_factor(stage, factor):
+    from repro import critical_inductance
+    # l_crit can be negative when the drain capacitances dominate the
+    # line (the stage is underdamped even at l = 0); keep such draws at
+    # l = 0 rather than rejecting them.
+    l_crit = critical_inductance(stage)
+    return stage.with_inductance(factor * l_crit if l_crit > 0.0 else 0.0)
+
+
+#: Stages spanning all three damping regimes by construction.
+regime_stages = st.builds(_stage_at_factor, stage=rc_stages,
+                          factor=l_crit_factors)
+
+#: Small batches of regime-spanning stages for the kernel property suite.
+stage_batches = st.lists(regime_stages, min_size=1, max_size=6)

@@ -1,0 +1,91 @@
+"""Property tests for the array-first kernels (Hypothesis).
+
+Light invariants (bitwise batch-vs-scalar moments, permutation and
+singleton invariance of the batched delay solve) run in tier-1; the
+heavy cross-regime comparison against the independent Brent reference
+solver is marked ``slow`` and runs in the CI verify job.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compute_moments, threshold_delay
+from repro.core import brent_threshold_delay
+from repro.core.kernels import (StageBatch, compute_moments_v,
+                                critical_inductance_v, threshold_delay_v)
+from repro.verify import unit_tolerance
+
+from tests.strategies import regime_stages, stage_batches, thresholds
+
+
+class TestBatchScalarBitwise:
+    @given(stages=stage_batches)
+    @settings(max_examples=50, deadline=None)
+    def test_moments_bitwise(self, stages):
+        batch = StageBatch.from_stages(stages)
+        moments = compute_moments_v(batch)
+        for i, stage in enumerate(stages):
+            assert moments.moments(i) == compute_moments(stage), i
+
+    @given(stages=stage_batches)
+    @settings(max_examples=25, deadline=None)
+    def test_critical_inductance_bitwise(self, stages):
+        from repro import critical_inductance
+        batch = StageBatch.from_stages(stages)
+        l_crit = critical_inductance_v(batch)
+        for i, stage in enumerate(stages):
+            assert l_crit[i] == critical_inductance(stage), i
+
+    @given(stage=regime_stages, f=thresholds)
+    @settings(max_examples=50, deadline=None)
+    def test_scalar_shim_is_batch_of_one(self, stage, f):
+        scalar = threshold_delay(stage, f, polish_with_newton=False)
+        batched = threshold_delay_v(StageBatch.from_stages([stage]), f)
+        assert batched.tau[0] == scalar.tau
+        assert batched.damping_values()[0] == scalar.damping
+
+
+class TestBatchInvariance:
+    @given(stages=stage_batches, f=thresholds,
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_invariance(self, stages, f, seed):
+        order = np.random.RandomState(seed).permutation(len(stages))
+        forward = threshold_delay_v(StageBatch.from_stages(stages), f)
+        permuted = threshold_delay_v(
+            StageBatch.from_stages([stages[i] for i in order]), f)
+        assert np.array_equal(forward.tau[order], permuted.tau)
+        assert np.array_equal(forward.damping[order], permuted.damping)
+
+    @given(stages=stage_batches, f=thresholds)
+    @settings(max_examples=25, deadline=None)
+    def test_singleton_invariance(self, stages, f):
+        full = threshold_delay_v(StageBatch.from_stages(stages), f)
+        for i, stage in enumerate(stages):
+            alone = threshold_delay_v(StageBatch.from_stages([stage]), f)
+            assert alone.tau[0] == full.tau[i], i
+
+
+@pytest.mark.slow
+class TestBrentReference:
+    """The independent Brent refiner agrees with the masked hybrid.
+
+    This is the cross-check that the vectorized solver is not just
+    self-consistent: both solvers bracket the same first crossing and
+    refine it with different methods, so agreement is bounded by the
+    solvers' stopping tolerances alone (ledger
+    ``kernels.brent_vs_vector.rel``), across all three damping regimes
+    and the full threshold range.
+    """
+
+    @given(stages=stage_batches, f=thresholds)
+    @settings(max_examples=100, deadline=None)
+    def test_batch_agrees_with_brent(self, stages, f):
+        rtol = unit_tolerance("kernels.brent_vs_vector.rel")
+        solved = threshold_delay_v(StageBatch.from_stages(stages), f)
+        for i, stage in enumerate(stages):
+            ref = brent_threshold_delay(stage, f)
+            assert solved.tau[i] == pytest.approx(ref.tau, rel=rtol), i
+            assert solved.damping_values()[i] == ref.damping, i

@@ -136,19 +136,20 @@ class TestRunDifferential:
         assert report.format_table(only_violations=True) == "(no violations)"
 
 
-def _b2_sign_flipped(real_compute):
-    """compute_moments with the b2 inductance term's sign inverted."""
-    def perturbed(source):
-        moments = real_compute(source)
-        try:
-            l, c, h = source.line.l, source.line.c, source.h
-        except AttributeError:
-            return moments
+def _b2_sign_flipped(real_terms):
+    """moments_terms with the b2 inductance term's sign inverted.
+
+    Patching the shared elementwise helper perturbs the scalar
+    ``compute_moments`` *and* the batched ``compute_moments_v`` (the
+    kernels resolve it through the moments module at call time), so the
+    injected bug reaches every oracle routed through either path.
+    """
+    def perturbed(r, l, c, r_s, c_p, c_0, h, k):
+        b1, b2, db1_dh, db1_dk, db2_dh, db2_dk = real_terms(
+            r, l, c, r_s, c_p, c_0, h, k)
         inductance_term = 0.5 * l * c * h * h
-        return Moments(b1=moments.b1,
-                       b2=moments.b2 - 2.0 * inductance_term,
-                       db1_dh=moments.db1_dh, db1_dk=moments.db1_dk,
-                       db2_dh=moments.db2_dh, db2_dk=moments.db2_dk)
+        return (b1, b2 - 2.0 * inductance_term,
+                db1_dh, db1_dk, db2_dh, db2_dk)
     return perturbed
 
 
@@ -156,9 +157,8 @@ class TestPerturbationDetection:
     """A deliberately broken core formula must not survive the sweep."""
 
     def test_b2_sign_flip_caught_by_differential(self):
-        perturbed = _b2_sign_flipped(moments_mod.compute_moments)
-        with mock.patch.object(moments_mod, "compute_moments", perturbed), \
-                mock.patch.object(oracles_mod, "compute_moments", perturbed):
+        perturbed = _b2_sign_flipped(moments_mod.moments_terms)
+        with mock.patch.object(moments_mod, "moments_terms", perturbed):
             report = run_differential(default_case_matrix(), oracles=CHEAP)
         assert not report.passed
         # The independent exact-inversion oracle is the witness: talbot

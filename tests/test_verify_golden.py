@@ -99,8 +99,8 @@ class TestCommittedStore:
         import repro.core.moments as moments_mod
         from tests.test_verify_differential import _b2_sign_flipped
 
-        perturbed = _b2_sign_flipped(moments_mod.compute_moments)
-        with mock.patch.object(moments_mod, "compute_moments", perturbed):
+        perturbed = _b2_sign_flipped(moments_mod.moments_terms)
+        with mock.patch.object(moments_mod, "moments_terms", perturbed):
             fresh = _observe(case)
         mismatches = GoldenStore().diff([(case, fresh)])
         assert [m.kind for m in mismatches] == ["changed"]
