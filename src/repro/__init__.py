@@ -17,9 +17,10 @@ Public API highlights
   by the ring-oscillator failure studies (Figs. 9-12).
 """
 
-# 1.1.0: array-first kernel layer (repro.core.kernels); the bump salts the
-# engine's content-addressed cache so pre-kernel results are not replayed.
-__version__ = "1.1.0"
+# 1.2.0: optimizer stack on the kernel layer (repro.core.evaluate); the
+# OptimizeJob payload gained a "trace" entry, so the bump salts the engine's
+# content-addressed cache and keeps pre-trace results from being replayed.
+__version__ = "1.2.0"
 
 from . import units
 from .core import (Damping, DelayBatchResult, DelayResult,
@@ -37,6 +38,8 @@ from .core import (Damping, DelayBatchResult, DelayResult,
                    rc_optimum, response_v, stage_delay,
                    stage_delay_per_length, sweep_inductance,
                    threshold_delay, threshold_delay_v)
+from .core import (OptimizationTrace, StageEvaluator,
+                   stationarity_residuals_v)
 from .errors import (ConvergenceError, DelaySolverError, ExtractionError,
                      NetlistError, OptimizationError, ParameterError,
                      ReproError, SimulationError)
@@ -63,6 +66,8 @@ __all__ = [
     "DelayBatchResult", "MomentsBatch", "PoleBatch", "ResponseBatch",
     "StageBatch", "classify_damping_v", "compute_moments_v",
     "critical_inductance_v", "poles_v", "response_v", "threshold_delay_v",
+    # kernel-backed optimizer stack
+    "OptimizationTrace", "StageEvaluator", "stationarity_residuals_v",
     # errors
     "ConvergenceError", "DelaySolverError", "ExtractionError", "NetlistError",
     "OptimizationError", "ParameterError", "ReproError", "SimulationError",

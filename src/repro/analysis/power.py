@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from ..core.delay import threshold_delay
+from ..core.evaluate import StageEvaluator
 from ..core.optimize import RepeaterOptimum, optimize_repeater
-from ..core.params import DriverParams, LineParams, Stage
+from ..core.params import DriverParams, LineParams
 from ..errors import OptimizationError, ParameterError
 
 
@@ -123,16 +123,18 @@ def optimize_with_power_cap(line: LineParams, driver: DriverParams, *,
 
     density = (c_budget - line.c) / (driver.c_0 + driver.c_p)   # k/h (1/m)
 
+    # All boundary-search delay solves share one kernel-backed evaluator;
+    # golden-section re-probes of a bracket endpoint become memo hits.
+    evaluator = StageEvaluator(line, driver, f)
+
     def objective(h: float) -> float:
-        stage = Stage(line=line, driver=driver, h=h, k=density * h)
-        return threshold_delay(stage, f, polish_with_newton=False).tau / h
+        return evaluator.delay(h, density * h) / h
 
     h_best = _golden_section(objective,
                              0.05 * unconstrained.h_opt,
                              20.0 * unconstrained.h_opt, tol)
     k_best = density * h_best
-    stage = Stage(line=line, driver=driver, h=h_best, k=k_best)
-    tau = threshold_delay(stage, f, polish_with_newton=False).tau
+    tau = evaluator.delay(h_best, k_best)
     return PowerConstrainedOptimum(
         h_opt=h_best, k_opt=k_best, tau=tau, delay_per_length=tau / h_best,
         power_per_length=scale * switched_capacitance_per_length(

@@ -12,6 +12,9 @@ This package implements the paper's primary contribution:
 * :mod:`~repro.core.critical` — critical inductance l_crit (Eq. 4),
 * :mod:`~repro.core.elmore` — RC/Elmore baselines and closed-form optima,
 * :mod:`~repro.core.abcd`, :mod:`~repro.core.transfer` — exact H(s) (Eq. 1),
+* :mod:`~repro.core.evaluate` — kernel-backed stage evaluation: the
+  memoizing :class:`~repro.core.evaluate.StageEvaluator`, batched
+  stationarity residuals, and optimizer traces,
 * :mod:`~repro.core.optimize` — repeater-insertion optimizer (Eqs. 7-8),
 * :mod:`~repro.core.sweep` — inductance sweeps powering Figs. 4-8.
 """
@@ -27,6 +30,9 @@ from .kernels import (DAMPING_BY_CODE, DelayBatchResult, MomentsBatch,
                       two_pole_values)
 from .elmore import (RCOptimum, driver_from_rc_optimum, elmore_stage_delay,
                      elmore_total_delay, rc_optimum)
+from .evaluate import (OptimizationTrace, ScalarSemantics, StageEvaluator,
+                       TraceEvent, TraceStep, delay_per_length_grid,
+                       prime_evaluators, stationarity_residuals_v)
 from .line_theory import (LineRegime, attenuation, characteristic_impedance,
                           classify_regime, critical_length_window,
                           lc_transition_frequency, phase_velocity,
@@ -56,6 +62,9 @@ __all__ = [
     "threshold_delay_v", "two_pole_derivative", "two_pole_values",
     "RCOptimum", "driver_from_rc_optimum", "elmore_stage_delay",
     "elmore_total_delay", "rc_optimum",
+    "OptimizationTrace", "ScalarSemantics", "StageEvaluator", "TraceEvent",
+    "TraceStep", "delay_per_length_grid", "prime_evaluators",
+    "stationarity_residuals_v",
     "Moments", "compute_moments", "moments_from_lumped",
     "OptimizerMethod", "RepeaterOptimum", "optimize_repeater",
     "stage_delay_per_length", "stationarity_residuals",

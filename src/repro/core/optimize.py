@@ -19,20 +19,35 @@ derivative-free direct minimization of tau/h as a fallback and as an
 independent validator: the pole-derivative terms contain 1/sqrt(b1^2-4b2),
 which blows up where the optimum rides close to critical damping — there
 the direct method takes over automatically.
+
+Since the kernel-layer refactor every residual evaluation is served by a
+shared :class:`repro.core.evaluate.StageEvaluator`: one Newton iteration's
+base point and both finite-difference probes run as a single 3-lane
+kernel batch, backtracking trials are memoized, and the direct fallback's
+simplex reuses the same cache.  The convergence path — and therefore the
+returned (h_opt, k_opt, tau) — is bitwise identical to the scalar
+implementation, which is preserved below as
+:func:`stationarity_residuals` (the reference oracle the equivalence
+tests and benchmarks compare against).  Every run also records an
+:class:`~repro.core.evaluate.OptimizationTrace` on the returned optimum.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
+from scipy.optimize import minimize
 
 from ..errors import DelaySolverError, OptimizationError, ParameterError
 from .delay import threshold_delay
 from .elmore import rc_optimum
+from .evaluate import (OptimizationTrace, StageEvaluator, TraceStep,
+                       damping_name, prime_pairs)
+from .kernels import DAMPING_BY_CODE
 from .moments import compute_moments
 from .params import DriverParams, LineParams, Stage
 from .poles import Damping, compute_poles
@@ -67,6 +82,10 @@ class RepeaterOptimum:
         Solver that produced the result (NEWTON or DIRECT).
     iterations:
         Outer iterations used by that solver.
+    trace:
+        Per-iteration :class:`~repro.core.evaluate.OptimizationTrace` of
+        the run (seed + accepted iterates, backtracking counts, fallback
+        events, kernel-lane accounting).
     """
 
     h_opt: float
@@ -76,6 +95,8 @@ class RepeaterOptimum:
     damping: Damping
     method: OptimizerMethod
     iterations: int
+    trace: Optional[OptimizationTrace] = field(
+        default=None, repr=False, compare=False)
 
 
 def stage_delay_per_length(line: LineParams, driver: DriverParams,
@@ -89,6 +110,13 @@ def stationarity_residuals(line: LineParams, driver: DriverParams,
                            h: float, k: float, f: float
                            ) -> tuple[float, float, float]:
     """Evaluate the paper's residuals (g1, g2) and the delay tau at (h, k).
+
+    This is the scalar reference evaluation — one full walk of the
+    moments -> poles -> response -> delay chain.  The optimizer itself
+    now evaluates through the batched
+    :class:`~repro.core.evaluate.StageEvaluator`, whose lanes are
+    verified bitwise against this function; it is kept as the oracle for
+    those equivalence tests and the pre-refactor benchmark baseline.
 
     The residuals are returned normalized by (s2 - s1) and
     nondimensionalized by h (g1) and k (g2).  The normalization matters:
@@ -125,82 +153,132 @@ def stationarity_residuals(line: LineParams, driver: DriverParams,
     return g1_real * h, g2_real * k, tau
 
 
+def _fail(message: str, *, iteration: int, norm: float,
+          trace: OptimizationTrace) -> OptimizationError:
+    """Build an OptimizationError carrying the trace's failure context."""
+    worse = trace.accepted_worse_total
+    if worse:
+        message += (f" (accepted {worse} worse iterate"
+                    f"{'s' if worse != 1 else ''} during backtracking)")
+    trace.record_event("newton_error", message)
+    error = OptimizationError(message, iterations=iteration, residual=norm)
+    error.trace = trace
+    error.accepted_worse = worse
+    return error
+
+
 def _newton_optimize(line: LineParams, driver: DriverParams, f: float,
                      h0: float, k0: float, *, tol: float,
-                     max_iterations: int) -> RepeaterOptimum:
-    """Damped 2-D Newton on (g1, g2) with a finite-difference Jacobian."""
+                     max_iterations: int,
+                     evaluator: Optional[StageEvaluator] = None,
+                     trace: Optional[OptimizationTrace] = None
+                     ) -> RepeaterOptimum:
+    """Damped 2-D Newton on (g1, g2) with a finite-difference Jacobian.
+
+    Each iteration evaluates the base point and both probes as one
+    3-lane kernel batch (the base is a memo hit after iteration 1);
+    backtracking trials are memoized too, so a re-probed (h, k) is never
+    recomputed.  The iterate sequence is bitwise identical to the scalar
+    implementation's.
+    """
+    evaluator = evaluator or StageEvaluator(line, driver, f)
+    trace = trace if trace is not None else OptimizationTrace()
     h, k = h0, k0
-    g1, g2, tau = stationarity_residuals(line, driver, h, k, f)
+    g1, g2, tau, damping_code = evaluator.evaluate(h, k)
     norm = math.hypot(g1, g2)
+    trace.record_step(TraceStep(
+        iteration=trace.next_iteration, h=float(h), k=float(k),
+        g1=g1, g2=g2, tau=tau, residual_norm=norm,
+        damping=damping_name(damping_code), step_scale=None,
+        backtracks=0, accepted_worse=False))
 
     for iteration in range(1, max_iterations + 1):
-        # Finite-difference Jacobian of the scaled residual vector.
+        # Finite-difference Jacobian of the scaled residual vector — the
+        # base point and both probes as one 3-lane batch (base: memo hit).
         eps_h = 1e-6 * h
         eps_k = 1e-6 * k
-        g1_h, g2_h, _ = stationarity_residuals(line, driver, h + eps_h, k, f)
-        g1_k, g2_k, _ = stationarity_residuals(line, driver, h, k + eps_k, f)
+        _, probe_h, probe_k = evaluator.evaluate_many(
+            [(h, k), (h + eps_h, k), (h, k + eps_k)])
+        g1_h, g2_h = probe_h[0], probe_h[1]
+        g1_k, g2_k = probe_k[0], probe_k[1]
         jac = np.array([[(g1_h - g1) / eps_h, (g1_k - g1) / eps_k],
                         [(g2_h - g2) / eps_h, (g2_k - g2) / eps_k]])
         rhs = np.array([g1, g2])
         try:
             step = np.linalg.solve(jac, rhs)
         except np.linalg.LinAlgError as exc:
-            raise OptimizationError(
-                f"singular Jacobian at iteration {iteration}",
-                iterations=iteration, residual=norm) from exc
+            raise _fail(f"singular Jacobian at iteration {iteration}",
+                        iteration=iteration, norm=norm, trace=trace) from exc
         if not np.all(np.isfinite(step)):
-            raise OptimizationError(
-                f"non-finite Newton step at iteration {iteration}",
-                iterations=iteration, residual=norm)
+            raise _fail(f"non-finite Newton step at iteration {iteration}",
+                        iteration=iteration, norm=norm, trace=trace)
 
         # Damped update with positivity backtracking.
         scale = 1.0
+        backtracks = 0
         for _ in range(40):
             h_new = h - scale * step[0]
             k_new = k - scale * step[1]
             if h_new > 0.0 and k_new > 0.0:
                 try:
-                    g1_new, g2_new, tau_new = stationarity_residuals(
-                        line, driver, h_new, k_new, f)
+                    g1_new, g2_new, tau_new, damping_code = \
+                        evaluator.evaluate(h_new, k_new)
                 except (DelaySolverError, ParameterError):
                     scale *= 0.5
+                    backtracks += 1
                     continue
                 norm_new = math.hypot(g1_new, g2_new)
                 if norm_new < norm or scale < 1e-3:
                     break
             scale *= 0.5
+            backtracks += 1
         else:
-            raise OptimizationError(
-                f"Newton backtracking failed at iteration {iteration}",
-                iterations=iteration, residual=norm)
+            raise _fail(f"Newton backtracking failed at iteration "
+                        f"{iteration}", iteration=iteration, norm=norm,
+                        trace=trace)
 
+        accepted_worse = not norm_new < norm
+        if accepted_worse:
+            trace.record_event(
+                "accepted_worse",
+                f"iteration {iteration}: accepted residual {norm_new:.6g} "
+                f">= {norm:.6g} at step scale {scale:.3g}")
         moved = max(abs(h_new - h) / h, abs(k_new - k) / k)
-        h, k, g1, g2, tau, norm = h_new, k_new, g1_new, g2_new, tau_new, norm_new
+        h, k, g1, g2, tau, norm = h_new, k_new, g1_new, g2_new, tau_new, \
+            norm_new
+        trace.record_step(TraceStep(
+            iteration=trace.next_iteration, h=float(h), k=float(k),
+            g1=g1, g2=g2, tau=tau, residual_norm=norm,
+            damping=damping_name(damping_code), step_scale=scale,
+            backtracks=backtracks, accepted_worse=accepted_worse))
         if moved < tol:
-            stage = Stage(line=line, driver=driver, h=h, k=k)
-            damping = compute_poles(compute_moments(stage)).damping
+            trace.attach_counters(evaluator)
             return RepeaterOptimum(h_opt=h, k_opt=k, tau=tau,
                                    delay_per_length=tau / h,
-                                   damping=damping,
+                                   damping=DAMPING_BY_CODE[damping_code],
                                    method=OptimizerMethod.NEWTON,
-                                   iterations=iteration)
+                                   iterations=iteration, trace=trace)
 
-    raise OptimizationError(
-        f"Newton optimizer did not converge in {max_iterations} iterations",
-        iterations=max_iterations, residual=norm)
+    raise _fail(f"Newton optimizer did not converge in {max_iterations} "
+                f"iterations", iteration=max_iterations, norm=norm,
+                trace=trace)
 
 
 def _direct_optimize(line: LineParams, driver: DriverParams, f: float,
                      h0: float, k0: float, *, tol: float,
-                     max_iterations: int) -> RepeaterOptimum:
+                     max_iterations: int,
+                     evaluator: Optional[StageEvaluator] = None,
+                     trace: Optional[OptimizationTrace] = None
+                     ) -> RepeaterOptimum:
     """Nelder-Mead on log(h), log(k) — derivative-free and damping-agnostic."""
-    from scipy.optimize import minimize
+    evaluator = evaluator or StageEvaluator(line, driver, f)
+    trace = trace if trace is not None else OptimizationTrace()
 
     def objective(x: np.ndarray) -> float:
         h = h0 * math.exp(x[0])
         k = k0 * math.exp(x[1])
         try:
-            return stage_delay_per_length(line, driver, h, k, f)
+            return evaluator.delay(h, k) / h
         except (DelaySolverError, ParameterError):
             return float("inf")
 
@@ -208,20 +286,32 @@ def _direct_optimize(line: LineParams, driver: DriverParams, f: float,
                       options={"xatol": tol * 0.1, "fatol": 0.0,
                                "maxiter": max_iterations,
                                "maxfev": 4 * max_iterations})
+    iterations = int(result.get("nit", 0))
     if not result.success and result.status != 2:
         # status 2 = max iterations; anything else is a genuine failure.
-        raise OptimizationError(
+        trace.record_event("direct_error", str(result.message))
+        error = OptimizationError(
             f"direct optimizer failed: {result.message}",
-            iterations=int(result.get("nit", 0)))
+            iterations=iterations)
+        error.trace = trace
+        raise error
     h = h0 * math.exp(result.x[0])
     k = k0 * math.exp(result.x[1])
-    stage = Stage(line=line, driver=driver, h=h, k=k)
-    tau = threshold_delay(stage, f, polish_with_newton=False).tau
-    damping = compute_poles(compute_moments(stage)).damping
+    g1, g2, tau, damping_code = evaluator.evaluate(h, k)
+    trace.record_event(
+        "direct", f"nelder-mead converged in {iterations} iterations, "
+        f"{int(result.get('nfev', 0))} evaluations")
+    trace.record_step(TraceStep(
+        iteration=trace.next_iteration, h=float(h), k=float(k),
+        g1=g1, g2=g2, tau=tau, residual_norm=math.hypot(g1, g2),
+        damping=damping_name(damping_code), step_scale=None,
+        backtracks=0, accepted_worse=False))
+    trace.attach_counters(evaluator)
     return RepeaterOptimum(h_opt=h, k_opt=k, tau=tau,
-                           delay_per_length=tau / h, damping=damping,
+                           delay_per_length=tau / h,
+                           damping=DAMPING_BY_CODE[damping_code],
                            method=OptimizerMethod.DIRECT,
-                           iterations=int(result.nit))
+                           iterations=iterations, trace=trace)
 
 
 def optimize_repeater(line: LineParams, driver: DriverParams,
@@ -229,7 +319,9 @@ def optimize_repeater(line: LineParams, driver: DriverParams,
                       method: OptimizerMethod = OptimizerMethod.AUTO,
                       initial: Optional[tuple[float, float]] = None,
                       tol: float = 1e-9,
-                      max_iterations: int = 200) -> RepeaterOptimum:
+                      max_iterations: int = 200,
+                      evaluator: Optional[StageEvaluator] = None
+                      ) -> RepeaterOptimum:
     """Find (h_optRLC, k_optRLC) minimizing the f*100% delay per unit length.
 
     Parameters
@@ -247,10 +339,16 @@ def optimize_repeater(line: LineParams, driver: DriverParams,
         Optional (h, k) starting point.  Defaults to the closed-form RC
         optimum, which is exact at l = 0 and an excellent warm start
         elsewhere; inductance sweeps should pass the previous optimum.
+    evaluator:
+        Optional pre-warmed :class:`~repro.core.evaluate.StageEvaluator`
+        for this exact (line, driver, f) configuration — the engine's
+        ``BatchOptimizeJob`` passes one whose memo already holds the
+        batch-evaluated seed.  Leave ``None`` for standalone calls.
 
     Returns
     -------
     RepeaterOptimum
+        With a populated :attr:`~RepeaterOptimum.trace`.
 
     Raises
     ------
@@ -267,21 +365,299 @@ def optimize_repeater(line: LineParams, driver: DriverParams,
         if h0 <= 0.0 or k0 <= 0.0:
             raise ParameterError("initial (h, k) must be positive")
 
+    if evaluator is None:
+        evaluator = StageEvaluator(line, driver, f)
+    trace = OptimizationTrace()
+
     if method is OptimizerMethod.NEWTON:
         return _newton_optimize(line, driver, f, h0, k0, tol=tol,
-                                max_iterations=max_iterations)
+                                max_iterations=max_iterations,
+                                evaluator=evaluator, trace=trace)
     if method is OptimizerMethod.DIRECT:
         return _direct_optimize(line, driver, f, h0, k0, tol=tol,
-                                max_iterations=max_iterations)
+                                max_iterations=max_iterations,
+                                evaluator=evaluator, trace=trace)
 
-    # AUTO: paper's Newton first, robust fallback second.
+    # AUTO: paper's Newton first, robust fallback second.  The fallback
+    # shares the evaluator (its simplex reuses Newton's memoized lanes)
+    # and the trace, which records exactly one fallback event.
     newton_result: Optional[RepeaterOptimum] = None
     try:
         newton_result = _newton_optimize(line, driver, f, h0, k0, tol=tol,
-                                         max_iterations=max_iterations)
-    except OptimizationError:
-        pass
+                                         max_iterations=max_iterations,
+                                         evaluator=evaluator, trace=trace)
+    except OptimizationError as exc:
+        trace.record_event("fallback", f"newton failed: {exc}")
     if newton_result is not None:
         return newton_result
     return _direct_optimize(line, driver, f, h0, k0, tol=tol,
-                            max_iterations=max_iterations)
+                            max_iterations=max_iterations,
+                            evaluator=evaluator, trace=trace)
+
+
+class _NewtonLane:
+    """Mutable per-lane state of the lockstep Newton driver."""
+
+    __slots__ = ("index", "line", "driver", "h", "k", "tol",
+                 "max_iterations", "evaluator", "trace", "g1", "g2", "tau",
+                 "damping_code", "norm", "probes", "eps_h", "eps_k", "step",
+                 "scale", "backtracks", "accept")
+
+    def __init__(self, index, line, driver, h0, k0, tol, max_iterations,
+                 evaluator, trace):
+        self.index = index
+        self.line = line
+        self.driver = driver
+        self.h = h0
+        self.k = k0
+        self.tol = tol
+        self.max_iterations = max_iterations
+        self.evaluator = evaluator
+        self.trace = trace
+
+
+def _newton_optimize_lockstep(lanes: List[_NewtonLane],
+                              outcomes: List) -> None:
+    """Run N independent Newton solves with pooled kernel batches.
+
+    All lanes advance one iteration per round; every round pools the
+    lanes' base/probe points — and then each backtracking wave's trial
+    points — into single multi-configuration kernel batches via
+    :func:`~repro.core.evaluate.prime_pairs`.  Because lane values are
+    batch-size invariant and each lane's own evaluator replays its
+    memoized points, every lane walks *exactly* the iterate sequence of
+    a solo :func:`_newton_optimize` run: results, traces and failure
+    modes are bitwise identical; only the pooling changes.
+
+    Outcomes (a :class:`RepeaterOptimum` or the exception the solo run
+    would have raised) are written into ``outcomes`` at each lane's
+    ``index``.
+    """
+    # Seed evaluations: one pooled batch, then per-lane bookkeeping.
+    prime_pairs([(lane.evaluator, [(lane.h, lane.k)]) for lane in lanes])
+    active: List[_NewtonLane] = []
+    for lane in lanes:
+        try:
+            g1, g2, tau, code = lane.evaluator.evaluate(lane.h, lane.k)
+        except (DelaySolverError, ParameterError) as exc:
+            outcomes[lane.index] = exc
+            continue
+        lane.g1, lane.g2, lane.tau, lane.damping_code = g1, g2, tau, code
+        lane.norm = math.hypot(g1, g2)
+        lane.trace.record_step(TraceStep(
+            iteration=lane.trace.next_iteration, h=float(lane.h),
+            k=float(lane.k), g1=g1, g2=g2, tau=tau,
+            residual_norm=lane.norm, damping=damping_name(code),
+            step_scale=None, backtracks=0, accepted_worse=False))
+        active.append(lane)
+
+    iteration = 0
+    while active:
+        iteration += 1
+        still: List[_NewtonLane] = []
+        for lane in active:
+            if iteration > lane.max_iterations:
+                outcomes[lane.index] = _fail(
+                    f"Newton optimizer did not converge in "
+                    f"{lane.max_iterations} iterations",
+                    iteration=lane.max_iterations, norm=lane.norm,
+                    trace=lane.trace)
+            else:
+                still.append(lane)
+        active = still
+        if not active:
+            break
+
+        # Probe wave: every lane's base + both FD probes, one batch.
+        for lane in active:
+            lane.eps_h = 1e-6 * lane.h
+            lane.eps_k = 1e-6 * lane.k
+            lane.probes = [(lane.h, lane.k),
+                           (lane.h + lane.eps_h, lane.k),
+                           (lane.h, lane.k + lane.eps_k)]
+        prime_pairs([(lane.evaluator, lane.probes) for lane in active])
+        stepped: List[_NewtonLane] = []
+        for lane in active:
+            try:
+                _, probe_h, probe_k = lane.evaluator.evaluate_many(
+                    lane.probes)
+            except (DelaySolverError, ParameterError) as exc:
+                outcomes[lane.index] = exc
+                continue
+            jac = np.array([
+                [(probe_h[0] - lane.g1) / lane.eps_h,
+                 (probe_k[0] - lane.g1) / lane.eps_k],
+                [(probe_h[1] - lane.g2) / lane.eps_h,
+                 (probe_k[1] - lane.g2) / lane.eps_k]])
+            rhs = np.array([lane.g1, lane.g2])
+            try:
+                lane.step = np.linalg.solve(jac, rhs)
+            except np.linalg.LinAlgError:
+                outcomes[lane.index] = _fail(
+                    f"singular Jacobian at iteration {iteration}",
+                    iteration=iteration, norm=lane.norm, trace=lane.trace)
+                continue
+            if not np.all(np.isfinite(lane.step)):
+                outcomes[lane.index] = _fail(
+                    f"non-finite Newton step at iteration {iteration}",
+                    iteration=iteration, norm=lane.norm, trace=lane.trace)
+                continue
+            lane.scale = 1.0
+            lane.backtracks = 0
+            stepped.append(lane)
+
+        # Backtracking waves: pool each wave's positive trial points.
+        pending = list(stepped)
+        accepted: List[_NewtonLane] = []
+        for _ in range(40):
+            if not pending:
+                break
+            prime_pairs([
+                (lane.evaluator,
+                 [(lane.h - lane.scale * lane.step[0],
+                   lane.k - lane.scale * lane.step[1])])
+                for lane in pending
+                if (lane.h - lane.scale * lane.step[0]) > 0.0
+                and (lane.k - lane.scale * lane.step[1]) > 0.0])
+            retrying: List[_NewtonLane] = []
+            for lane in pending:
+                h_new = lane.h - lane.scale * lane.step[0]
+                k_new = lane.k - lane.scale * lane.step[1]
+                if h_new > 0.0 and k_new > 0.0:
+                    try:
+                        g1n, g2n, taun, coden = lane.evaluator.evaluate(
+                            h_new, k_new)
+                    except (DelaySolverError, ParameterError):
+                        lane.scale *= 0.5
+                        lane.backtracks += 1
+                        retrying.append(lane)
+                        continue
+                    norm_new = math.hypot(g1n, g2n)
+                    if norm_new < lane.norm or lane.scale < 1e-3:
+                        lane.accept = (h_new, k_new, g1n, g2n, taun,
+                                       coden, norm_new)
+                        accepted.append(lane)
+                        continue
+                lane.scale *= 0.5
+                lane.backtracks += 1
+                retrying.append(lane)
+            pending = retrying
+        for lane in pending:
+            outcomes[lane.index] = _fail(
+                f"Newton backtracking failed at iteration {iteration}",
+                iteration=iteration, norm=lane.norm, trace=lane.trace)
+
+        # Acceptance bookkeeping (identical to the solo loop).
+        active = []
+        for lane in accepted:
+            h_new, k_new, g1n, g2n, taun, coden, norm_new = lane.accept
+            accepted_worse = not norm_new < lane.norm
+            if accepted_worse:
+                lane.trace.record_event(
+                    "accepted_worse",
+                    f"iteration {iteration}: accepted residual "
+                    f"{norm_new:.6g} >= {lane.norm:.6g} at step scale "
+                    f"{lane.scale:.3g}")
+            moved = max(abs(h_new - lane.h) / lane.h,
+                        abs(k_new - lane.k) / lane.k)
+            lane.h, lane.k = h_new, k_new
+            lane.g1, lane.g2, lane.tau, lane.norm = g1n, g2n, taun, norm_new
+            lane.damping_code = coden
+            lane.trace.record_step(TraceStep(
+                iteration=lane.trace.next_iteration, h=float(lane.h),
+                k=float(lane.k), g1=g1n, g2=g2n, tau=taun,
+                residual_norm=norm_new, damping=damping_name(coden),
+                step_scale=lane.scale, backtracks=lane.backtracks,
+                accepted_worse=accepted_worse))
+            if moved < lane.tol:
+                lane.trace.attach_counters(lane.evaluator)
+                outcomes[lane.index] = RepeaterOptimum(
+                    h_opt=lane.h, k_opt=lane.k, tau=lane.tau,
+                    delay_per_length=lane.tau / lane.h,
+                    damping=DAMPING_BY_CODE[lane.damping_code],
+                    method=OptimizerMethod.NEWTON, iterations=iteration,
+                    trace=lane.trace)
+            else:
+                active.append(lane)
+
+
+def optimize_repeater_many(lines: Sequence[LineParams],
+                           driver: DriverParams, f: float = 0.5, *,
+                           method: OptimizerMethod = OptimizerMethod.AUTO,
+                           initials: Optional[Sequence[
+                               Optional[tuple]]] = None,
+                           tol: float = 1e-9,
+                           max_iterations: int = 200,
+                           evaluators: Optional[Sequence[
+                               StageEvaluator]] = None
+                           ) -> List[Union[RepeaterOptimum, Exception]]:
+    """N independent repeater optimizations with a lockstep Newton phase.
+
+    The batch equivalent of calling :func:`optimize_repeater` once per
+    line: per-lane results — optima, traces, convergence paths,
+    exceptions — are bitwise identical to the solo calls, but all lanes'
+    Newton inner loops advance together so each iteration's probe and
+    backtracking evaluations pool into single multi-configuration kernel
+    batches (see :func:`_newton_optimize_lockstep`).  Lanes that need
+    the direct method (requested or AUTO fallback) finish individually
+    on their own evaluator/trace, exactly like the solo AUTO path.
+
+    Returns one entry per line: a :class:`RepeaterOptimum` on success,
+    or the exception the solo call would have raised (not raised here —
+    callers own per-lane fault handling).
+    """
+    n = len(lines)
+    if not 0.0 < f < 1.0:
+        return [ParameterError(f"threshold fraction must be in (0, 1), "
+                               f"got {f}") for _ in range(n)]
+    if evaluators is None:
+        evaluators = [StageEvaluator(line, driver, f) for line in lines]
+    outcomes: List[Union[RepeaterOptimum, Exception, None]] = [None] * n
+    traces = [OptimizationTrace() for _ in range(n)]
+
+    lanes: List[_NewtonLane] = []
+    seeds: List[Optional[tuple]] = [None] * n
+    for i, line in enumerate(lines):
+        initial = initials[i] if initials is not None else None
+        if initial is None:
+            rc_opt = rc_optimum(line, driver)
+            h0, k0 = rc_opt.h_opt, rc_opt.k_opt
+        else:
+            h0, k0 = initial
+            if h0 <= 0.0 or k0 <= 0.0:
+                outcomes[i] = ParameterError(
+                    "initial (h, k) must be positive")
+                continue
+        seeds[i] = (h0, k0)
+        if method is not OptimizerMethod.DIRECT:
+            lanes.append(_NewtonLane(i, line, driver, h0, k0, tol,
+                                     max_iterations, evaluators[i],
+                                     traces[i]))
+
+    if lanes:
+        _newton_optimize_lockstep(lanes, outcomes)
+
+    for i, line in enumerate(lines):
+        if seeds[i] is None or isinstance(outcomes[i], RepeaterOptimum):
+            continue
+        h0, k0 = seeds[i]
+        if method is OptimizerMethod.DIRECT:
+            try:
+                outcomes[i] = _direct_optimize(
+                    line, driver, f, h0, k0, tol=tol,
+                    max_iterations=max_iterations, evaluator=evaluators[i],
+                    trace=traces[i])
+            except Exception as exc:  # noqa: BLE001 — per-lane isolation
+                outcomes[i] = exc
+        elif method is OptimizerMethod.AUTO and \
+                isinstance(outcomes[i], OptimizationError):
+            traces[i].record_event("fallback",
+                                   f"newton failed: {outcomes[i]}")
+            try:
+                outcomes[i] = _direct_optimize(
+                    line, driver, f, h0, k0, tol=tol,
+                    max_iterations=max_iterations, evaluator=evaluators[i],
+                    trace=traces[i])
+            except Exception as exc:  # noqa: BLE001 — per-lane isolation
+                outcomes[i] = exc
+    return outcomes

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from .delay import threshold_delay
+from .evaluate import delay_per_length_grid
 from .optimize import RepeaterOptimum, optimize_repeater
 from .params import DriverParams, LineParams, Stage
 
@@ -57,13 +58,18 @@ def worst_case_delay_per_length(line_zero_l: LineParams,
                                 driver: DriverParams, h: float, k: float,
                                 l_grid: Sequence[float], f: float = 0.5
                                 ) -> tuple[float, float]:
-    """(max objective, argmax l) of a fixed sizing over an l grid."""
+    """(max objective, argmax l) of a fixed sizing over an l grid.
+
+    The grid is evaluated as one kernel batch
+    (:func:`repro.core.evaluate.delay_per_length_grid`); each lane is
+    bitwise identical to the scalar per-point solve this used to run, so
+    the (max, argmax) pair is unchanged (first strict maximum wins).
+    """
+    values = delay_per_length_grid(line_zero_l, driver, l_grid, h, k, f)
     worst = -1.0
     worst_l = float(l_grid[0])
-    for l in l_grid:
-        stage = Stage(line=line_zero_l.with_inductance(float(l)),
-                      driver=driver, h=h, k=k)
-        value = threshold_delay(stage, f, polish_with_newton=False).tau / h
+    for i, l in enumerate(l_grid):
+        value = values[i]
         if value > worst:
             worst = value
             worst_l = float(l)
@@ -137,13 +143,13 @@ def regret_analysis(line_zero_l: LineParams, driver: DriverParams, *,
 
     rows = []
     for label, h, k in candidates:
+        # One kernel batch per candidate; lanes match the scalar
+        # per-point evaluations bitwise.
+        values = delay_per_length_grid(line_zero_l, driver, grid, h, k, f)
         worst_value = -1.0
         worst_regret = -1.0
-        for l in grid:
-            stage = Stage(line=line_zero_l.with_inductance(float(l)),
-                          driver=driver, h=h, k=k)
-            value = threshold_delay(stage, f,
-                                    polish_with_newton=False).tau / h
+        for i, l in enumerate(grid):
+            value = values[i]
             worst_value = max(worst_value, value)
             worst_regret = max(worst_regret,
                                value / best_at[float(l)] - 1.0)

@@ -16,9 +16,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import OptimizationError, ParameterError
-from .delay import threshold_delay
+from .evaluate import StageEvaluator
 from .optimize import OptimizerMethod, optimize_repeater
-from .params import DriverParams, LineParams, Stage
+from .params import DriverParams, LineParams
 
 
 @dataclass(frozen=True)
@@ -40,16 +40,23 @@ class StagingPlan:
 
 
 def _best_k_for_segment(line: LineParams, driver: DriverParams,
-                        h: float, f: float, k_seed: float) -> tuple[float, float]:
+                        h: float, f: float, k_seed: float, *,
+                        evaluator: StageEvaluator = None
+                        ) -> tuple[float, float]:
     """Optimal k (and tau) for a *fixed* segment length h.
 
-    1-D golden-section on k around the continuous optimum's seed.
+    1-D golden-section on k around the continuous optimum's seed.  Delay
+    evaluations route through a (shareable) kernel-backed
+    :class:`~repro.core.evaluate.StageEvaluator`, so bracket endpoints
+    revisited by the golden section — and candidates revisited across
+    stage counts — are memo hits.
     """
     inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    if evaluator is None:
+        evaluator = StageEvaluator(line, driver, f)
 
     def tau_of(k: float) -> float:
-        stage = Stage(line=line, driver=driver, h=h, k=k)
-        return threshold_delay(stage, f, polish_with_newton=False).tau
+        return evaluator.delay(h, k)
 
     a, b = 0.05 * k_seed, 20.0 * k_seed
     c = b - inv_phi * (b - a)
@@ -93,11 +100,13 @@ def plan_staging(line: LineParams, driver: DriverParams,
         for offset in range(-(max_candidates - 1), max_candidates + 1)})
 
     best: Optional[StagingPlan] = None
+    evaluator = StageEvaluator(line, driver, f)
     for n in candidates:
         h = total_length / n
         try:
             k_best, tau = _best_k_for_segment(line, driver, h, f,
-                                              continuous.k_opt)
+                                              continuous.k_opt,
+                                              evaluator=evaluator)
         except (OptimizationError, ParameterError):
             continue
         plan = StagingPlan(total_length=total_length, n_stages=n,

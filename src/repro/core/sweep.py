@@ -24,7 +24,8 @@ sweeps replay from disk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +41,11 @@ class InductanceSweep:
     """Optimizer results across a line-inductance sweep (SI units).
 
     All arrays are indexed by the sweep points ``l_values`` (H/m).
+    ``methods`` and ``traces`` carry the per-point solver diagnostics
+    (solver name and serialized
+    :class:`~repro.core.evaluate.OptimizationTrace` payload), so a sweep
+    can report exactly where Newton stalled and the direct fallback took
+    over — see :attr:`fallback_points` and :meth:`fallback_report`.
     """
 
     l_values: np.ndarray
@@ -51,6 +57,46 @@ class InductanceSweep:
     rc_reference: RCOptimum
     threshold: float
     rc_sized_delay_per_length: np.ndarray
+    methods: Optional[Tuple[str, ...]] = field(default=None, compare=False)
+    traces: Optional[Tuple[dict, ...]] = field(default=None, repr=False,
+                                               compare=False)
+
+    @property
+    def fallback_points(self) -> list:
+        """Sweep indices where the direct method produced the optimum."""
+        if self.methods is None:
+            return []
+        return [i for i, name in enumerate(self.methods)
+                if name == OptimizerMethod.DIRECT.value]
+
+    @property
+    def backtrack_steps(self) -> int:
+        """Total Newton backtracking halvings across all sweep points."""
+        if self.traces is None:
+            return 0
+        return sum(int(step.get("backtracks", 0))
+                   for trace in self.traces if trace
+                   for step in trace.get("steps", []))
+
+    def fallback_report(self) -> str:
+        """Human-readable account of per-point solver behaviour."""
+        if self.methods is None:
+            return "no per-point traces recorded"
+        lines = []
+        for i in self.fallback_points:
+            detail = ""
+            if self.traces and self.traces[i]:
+                for event in self.traces[i].get("events", []):
+                    if event.get("kind") == "fallback":
+                        detail = f": {event.get('detail', '')}"
+                        break
+            lines.append(f"point {i} (l = {self.l_values[i]:.4g} H/m) "
+                         f"fell back to direct{detail}")
+        if not lines:
+            lines.append(
+                f"all {len(self.methods)} points converged via newton")
+        lines.append(f"total backtracking steps: {self.backtrack_steps}")
+        return "\n".join(lines)
 
     @property
     def h_ratio(self) -> np.ndarray:
@@ -129,6 +175,8 @@ def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
     tau = np.empty(n)
     dpl = np.empty(n)
 
+    methods: list = []
+    traces: list = []
     warm_start = (rc_ref.h_opt, rc_ref.k_opt)
     for i, l in enumerate(l_array):
         line = line_zero_l.with_inductance(float(l))
@@ -147,6 +195,8 @@ def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
         k_opt[i] = optimum["k_opt"]
         tau[i] = optimum["tau"]
         dpl[i] = optimum["delay_per_length"]
+        methods.append(optimum["method"])
+        traces.append(optimum.get("trace"))
 
     # l_crit at each RLC optimum (Fig. 4) — one vectorized kernel call.
     optima = StageBatch.from_arrays(
@@ -170,7 +220,8 @@ def sweep_inductance(line_zero_l: LineParams, driver: DriverParams,
     return InductanceSweep(l_values=l_array, h_opt=h_opt, k_opt=k_opt,
                            tau=tau, delay_per_length=dpl, l_crit=l_crit,
                            rc_reference=rc_ref, threshold=f,
-                           rc_sized_delay_per_length=rc_sized_dpl)
+                           rc_sized_delay_per_length=rc_sized_dpl,
+                           methods=tuple(methods), traces=tuple(traces))
 
 
 def single_optimum(line: LineParams, driver: DriverParams, f: float = 0.5,

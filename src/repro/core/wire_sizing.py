@@ -36,6 +36,8 @@ class WireSizingResult:
     k_opt: float
     delay_per_length: float
     evaluations: int             #: golden-section objective evaluations
+    solver_iterations: int = 0   #: inner-optimizer iterations, all widths
+    fallbacks: int = 0           #: inner runs that fell back to direct
 
 
 def line_from_geometry(reference: Wire, width: float, pitch: float,
@@ -98,10 +100,12 @@ def optimize_wire_width(reference: Wire, pitch: float, epsilon_r: float,
             f"width bounds ({lo}, {hi}) must satisfy 0 < lo < hi < pitch")
 
     evaluations = 0
+    solver_iterations = 0
+    fallbacks = 0
     cache: dict[float, tuple[float, LineParams, float, float]] = {}
 
     def objective(width: float) -> float:
-        nonlocal evaluations
+        nonlocal evaluations, solver_iterations, fallbacks
         if width in cache:
             return cache[width][0]
         line = line_from_geometry(reference, width, pitch, epsilon_r,
@@ -109,6 +113,9 @@ def optimize_wire_width(reference: Wire, pitch: float, epsilon_r: float,
                                   miller_factor=miller_factor)
         optimum = optimize_repeater(line, driver, f)
         evaluations += 1
+        solver_iterations += optimum.iterations
+        if optimum.trace is not None and optimum.trace.fallback:
+            fallbacks += 1
         cache[width] = (optimum.delay_per_length, line, optimum.h_opt,
                         optimum.k_opt)
         return optimum.delay_per_length
@@ -133,4 +140,6 @@ def optimize_wire_width(reference: Wire, pitch: float, epsilon_r: float,
     dpl, line, h_opt, k_opt = cache[best_width]
     return WireSizingResult(width=best_width, line=line, h_opt=h_opt,
                             k_opt=k_opt, delay_per_length=dpl,
-                            evaluations=evaluations)
+                            evaluations=evaluations,
+                            solver_iterations=solver_iterations,
+                            fallbacks=fallbacks)

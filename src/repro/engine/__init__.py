@@ -17,15 +17,15 @@ runner both submit their work through it.
 from .cache import CacheStats, ResultCache, code_version_salt, \
     default_cache_dir
 from .executor import BatchExecutor, BatchReport, JobOutcome
-from .jobs import (JOB_TYPES, BatchDelayJob, DelayJob, ExperimentJob,
-                   OptimizeJob, SweepJob, TransientJob, job_from_dict,
-                   job_to_dict, register_job_type)
+from .jobs import (JOB_TYPES, BatchDelayJob, BatchOptimizeJob, DelayJob,
+                   ExperimentJob, OptimizeJob, SweepJob, TransientJob,
+                   job_from_dict, job_to_dict, register_job_type)
 from .manifest import ManifestError, load_manifest
 from .metrics import BatchMetrics, JobMetrics
 
 __all__ = [
-    "BatchDelayJob", "BatchExecutor", "BatchMetrics", "BatchReport",
-    "CacheStats",
+    "BatchDelayJob", "BatchExecutor", "BatchMetrics", "BatchOptimizeJob",
+    "BatchReport", "CacheStats",
     "DelayJob", "ExperimentJob", "JOB_TYPES", "JobMetrics", "JobOutcome",
     "ManifestError", "OptimizeJob", "ResultCache", "SweepJob",
     "TransientJob", "code_version_salt", "default_cache_dir",

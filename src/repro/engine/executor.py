@@ -31,7 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .cache import ResultCache
 from .jobs import job_to_dict
-from .metrics import BatchMetrics, JobMetrics, iterations_of
+from .metrics import BatchMetrics, JobMetrics, iterations_of, trace_counts_of
 
 
 def _execute_job(job: Any) -> Dict[str, Any]:
@@ -176,13 +176,16 @@ class BatchExecutor:
         for outcome in outcomes:
             assert outcome is not None
             report.outcomes.append(outcome)
+            fallbacks, backtracks = trace_counts_of(outcome.result or {})
             report.metrics.record(JobMetrics(
                 kind=outcome.job.kind,
                 wall_time=outcome.wall_time,
                 from_cache=outcome.from_cache,
                 failed=not outcome.ok,
                 newton_iterations=iterations_of(outcome.result or {}),
-                retried=bool((outcome.result or {}).get("retried", False))))
+                retried=bool((outcome.result or {}).get("retried", False)),
+                fallbacks=fallbacks,
+                backtracks=backtracks))
         report.metrics.wall_time = time.perf_counter() - start
         return report
 

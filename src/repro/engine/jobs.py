@@ -288,6 +288,27 @@ class BatchDelayJob:
                        data.get("polish_with_newton", False)))
 
 
+def _optimum_payload(optimum, retried: bool) -> Dict[str, Any]:
+    """Shared result-dict form of a RepeaterOptimum (plus its trace).
+
+    ``h_opt``/``k_opt`` are passed through *uncoerced*: the serial
+    in-process executor hands this dict straight to callers such as
+    :func:`repro.core.sweep.sweep_inductance`, whose warm-start chain
+    depends on receiving the optimizer's raw (possibly ``np.float64``)
+    iterates — coercing here would perturb downstream optima by ulps.
+    JSON boundaries (cache, manifests) canonicalize via ``jsonify``.
+    """
+    return {"h_opt": optimum.h_opt, "k_opt": optimum.k_opt,
+            "tau": optimum.tau,
+            "delay_per_length": optimum.delay_per_length,
+            "damping": optimum.damping.value,
+            "method": optimum.method.value,
+            "iterations": optimum.iterations,
+            "retried": retried,
+            "trace": (optimum.trace.to_payload()
+                      if optimum.trace is not None else None)}
+
+
 @register_job_type
 @dataclass(frozen=True)
 class OptimizeJob:
@@ -338,13 +359,7 @@ class OptimizeJob:
                 self.line, self.driver, self.f,
                 initial=(rc_ref.h_opt, rc_ref.k_opt), **kwargs)
             retried = True
-        return {"h_opt": optimum.h_opt, "k_opt": optimum.k_opt,
-                "tau": optimum.tau,
-                "delay_per_length": optimum.delay_per_length,
-                "damping": optimum.damping.value,
-                "method": optimum.method.value,
-                "iterations": optimum.iterations,
-                "retried": retried}
+        return _optimum_payload(optimum, retried)
 
     def summary(self, result: Dict[str, Any]) -> str:
         return (f"h={result['h_opt']:.6g}m k={result['k_opt']:.6g} "
@@ -361,6 +376,167 @@ class OptimizeJob:
                    method=OptimizerMethod(data.get("method", "auto")),
                    initial=(tuple(float(x) for x in initial)
                             if initial else None),
+                   tol=float(data.get("tol", 1e-9)),
+                   max_iterations=int(data.get("max_iterations", 200)),
+                   retry_reseed=bool(data.get("retry_reseed", True)))
+
+
+@register_job_type
+@dataclass(frozen=True)
+class BatchOptimizeJob:
+    """N independent repeater optimizations as one cached batch unit.
+
+    Multi-start (one configuration, many seeds) and multi-config (one
+    sizing problem per line, e.g. an inductance grid) both reduce to N
+    independent ``optimize_repeater`` runs; this job executes them with
+    two batching advantages over N :class:`OptimizeJob`\\ s:
+
+    * the N seed evaluations run as *one* kernel batch (grouped by
+      scalar semantics, see
+      :func:`repro.core.evaluate.prime_evaluators`), pre-warming each
+      lane's :class:`~repro.core.evaluate.StageEvaluator` memo,
+    * the N Newton inner loops advance in *lockstep*
+      (:func:`repro.core.optimize.optimize_repeater_many`): every
+      iteration pools all lanes' finite-difference probes — and every
+      backtracking wave's trial points — into single pooled kernel
+      batches, and
+    * the whole batch is a single cache entry / pool dispatch.
+
+    Per-lane results — including the convergence path, the attached
+    trace, and any per-lane failure — are bitwise identical to running
+    each lane as its own :class:`OptimizeJob` (lane evaluation is
+    batch-size invariant).  Failed lanes are isolated into ``errors``;
+    ``best_index`` points at the lowest surviving delay per unit length.
+    """
+
+    kind: ClassVar[str] = "batch_optimize"
+
+    driver: DriverParams
+    lines: Tuple[LineParams, ...]
+    f: float = 0.5
+    method: OptimizerMethod = OptimizerMethod.AUTO
+    initials: Optional[Tuple[Optional[Tuple[float, float]], ...]] = None
+    tol: float = 1e-9
+    max_iterations: int = 200
+    retry_reseed: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            raise ParameterError("BatchOptimizeJob needs at least one lane")
+        if self.initials is not None and len(self.initials) != len(self.lines):
+            raise ParameterError(
+                f"BatchOptimizeJob field lengths disagree: "
+                f"{len(self.lines)} lines, {len(self.initials)} initials")
+
+    @classmethod
+    def from_multistart(cls, line: LineParams, driver: DriverParams,
+                        seeds, f: float = 0.5, **kwargs
+                        ) -> "BatchOptimizeJob":
+        """One configuration optimized from several (h, k) seeds."""
+        seeds = tuple(tuple(float(x) for x in seed) for seed in seeds)
+        return cls(driver=driver, lines=(line,) * len(seeds), f=f,
+                   initials=seeds, **kwargs)
+
+    @classmethod
+    def from_inductance_grid(cls, line_zero_l: LineParams,
+                             driver: DriverParams, l_values,
+                             f: float = 0.5, **kwargs
+                             ) -> "BatchOptimizeJob":
+        """One optimization per inductance, each seeded independently
+        (unlike the warm-start chain of ``sweep_inductance``)."""
+        lines = tuple(line_zero_l.with_inductance(float(l))
+                      for l in l_values)
+        return cls(driver=driver, lines=lines, f=f, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "driver": driver_to_dict(self.driver),
+                "lines": [line_to_dict(line) for line in self.lines],
+                "f": self.f, "method": self.method.value,
+                "initials": ([list(i) if i else None for i in self.initials]
+                             if self.initials is not None else None),
+                "tol": self.tol, "max_iterations": self.max_iterations,
+                "retry_reseed": self.retry_reseed}
+
+    def run(self) -> Dict[str, Any]:
+        from ..core.evaluate import StageEvaluator, prime_evaluators
+        from ..core.optimize import optimize_repeater_many
+
+        evaluators = [StageEvaluator(line, self.driver, self.f)
+                      for line in self.lines]
+        seeds = []
+        for i, line in enumerate(self.lines):
+            init = self.initials[i] if self.initials is not None else None
+            if init is None:
+                rc_ref = rc_optimum(line, self.driver)
+                seeds.append((rc_ref.h_opt, rc_ref.k_opt))
+            else:
+                seeds.append((init[0], init[1]))
+        primed = prime_evaluators(evaluators, seeds)
+
+        kwargs = dict(method=self.method, tol=self.tol,
+                      max_iterations=self.max_iterations)
+        outcomes = optimize_repeater_many(
+            self.lines, self.driver, self.f, initials=seeds,
+            evaluators=evaluators, **kwargs)
+        results: list = []
+        errors: list = []
+        for i, outcome in enumerate(outcomes):
+            user_init = (self.initials[i] if self.initials is not None
+                         else None)
+            retried = False
+            if (isinstance(outcome, OptimizationError)
+                    and self.retry_reseed and user_init is not None):
+                # Re-seed from the RC optimum once before giving up, on
+                # the same (already warm) evaluator — the per-lane twin
+                # of OptimizeJob's retry.
+                rc_ref = rc_optimum(self.lines[i], self.driver)
+                try:
+                    outcome = optimize_repeater(
+                        self.lines[i], self.driver, self.f,
+                        initial=(rc_ref.h_opt, rc_ref.k_opt),
+                        evaluator=evaluators[i], **kwargs)
+                    retried = True
+                except Exception as exc:  # noqa: BLE001 — lane isolation
+                    outcome = exc
+            if isinstance(outcome, Exception):
+                results.append(None)
+                errors.append({"lane": i,
+                               "error_type": type(outcome).__name__,
+                               "error": str(outcome)})
+                continue
+            results.append(_optimum_payload(outcome, retried))
+        ok = [i for i, res in enumerate(results) if res is not None]
+        best_index = (min(ok, key=lambda i: results[i]["delay_per_length"])
+                      if ok else None)
+        return {"n": len(self),
+                "results": results,
+                "errors": errors,
+                "best_index": best_index,
+                "seeds_primed": primed}
+
+    def summary(self, result: Dict[str, Any]) -> str:
+        failed = len(result["errors"])
+        best = result["best_index"]
+        if best is None:
+            return f"{result['n']} lanes, all failed"
+        dpl = result["results"][best]["delay_per_length"]
+        return (f"{result['n']} lanes ({failed} failed) "
+                f"best[{best}] tau/h={dpl:.6g}s/m")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchOptimizeJob":
+        initials = data.get("initials")
+        return cls(driver=driver_from_dict(data["driver"]),
+                   lines=tuple(line_from_dict(d) for d in data["lines"]),
+                   f=float(data.get("f", 0.5)),
+                   method=OptimizerMethod(data.get("method", "auto")),
+                   initials=(tuple(
+                       tuple(float(x) for x in i) if i else None
+                       for i in initials) if initials is not None else None),
                    tol=float(data.get("tol", 1e-9)),
                    max_iterations=int(data.get("max_iterations", 200)),
                    retry_reseed=bool(data.get("retry_reseed", True)))
@@ -402,7 +578,10 @@ class SweepJob:
                 "rc_reference": {"h_opt": sweep.rc_reference.h_opt,
                                  "k_opt": sweep.rc_reference.k_opt,
                                  "tau_opt": sweep.rc_reference.tau_opt},
-                "threshold": sweep.threshold}
+                "threshold": sweep.threshold,
+                "methods": list(sweep.methods or ()),
+                "fallback_points": jsonify(sweep.fallback_points),
+                "backtrack_steps": sweep.backtrack_steps}
 
     def summary(self, result: Dict[str, Any]) -> str:
         dpl = result["delay_per_length"]

@@ -22,6 +22,8 @@ class JobMetrics:
     failed: bool
     newton_iterations: int    #: solver iterations reported by the result
     retried: bool             #: recovered via the RC-optimum re-seed
+    fallbacks: int = 0        #: Newton -> direct fallbacks in the traces
+    backtracks: int = 0       #: Newton backtracking halvings in the traces
 
 
 def iterations_of(result: Dict[str, Any]) -> int:
@@ -31,6 +33,30 @@ def iterations_of(result: Dict[str, Any]) -> int:
         if isinstance(value, int):
             return value
     return 0
+
+
+def trace_counts_of(result: Dict[str, Any]) -> tuple:
+    """(fallbacks, backtracks) summed over the optimization traces a
+    result payload carries — its own ``trace`` (OptimizeJob), per-lane
+    ``results[i]["trace"]`` entries (BatchOptimizeJob), or a sweep's
+    pre-aggregated ``fallback_points``/``backtrack_steps`` columns."""
+    traces = []
+    if isinstance(result.get("trace"), dict):
+        traces.append(result["trace"])
+    for lane in result.get("results") or []:
+        if isinstance(lane, dict) and isinstance(lane.get("trace"), dict):
+            traces.append(lane["trace"])
+    fallbacks = sum(
+        1 for trace in traces
+        if any(event.get("kind") == "fallback"
+               for event in trace.get("events", [])))
+    backtracks = sum(int(step.get("backtracks", 0)) for trace in traces
+                     for step in trace.get("steps", []))
+    if not traces:
+        fallbacks = len(result.get("fallback_points") or [])
+        value = result.get("backtrack_steps")
+        backtracks = value if isinstance(value, int) else 0
+    return fallbacks, backtracks
 
 
 @dataclass
@@ -45,6 +71,8 @@ class BatchMetrics:
     evaluation_time: float = 0.0     #: sum of per-job evaluation times
     newton_iterations: int = 0
     retries: int = 0
+    newton_fallbacks: int = 0        #: Newton -> direct fallback events
+    backtrack_steps: int = 0         #: Newton backtracking halvings
     workers: int = 1
     per_job: List[JobMetrics] = field(default_factory=list)
 
@@ -61,6 +89,8 @@ class BatchMetrics:
         self.newton_iterations += job_metrics.newton_iterations
         if job_metrics.retried:
             self.retries += 1
+        self.newton_fallbacks += job_metrics.fallbacks
+        self.backtrack_steps += job_metrics.backtracks
 
     @property
     def jobs_succeeded(self) -> int:
@@ -83,6 +113,8 @@ class BatchMetrics:
             f"time: {self.wall_time:.3f}s wall, "
             f"{self.evaluation_time:.3f}s evaluating",
             f"solver: {self.newton_iterations} iterations, "
+            f"{self.newton_fallbacks} direct fallbacks, "
+            f"{self.backtrack_steps} backtracking steps, "
             f"{self.retries} RC re-seed retries",
         ]
         return "\n".join(lines)

@@ -100,6 +100,7 @@ def run_miller(node_name: str = "100nm", l_nh: float = 1.0,
     headers = ["miller factor", "c (pF/m)", "h_opt (mm)", "k_opt",
                "delay/len (ps/mm)"]
     rows = []
+    solver_log = []
     for miller in miller_factors:
         breakdown = total_capacitance(wire, node.epsilon_r,
                                       miller_factor=float(miller))
@@ -109,6 +110,10 @@ def run_miller(node_name: str = "100nm", l_nh: float = 1.0,
         rows.append([float(miller), units.to_pf_per_m(breakdown.total),
                      units.to_mm(optimum.h_opt), optimum.k_opt,
                      optimum.delay_per_length * 1e9])
+        entry = {"miller": float(miller), "method": optimum.method.value}
+        if optimum.trace is not None:
+            entry.update(optimum.trace.summary())
+        solver_log.append(entry)
     spread = rows[-1][1] / rows[0][1]
     notes = [
         f"effective c swings {spread:.1f}x across the Miller range for "
@@ -120,7 +125,8 @@ def run_miller(node_name: str = "100nm", l_nh: float = 1.0,
     return ExperimentResult(
         experiment_id="ext_miller",
         title="Repeater optimum vs Miller capacitance factor (extension)",
-        headers=headers, rows=rows, notes=notes)
+        headers=headers, rows=rows, notes=notes,
+        data={"optimizer": solver_log})
 
 
 @experiment("ext_skin", "Skin-effect resistance of Table 1 wires (extension)")
@@ -179,11 +185,14 @@ def run_power(node_name: str = "100nm", l_nh: float = 1.0,
         "capping power lengthens segments and shrinks repeaters; the "
         "delay penalty grows steeply below ~70% of the optimal power",
     ]
+    solver = {"method": unconstrained.method.value}
+    if unconstrained.trace is not None:
+        solver.update(unconstrained.trace.summary())
     return ExperimentResult(
         experiment_id="ext_power",
         title="Power-delay trade-off of repeater insertion (extension)",
         headers=headers, rows=rows, notes=notes,
-        data={"full_power": full_power})
+        data={"full_power": full_power, "optimizer": solver})
 
 
 @experiment("ext_sensitivity",
@@ -209,9 +218,12 @@ def run_sensitivity(node_name: str = "100nm",
         "the l elasticity quantifies Sec. 3.2's variation argument at one "
         "operating point",
     ]
+    solver = {"method": optimum.method.value}
+    if optimum.trace is not None:
+        solver.update(optimum.trace.summary())
     return ExperimentResult(
         experiment_id="ext_sensitivity",
         title=f"Delay elasticities at the {node.name} RLC optimum "
               "(extension)",
         headers=headers, rows=rows, notes=notes,
-        data={"sensitivities": sens})
+        data={"sensitivities": sens, "optimizer": solver})

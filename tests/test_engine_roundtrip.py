@@ -74,8 +74,9 @@ class TestSpecRoundTrip:
 
 class TestRegistry:
     def test_all_kinds_registered(self):
-        assert set(JOB_TYPES) == {"delay", "batch_delay", "optimize", "sweep",
-                                  "transient", "experiment", "verify"}
+        assert set(JOB_TYPES) == {"delay", "batch_delay", "optimize",
+                                  "batch_optimize", "sweep", "transient",
+                                  "experiment", "verify"}
         assert JOB_TYPES["verify"] is VerifyJob
 
     def test_unknown_kind_error_lists_known(self):

@@ -1,0 +1,105 @@
+"""Property tests for the kernel-backed optimizer stack (Hypothesis).
+
+Two invariant families from the refactor's contract:
+
+* **Bitwise lane equivalence** — a lane of the 3-lane batched residual
+  evaluation (base + both finite-difference probes, exactly what the
+  Newton inner loop submits) matches the scalar
+  :func:`repro.core.optimize.stationarity_residuals` reference
+  bit-for-bit, across all damping regimes and for both float and
+  ``np.float64`` operand classes (the two scalar-semantics replicas).
+  Exactly-critical poles are NaN in both paths.
+* **Trace shape** — every optimization run carries a trace whose
+  iteration indices are contiguous from 0, and whose ``fallback`` event
+  appears exactly when the AUTO dispatcher actually fell back to the
+  direct method.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.evaluate import StageEvaluator
+from repro.core.optimize import (OptimizerMethod, optimize_repeater,
+                                 stationarity_residuals)
+from repro.errors import (DelaySolverError, OptimizationError,
+                          ParameterError)
+
+from tests.strategies import regime_stages, thresholds
+
+
+def _equal_or_both_nan(a, b):
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+def _assert_lane_matches_scalar(stage, f, wrap):
+    """One evaluator lane vs the scalar reference, same operand classes."""
+    h, k = wrap(stage.h), wrap(stage.k)
+    evaluator = StageEvaluator(stage.line, stage.driver, f)
+    try:
+        expected = stationarity_residuals(stage.line, stage.driver, h, k, f)
+    except (DelaySolverError, ParameterError) as error:
+        with pytest.raises(type(error)):
+            evaluator.evaluate_many(
+                [(h, k), (h * (1 + 1e-6), k), (h, k * (1 + 1e-6))])
+        return
+    base, _, _ = evaluator.evaluate_many(
+        [(h, k), (h * (1 + 1e-6), k), (h, k * (1 + 1e-6))])
+    for got, want in zip(base[:3], expected):
+        assert _equal_or_both_nan(got, want), (got, want)
+
+
+class TestBatchedResidualsBitwise:
+    @given(stage=regime_stages, f=thresholds)
+    @settings(max_examples=50, deadline=None)
+    def test_float_lane_matches_scalar(self, stage, f):
+        _assert_lane_matches_scalar(stage, f, float)
+
+    @given(stage=regime_stages, f=thresholds)
+    @settings(max_examples=50, deadline=None)
+    def test_numpy_lane_matches_scalar(self, stage, f):
+        # np.float64 (h, k) flips both scalar-semantics deciders: the
+        # scalar chain runs numpy's reciprocal-style complex division,
+        # and the batched replica must follow it bit-for-bit.
+        _assert_lane_matches_scalar(stage, f, np.float64)
+
+    @given(stage=regime_stages, f=thresholds)
+    @settings(max_examples=25, deadline=None)
+    def test_lane_values_are_batch_size_invariant(self, stage, f):
+        h, k = float(stage.h), float(stage.k)
+        solo = StageEvaluator(stage.line, stage.driver, f)
+        padded = StageEvaluator(stage.line, stage.driver, f)
+        try:
+            alone = solo.evaluate(h, k)
+        except (DelaySolverError, ParameterError):
+            return
+        among = padded.evaluate_many(
+            [(2.0 * h, k), (h, k), (h, 3.0 * k)])[1]
+        for got, want in zip(among, alone):
+            assert _equal_or_both_nan(got, want), (got, want)
+
+
+class TestTraceShape:
+    @given(stage=regime_stages, f=thresholds)
+    @settings(max_examples=15, deadline=None)
+    def test_trace_invariants_under_auto(self, stage, f):
+        try:
+            optimum = optimize_repeater(stage.line, stage.driver, f)
+        except (OptimizationError, DelaySolverError, ParameterError):
+            return
+        trace = optimum.trace
+        assert trace is not None
+        assert trace.steps, "every successful run records steps"
+        assert [s.iteration for s in trace.steps] == \
+            list(range(len(trace.steps)))
+        assert trace.steps[0].step_scale is None
+        fell_back = any(e.kind == "fallback" for e in trace.events)
+        assert fell_back == (optimum.method is OptimizerMethod.DIRECT)
+        assert trace.lanes_evaluated > 0
+        assert trace.batch_calls > 0
+        assert trace.backtrack_total == \
+            sum(s.backtracks for s in trace.steps)
+        payload = trace.to_payload()
+        assert len(payload["steps"]) == len(trace.steps)

@@ -16,7 +16,7 @@ on, asserted over the shared physically-valid strategy space
 import math
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro import (OptimizationError, OptimizerMethod, compute_moments,
@@ -70,7 +70,11 @@ class TestElmoreIsOverdampedLimit:
 
     @given(stage=rc_stages, f=st.floats(min_value=0.3, max_value=0.9),
            r_s_scale=st.floats(min_value=4.0, max_value=50.0))
-    @settings(max_examples=50, deadline=None)
+    # The two zeta assumes below discard most draws by design (only
+    # well-separated-pole stages are in scope); without the suppression
+    # the filter_too_much health check trips on unlucky random seeds.
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
     def test_agreement_improves_as_poles_separate(self, stage, f,
                                                   r_s_scale):
         # A larger driver resistance separates the poles (b1 grows
