@@ -17,17 +17,19 @@ runner both submit their work through it.
 from .cache import CacheStats, ResultCache, code_version_salt, \
     default_cache_dir
 from .executor import BatchExecutor, BatchReport, JobOutcome
-from .jobs import (JOB_TYPES, BatchDelayJob, BatchOptimizeJob, DelayJob,
-                   ExperimentJob, OptimizeJob, SweepJob, TransientJob,
-                   job_from_dict, job_to_dict, register_job_type)
+from .jobs import (JOB_TYPES, BatchDelayJob, BatchOptimizeJob,
+                   CriticalInductanceJob, DelayJob, ExperimentJob,
+                   OptimizeJob, SweepJob, TransientJob, job_from_dict,
+                   job_to_dict, register_job_type)
 from .manifest import ManifestError, load_manifest
-from .metrics import BatchMetrics, JobMetrics
+from .metrics import BatchMetrics, JobMetrics, latency_percentiles
 
 __all__ = [
     "BatchDelayJob", "BatchExecutor", "BatchMetrics", "BatchOptimizeJob",
-    "BatchReport", "CacheStats",
+    "BatchReport", "CacheStats", "CriticalInductanceJob",
     "DelayJob", "ExperimentJob", "JOB_TYPES", "JobMetrics", "JobOutcome",
     "ManifestError", "OptimizeJob", "ResultCache", "SweepJob",
     "TransientJob", "code_version_salt", "default_cache_dir",
-    "job_from_dict", "job_to_dict", "load_manifest", "register_job_type",
+    "job_from_dict", "job_to_dict", "latency_percentiles",
+    "load_manifest", "register_job_type",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -94,16 +95,25 @@ class ResultCache:
     def get(self, job: Any) -> Optional[Dict[str, Any]]:
         """Return the cached result dict for ``job``, or ``None`` on miss.
 
-        Unreadable or corrupt records count as misses and are ignored
-        (the next ``put`` overwrites them).
+        A record that exists but cannot be parsed — torn JSON from a
+        killed writer or a full disk, or a record missing its ``result``
+        field — counts as a miss *and is unlinked*, so a corrupt file
+        never shadows the healthy record a later ``put`` writes.
         """
         path = self.path_for(self.key(job))
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
             result = record["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, ValueError, KeyError):
             self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return result
@@ -115,10 +125,22 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         record = {"key": key, "salt": self.salt,
                   "job": job_to_dict(job), "result": result}
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(record, handle, sort_keys=True)
-        os.replace(tmp, path)
+        # The temp name must be unique per *writer*, not just per
+        # process: concurrent threads sharing one name would interleave
+        # writes into one inode and os.replace could promote a torn
+        # record.  mkstemp gives every writer its own file.
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{key[:8]}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return key
 
     # ------------------------------------------------------------------

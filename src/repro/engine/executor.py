@@ -3,8 +3,12 @@
 The executor turns a sequence of job specs into an ordered sequence of
 :class:`JobOutcome` records.  Guarantees:
 
-* **Determinism** — results are collected in submission order and contain
-  no wall-clock data, so ``jobs=4`` is bitwise identical to ``jobs=1``.
+* **Determinism** — results are collected in submission order and the
+  result payloads contain no wall-clock data, so ``jobs=4`` is bitwise
+  identical to ``jobs=1``.  The ``wall_time`` the ``_execute_job``
+  envelope carries is *metrics-only*: it feeds ``JobMetrics`` and never
+  enters the cached payload, ``JobOutcome.to_payload()`` or result
+  equality (asserted by ``tests/test_engine_executor.py``).
 * **Fault isolation** — a job that raises (``OptimizationError``,
   convergence failure, bad parameters, ...) is reported failed with its
   captured traceback; the rest of the batch completes.  The bounded

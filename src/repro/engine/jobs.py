@@ -29,6 +29,7 @@ from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
 import numpy as np
 
+from ..core.critical import critical_inductance
 from ..core.delay import threshold_delay
 from ..core.elmore import rc_optimum
 from ..core.optimize import OptimizerMethod, optimize_repeater
@@ -286,6 +287,54 @@ class BatchDelayJob:
                    f=float(data.get("f", 0.5)),
                    polish_with_newton=bool(
                        data.get("polish_with_newton", False)))
+
+
+@register_job_type
+@dataclass(frozen=True)
+class CriticalInductanceJob:
+    """Eq. 4 critical-inductance query of one (h, k) configuration.
+
+    Returns the line inductance per unit length that would make the
+    stage critically damped, plus the damping margin ``l / l_crit`` of
+    the stage's *actual* inductance (``None`` when ``l_crit <= 0``,
+    i.e. the configuration is underdamped even at l = 0).  The scalar
+    :func:`repro.core.critical.critical_inductance` and the batched
+    :func:`repro.core.kernels.critical_inductance_v` share one
+    expression graph, so the serve layer may answer this job from a
+    vectorized batch bitwise identically to ``run()``.
+    """
+
+    kind: ClassVar[str] = "critical_inductance"
+
+    line: LineParams
+    driver: DriverParams
+    h: float
+    k: float
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "line": line_to_dict(self.line),
+                "driver": driver_to_dict(self.driver),
+                "h": self.h, "k": self.k}
+
+    def run(self) -> Dict[str, Any]:
+        stage = Stage(line=self.line, driver=self.driver, h=self.h, k=self.k)
+        l_crit = critical_inductance(stage)
+        margin = (self.line.l / l_crit) if l_crit > 0.0 else None
+        return {"l_crit": l_crit, "l": self.line.l,
+                "damping_margin": margin}
+
+    def summary(self, result: Dict[str, Any]) -> str:
+        margin = result["damping_margin"]
+        margin_text = f"{margin:.4g}" if margin is not None else "inf"
+        return (f"l_crit={result['l_crit']:.6g}H/m "
+                f"margin={margin_text}")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CriticalInductanceJob":
+        return cls(line=line_from_dict(data["line"]),
+                   driver=driver_from_dict(data["driver"]),
+                   h=float(data["h"]), k=float(data["k"]))
 
 
 def _optimum_payload(optimum, retried: bool) -> Dict[str, Any]:

@@ -8,8 +8,32 @@ accounting and failure counts live here.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
+
+#: Percentiles reported by :func:`latency_percentiles`, in order.
+LATENCY_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def latency_percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank p50/p95/p99 of a latency sample set (``{}`` if empty).
+
+    The one shared definition of "latency percentile" in the codebase:
+    :meth:`BatchMetrics.format_summary` feeds it per-job wall times and
+    the serve layer's ``ServerMetrics`` feeds it per-request latencies,
+    so a ``repro-batch`` footer and a ``/metrics`` response are directly
+    comparable.  Nearest-rank (ceil(p*n)) on the sorted samples: exact,
+    monotone in p, and never interpolates a latency nobody observed.
+    """
+    values = sorted(float(sample) for sample in samples)
+    if not values:
+        return {}
+    picks: Dict[str, float] = {}
+    for p in LATENCY_PERCENTILES:
+        rank = min(len(values) - 1, max(0, math.ceil(p * len(values)) - 1))
+        picks[f"p{int(round(100 * p))}"] = values[rank]
+    return picks
 
 
 @dataclass(frozen=True)
@@ -117,4 +141,14 @@ class BatchMetrics:
             f"{self.backtrack_steps} backtracking steps, "
             f"{self.retries} RC re-seed retries",
         ]
+        percentiles = latency_percentiles(
+            [job.wall_time for job in self.per_job])
+        if percentiles:
+            # Cache hits count at their true ~0 s latency, matching how
+            # the serve layer reports hit-path response times.
+            lines.append(
+                "latency: " + " ".join(
+                    f"{name}={value:.4g}s"
+                    for name, value in percentiles.items())
+                + " (per-job wall time)")
         return "\n".join(lines)

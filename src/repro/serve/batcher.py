@@ -1,0 +1,248 @@
+"""Dynamic micro-batching: coalesce concurrent requests into one batch.
+
+The :class:`DynamicBatcher` is the serve layer's answer to the kernel
+layer's economics: a vectorized ``threshold_delay_v`` call amortizes its
+fixed cost over every lane, but interactive requests arrive one at a
+time.  Each request class owns one batcher; admitted jobs queue as
+*lanes* and a single drain task turns the queue into batches under a
+max-batch-size / max-linger policy, hands each batch to a (blocking)
+batch evaluator on an executor thread, and fans the per-lane envelopes
+back to per-request futures.
+
+Policy, in order of precedence:
+
+* a batch is dispatched as soon as ``max_batch_size`` lanes are queued;
+* otherwise the first queued lane waits at most ``max_linger`` seconds
+  for company (the latency the slowest rider pays for batching);
+* on ``close()`` lingering is abandoned and the queue is flushed —
+  every admitted lane still completes (graceful drain), while new
+  submissions are refused with :class:`ServiceClosedError`.
+
+Admission control is a bounded queue: when ``max_queue_depth`` lanes
+are already waiting, ``submit`` raises :class:`QueueFullError`
+immediately (the 429 path) instead of building an unbounded backlog.
+Per-request deadlines are enforced at dispatch time: a lane whose
+deadline passed while it queued is expired with
+:class:`DeadlineExceededError` and never evaluated.
+
+Fault isolation is per lane: evaluators return one envelope per job
+(``{"ok": True, "result": ...}`` or ``{"ok": False, "error": ...,
+"error_type": ...}``), so one diverging optimization fails only its own
+future.  An evaluator that raises outright fails exactly the lanes of
+its batch — never the queue behind it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from .protocol import (DeadlineExceededError, EvaluationFailedError,
+                       QueueFullError, ServiceClosedError)
+
+#: Default maximum lanes per dispatched batch.
+DEFAULT_MAX_BATCH_SIZE = 64
+
+#: Default seconds the first queued lane waits for company.
+DEFAULT_MAX_LINGER = 0.005
+
+#: Default admission-control bound on queued (not yet dispatched) lanes.
+DEFAULT_MAX_QUEUE_DEPTH = 1024
+
+
+@dataclass
+class _Lane:
+    """One queued request: its job, its future, and its deadline."""
+
+    job: Any
+    future: "asyncio.Future[Tuple[Dict[str, Any], int]]"
+    enqueued_at: float
+    deadline: Optional[float]
+
+
+class DynamicBatcher:
+    """Queue of one request class, drained into batched evaluations.
+
+    Parameters
+    ----------
+    kind:
+        Request-class label (used in error messages and metrics).
+    evaluate:
+        Blocking callable ``(jobs) -> [envelope, ...]`` run on an
+        executor thread; must return exactly one envelope per job, in
+        order.
+    max_batch_size / max_linger / max_queue_depth:
+        The batching policy (see module docstring).
+    on_batch:
+        Optional ``(kind, size)`` callback fired per dispatched batch —
+        the metrics registry's batch-size histogram hook.
+    """
+
+    def __init__(self, kind: str,
+                 evaluate: Callable[[Sequence[Any]], List[Dict[str, Any]]],
+                 *, max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+                 max_linger: float = DEFAULT_MAX_LINGER,
+                 max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+                 on_batch: Optional[Callable[[str, int], None]] = None
+                 ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_linger < 0.0:
+            raise ValueError(f"max_linger must be >= 0, got {max_linger}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.kind = kind
+        self.max_batch_size = max_batch_size
+        self.max_linger = max_linger
+        self.max_queue_depth = max_queue_depth
+        self.on_batch = on_batch
+        self._evaluate = evaluate
+        self._pending: Deque[_Lane] = deque()
+        self._wakeup: Optional[asyncio.Event] = None
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Lanes admitted but not yet dispatched into a batch."""
+        return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+    async def submit(self, job: Any, *, timeout: Optional[float] = None
+                     ) -> Tuple[Dict[str, Any], int]:
+        """Queue ``job`` and await its result.
+
+        Returns ``(result_dict, batch_size)`` where ``batch_size`` is
+        the number of lanes evaluated together with this one.  Raises
+        :class:`QueueFullError`, :class:`DeadlineExceededError`,
+        :class:`EvaluationFailedError` or :class:`ServiceClosedError`.
+        """
+        if self._closed:
+            raise ServiceClosedError(
+                f"{self.kind} batcher is draining; request refused")
+        if len(self._pending) >= self.max_queue_depth:
+            raise QueueFullError(
+                f"{self.kind} queue is full "
+                f"({self.max_queue_depth} requests pending)")
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        lane = _Lane(job=job, future=loop.create_future(), enqueued_at=now,
+                     deadline=(now + timeout) if timeout is not None
+                     else None)
+        self._pending.append(lane)
+        self._ensure_draining()
+        assert self._wakeup is not None
+        self._wakeup.set()
+        return await lane.future
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Graceful drain: refuse new work, flush every admitted lane.
+
+        Idempotent.  Returns once the queue is empty and the in-flight
+        batch (if any) has fanned out — no admitted request is ever
+        dropped silently.
+        """
+        self._closed = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    def _ensure_draining(self) -> None:
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain_loop())
+
+    # ------------------------------------------------------------------
+    # The drain loop.
+    # ------------------------------------------------------------------
+    async def _drain_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        wakeup = self._wakeup
+        assert wakeup is not None
+        while True:
+            if not self._pending:
+                if self._closed:
+                    return
+                wakeup.clear()
+                if self._pending or self._closed:
+                    continue  # raced with a submit/close between checks
+                await wakeup.wait()
+                continue
+
+            # Linger: wait for company until the batch fills, the first
+            # lane's linger budget runs out, or the batcher is closing.
+            linger_until = self._pending[0].enqueued_at + self.max_linger
+            while (len(self._pending) < self.max_batch_size
+                   and not self._closed):
+                remaining = linger_until - loop.time()
+                if remaining <= 0.0:
+                    break
+                wakeup.clear()
+                try:
+                    await asyncio.wait_for(wakeup.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+
+            size = min(self.max_batch_size, len(self._pending))
+            lanes = [self._pending.popleft() for _ in range(size)]
+            now = loop.time()
+            live: List[_Lane] = []
+            for lane in lanes:
+                if lane.future.done():  # waiter went away (cancelled)
+                    continue
+                if lane.deadline is not None and now > lane.deadline:
+                    lane.future.set_exception(DeadlineExceededError(
+                        f"{self.kind} request expired after "
+                        f"{now - lane.enqueued_at:.3f}s in queue "
+                        f"(timeout {lane.deadline - lane.enqueued_at:.3f}s)"))
+                    continue
+                live.append(lane)
+            if not live:
+                continue
+
+            if self.on_batch is not None:
+                self.on_batch(self.kind, len(live))
+            try:
+                envelopes = await loop.run_in_executor(
+                    None, self._evaluate, [lane.job for lane in live])
+                if len(envelopes) != len(live):
+                    raise RuntimeError(
+                        f"{self.kind} evaluator returned "
+                        f"{len(envelopes)} envelopes for {len(live)} jobs")
+            except Exception as exc:  # noqa: BLE001 — fail this batch only
+                for lane in live:
+                    if not lane.future.done():
+                        lane.future.set_exception(EvaluationFailedError(
+                            f"{self.kind} batch evaluation failed: {exc}",
+                            error_type=type(exc).__name__))
+                continue
+            for lane, envelope in zip(live, envelopes):
+                if lane.future.done():
+                    continue
+                if envelope.get("ok"):
+                    lane.future.set_result(
+                        (envelope["result"], len(live)))
+                else:
+                    lane.future.set_exception(EvaluationFailedError(
+                        envelope.get("error", "evaluation failed"),
+                        error_type=envelope.get("error_type")))

@@ -1,0 +1,134 @@
+"""Serving-throughput benchmark: micro-batched vs batch-size-1 serving.
+
+The experiment mirrors an inference server's canonical claim: take one
+stream of N concurrent single-point requests and serve it twice through
+the *same* :class:`~repro.serve.service.ReproService` machinery — once
+with micro-batching enabled (``max_batch_size >= N``) and once degraded
+to ``max_batch_size=1`` (every request evaluated solo through the scalar
+path, which is exactly what N independent ``DelayJob.run()`` calls would
+cost).  The ratio of wall times is the dynamic batcher's throughput win;
+the kernel layer's scalar-vs-vector bitwise guarantee makes the two runs
+answer-identical, which ``benchmarks/test_bench_serve.py`` asserts.
+
+Used by both ``repro-serve bench`` and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import units
+from ..core.elmore import rc_optimum
+from ..engine.jobs import DelayJob
+from ..tech import NODE_100NM
+from .protocol import ServeRequest
+from .service import ReproService
+
+#: Linger generous enough that a burst submitted in one loop pass always
+#: coalesces; the burst fills the batch long before the linger expires.
+BENCH_LINGER = 0.05
+
+
+def build_delay_jobs(n: int) -> List[DelayJob]:
+    """N heterogeneous delay requests: an inductance grid at the 100 nm
+    node's RC-optimal sizing — the serving-shaped version of the kernel
+    benchmark's sweep."""
+    node = NODE_100NM
+    rc_ref = rc_optimum(node.line, node.driver)
+    l_values = np.linspace(0.0, 2.0 * units.NH_PER_MM, n)
+    return [DelayJob(line=node.line.with_inductance(float(l)),
+                     driver=node.driver, h=rc_ref.h_opt, k=rc_ref.k_opt)
+            for l in l_values]
+
+
+def serve_once(jobs: Sequence[Any], *, max_batch_size: int,
+               max_linger: float = BENCH_LINGER
+               ) -> Tuple[float, List[Dict[str, Any]], Dict[str, int]]:
+    """Serve every job concurrently through one fresh service.
+
+    Returns ``(wall_seconds, response_bodies, batch_size_histogram)``;
+    responses are in job order.  The cache is off so both benchmark arms
+    measure evaluation, not replay.
+    """
+
+    async def _run() -> Tuple[float, List[Dict[str, Any]], Dict[str, int]]:
+        service = ReproService(cache=None, max_batch_size=max_batch_size,
+                               max_linger=max_linger,
+                               max_queue_depth=max(len(jobs), 1))
+        start = time.perf_counter()
+        responses = await asyncio.gather(
+            *(service.submit(ServeRequest(job=job)) for job in jobs))
+        elapsed = time.perf_counter() - start
+        histogram = {f"{kind}:{size}": count
+                     for (kind, size), count in
+                     sorted(service.metrics.batch_sizes.items())}
+        await service.close()
+        return elapsed, list(responses), histogram
+
+    return asyncio.run(_run())
+
+
+def run_benchmark(n_requests: int = 256, *, reps: int = 3,
+                  max_batch_size: Optional[int] = None,
+                  max_linger: float = BENCH_LINGER) -> Dict[str, Any]:
+    """Time micro-batched vs batch-size-1 serving of one request stream.
+
+    Each arm reports its best-of-``reps`` wall time (the standard
+    defence against scheduler noise); the returned report carries both
+    arms' timings, throughputs, batch-size histograms and the speedup.
+    """
+    jobs = build_delay_jobs(n_requests)
+    batch_cap = max_batch_size if max_batch_size is not None else n_requests
+
+    # Untimed warmup: the first passes of a process pay numpy and
+    # thread-pool spin-up that neither serving mode should be billed
+    # for, and the spin-up cost scales with the lane count — so warm
+    # each arm once at full size before timing either.
+    serve_once(jobs, max_batch_size=batch_cap, max_linger=max_linger)
+    serve_once(jobs, max_batch_size=batch_cap, max_linger=max_linger)
+    serve_once(jobs, max_batch_size=1, max_linger=max_linger)
+
+    def best_of(cap: int) -> Tuple[float, List[Dict[str, Any]],
+                                   Dict[str, int]]:
+        best = float("inf")
+        responses: List[Dict[str, Any]] = []
+        histogram: Dict[str, int] = {}
+        for _ in range(reps):
+            elapsed, responses, histogram = serve_once(
+                jobs, max_batch_size=cap, max_linger=max_linger)
+            best = min(best, elapsed)
+        return best, responses, histogram
+
+    batched_seconds, batched_responses, batched_hist = best_of(batch_cap)
+    solo_seconds, solo_responses, solo_hist = best_of(1)
+
+    return {
+        "requests": n_requests,
+        "reps": reps,
+        "max_linger": max_linger,
+        "batched": {
+            "max_batch_size": batch_cap,
+            "seconds": batched_seconds,
+            "throughput_rps": n_requests / batched_seconds,
+            "batch_size_histogram": batched_hist,
+        },
+        "solo": {
+            "max_batch_size": 1,
+            "seconds": solo_seconds,
+            "throughput_rps": n_requests / solo_seconds,
+            "batch_size_histogram": solo_hist,
+        },
+        "speedup": solo_seconds / batched_seconds,
+        "_responses": {"batched": batched_responses,
+                       "solo": solo_responses},
+    }
+
+
+def strip_responses(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop the raw response bodies before persisting a report to JSON."""
+    return {key: value for key, value in report.items()
+            if key != "_responses"}

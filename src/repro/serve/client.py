@@ -1,0 +1,133 @@
+"""Small blocking HTTP client for ``repro-serve`` (stdlib only).
+
+Used by the test suite, the ``repro-serve request`` subcommand and any
+synchronous caller that wants to talk to a running server without
+pulling in an HTTP library.  One keep-alive connection is maintained and
+transparently re-established once if the server closed it between
+requests (the normal fate of idle keep-alive sockets).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+
+class ServeClientError(RuntimeError):
+    """A non-OK response; carries the HTTP status and the error body."""
+
+    def __init__(self, status: int, error: Dict[str, Any]) -> None:
+        code = error.get("code", "unknown")
+        message = error.get("message", "")
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.error = error
+
+
+class ServeClient:
+    """Blocking client bound to one ``repro-serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8451, *,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    @classmethod
+    def from_url(cls, url: str, *, timeout: float = 30.0) -> "ServeClient":
+        """Build a client from an ``http://host:port`` URL."""
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported URL scheme {parts.scheme!r}")
+        if not parts.hostname:
+            raise ValueError(f"URL {url!r} has no host")
+        return cls(parts.hostname, parts.port or 80, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None) -> Tuple[int, bytes]:
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+            try:
+                self._connection.request(
+                    method, path, body=body,
+                    headers={"Content-Type": "application/json"}
+                    if body is not None else {})
+                response = self._connection.getresponse()
+                payload = response.read()
+                return response.status, payload
+            except (http.client.RemoteDisconnected,
+                    http.client.BadStatusLine, BrokenPipeError,
+                    ConnectionResetError):
+                # Stale keep-alive socket: reconnect once, then give up.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _request_json(self, method: str, path: str,
+                      body: Optional[bytes] = None) -> Dict[str, Any]:
+        status, payload = self._request(method, path, body)
+        document = json.loads(payload.decode("utf-8"))
+        if status != 200 or (isinstance(document, dict)
+                             and document.get("ok") is False):
+            error = (document.get("error", {})
+                     if isinstance(document, dict) else {})
+            raise ServeClientError(status, error)
+        return document
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+    def evaluate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """POST one request; returns the success body or raises."""
+        body = json.dumps(request).encode("utf-8")
+        return self._request_json("POST", "/v1/evaluate", body)
+
+    def evaluate_many(self, requests: Sequence[Dict[str, Any]]
+                      ) -> List[Dict[str, Any]]:
+        """POST a JSON-lines body; returns one response body per request.
+
+        Per-request failures come back as ``{"ok": false, ...}`` entries
+        rather than raising, mirroring the batcher's per-lane fault
+        isolation.
+        """
+        body = ("\n".join(json.dumps(request) for request in requests)
+                + "\n").encode("utf-8")
+        status, payload = self._request("POST", "/v1/evaluate", body)
+        if status != 200:
+            document = json.loads(payload.decode("utf-8"))
+            raise ServeClientError(status, document.get("error", {}))
+        return [json.loads(line)
+                for line in payload.decode("utf-8").splitlines()
+                if line.strip()]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request_json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request_json("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -1,0 +1,138 @@
+"""Server-side observability: counters, histograms, latency percentiles.
+
+The :class:`ServerMetrics` registry is the serve twin of the engine's
+:class:`~repro.engine.metrics.BatchMetrics`: request counts by class and
+outcome, the dispatched batch-size histogram (the direct measure of how
+well micro-batching is coalescing traffic), cache accounting, and
+response-latency percentiles computed by the *same*
+:func:`repro.engine.metrics.latency_percentiles` helper the ``repro-batch``
+CLI footer uses — a ``/metrics`` scrape and a batch-run summary report
+latency identically.
+
+Latency samples are kept in a bounded ring (the most recent
+``LATENCY_WINDOW`` requests), so a long-running server's percentiles
+track current behaviour and memory stays O(1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional
+
+from ..engine.metrics import latency_percentiles
+
+#: Latency samples retained for the percentile window.
+LATENCY_WINDOW = 4096
+
+#: Outcome labels recorded per request.
+OUTCOMES = ("ok", "evaluation_failed", "bad_request", "queue_full",
+            "deadline_exceeded", "shutting_down", "internal")
+
+
+@dataclass
+class ServerMetrics:
+    """Mutable registry the service updates and ``/metrics`` renders."""
+
+    requests: Counter = field(default_factory=Counter)      #: by kind
+    outcomes: Counter = field(default_factory=Counter)      #: (kind, code)
+    cache_hits: Counter = field(default_factory=Counter)    #: by kind
+    cache_misses: Counter = field(default_factory=Counter)  #: by kind
+    batch_sizes: Counter = field(default_factory=Counter)   #: (kind, size)
+    batches: Counter = field(default_factory=Counter)       #: by kind
+    latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    # ------------------------------------------------------------------
+    # Recording (called by the service / batchers).
+    # ------------------------------------------------------------------
+    def record_request(self, kind: str) -> None:
+        self.requests[kind] += 1
+
+    def record_outcome(self, kind: str, code: str,
+                       latency: Optional[float] = None) -> None:
+        self.outcomes[(kind, code)] += 1
+        if latency is not None:
+            self.latencies.append(float(latency))
+
+    def record_cache(self, kind: str, hit: bool) -> None:
+        (self.cache_hits if hit else self.cache_misses)[kind] += 1
+
+    def record_batch(self, kind: str, size: int) -> None:
+        """Batch-size histogram hook wired into each DynamicBatcher."""
+        self.batches[kind] += 1
+        self.batch_sizes[(kind, int(size))] += 1
+
+    # ------------------------------------------------------------------
+    # Derived views.
+    # ------------------------------------------------------------------
+    @property
+    def requests_total(self) -> int:
+        return sum(self.requests.values())
+
+    def cache_hit_rate(self) -> float:
+        hits = sum(self.cache_hits.values())
+        lookups = hits + sum(self.cache_misses.values())
+        return hits / lookups if lookups else 0.0
+
+    def mean_batch_size(self, kind: Optional[str] = None) -> float:
+        """Average lanes per dispatched batch (optionally one class)."""
+        lanes = sum(size * count
+                    for (k, size), count in self.batch_sizes.items()
+                    if kind is None or k == kind)
+        batches = sum(count for k, count in self.batches.items()
+                      if kind is None or k == kind)
+        return lanes / batches if batches else 0.0
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/p99 over the rolling latency window (``{}`` if none)."""
+        return latency_percentiles(self.latencies)
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+    def to_payload(self, *, queue_depth: Optional[Dict[str, int]] = None
+                   ) -> Dict[str, Any]:
+        """JSON document served by ``GET /metrics``."""
+        payload: Dict[str, Any] = {
+            "requests_total": self.requests_total,
+            "requests": dict(self.requests),
+            "outcomes": {f"{kind}:{code}": count
+                         for (kind, code), count in
+                         sorted(self.outcomes.items())},
+            "cache": {
+                "hits": dict(self.cache_hits),
+                "misses": dict(self.cache_misses),
+                "hit_rate": self.cache_hit_rate(),
+            },
+            "batches": dict(self.batches),
+            "batch_size_histogram": {
+                f"{kind}:{size}": count
+                for (kind, size), count in sorted(self.batch_sizes.items())},
+            "mean_batch_size": self.mean_batch_size(),
+            "latency": self.latency_summary(),
+            "latency_samples": len(self.latencies),
+        }
+        if queue_depth is not None:
+            payload["queue_depth"] = dict(queue_depth)
+            payload["queue_depth_total"] = sum(queue_depth.values())
+        return payload
+
+    def format_summary(self) -> str:
+        """Human-readable footer printed when a server drains."""
+        lines = [
+            f"requests: {self.requests_total} total "
+            + " ".join(f"{kind}={count}"
+                       for kind, count in sorted(self.requests.items())),
+            f"batches: {sum(self.batches.values())} dispatched, "
+            f"mean size {self.mean_batch_size():.2f}",
+            f"cache: {sum(self.cache_hits.values())} hits / "
+            f"{sum(self.cache_misses.values())} misses "
+            f"({100.0 * self.cache_hit_rate():.1f}% hit rate)",
+        ]
+        percentiles = self.latency_summary()
+        if percentiles:
+            lines.append("latency: " + " ".join(
+                f"{name}={value:.4g}s"
+                for name, value in percentiles.items()))
+        return "\n".join(lines)

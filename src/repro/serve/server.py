@@ -1,0 +1,320 @@
+"""Stdlib-only asyncio HTTP front end for :class:`ReproService`.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
+— request line + headers + ``Content-Length`` body, keep-alive until the
+client closes or the server drains.  Endpoints:
+
+* ``POST /v1/evaluate`` — body is one request JSON object, *or* several
+  newline-delimited objects (JSON lines).  A JSON-lines body is
+  evaluated concurrently, which is exactly what lets the
+  :class:`~repro.serve.batcher.DynamicBatcher` coalesce it into one
+  kernel batch; the response mirrors the shape (single object in,
+  single object out; JSON lines in, JSON lines out, same order).
+* ``GET /metrics`` — the :class:`~repro.serve.metrics.ServerMetrics`
+  JSON document, including live per-class queue depths.
+* ``GET /healthz`` — liveness + drain state.
+
+Shutdown is graceful and never drops an accepted request: the listener
+closes, idle keep-alive connections are cancelled, connections busy in a
+handler finish their in-flight response, and finally the service drains
+its batchers (flushing every admitted lane).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Set, Tuple
+
+from .service import ReproService
+
+#: Largest accepted request body, in bytes.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reason phrases for the statuses this server emits.
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
+
+
+def _error_body(code: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+class _Connection:
+    """Book-keeping for one client connection (task + busy flag)."""
+
+    __slots__ = ("task", "busy")
+
+    def __init__(self, task: "asyncio.Task[Any]") -> None:
+        self.task = task
+        self.busy = False
+
+
+class ReproServer:
+    """HTTP shell around a :class:`ReproService`.
+
+    ``port=0`` binds an ephemeral port; the bound address is available
+    as :attr:`host`/:attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, service: ReproService, *, host: str = "127.0.0.1",
+                 port: int = 8451) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[_Connection] = set()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def shutdown(self) -> None:
+        """Stop accepting, finish in-flight requests, drain the service."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        # Idle keep-alive connections are parked in a read; cancel them.
+        # Busy ones observe _draining and close after their response.
+        for connection in list(self._connections):
+            if not connection.busy:
+                connection.task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *(connection.task for connection in self._connections),
+                return_exceptions=True)
+        await self.service.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        connection = _Connection(task)
+        self._connections.add(connection)
+        try:
+            while not self._draining:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body, parse_error = parsed
+                connection.busy = True
+                try:
+                    if parse_error is not None:
+                        status, payload = parse_error
+                    else:
+                        status, payload = await self._dispatch(
+                            method, path, body)
+                    keep_alive = (parse_error is None
+                                  and headers.get("connection", "")
+                                  .lower() != "close"
+                                  and not self._draining)
+                    await self._write_response(writer, status, payload,
+                                               keep_alive=keep_alive)
+                finally:
+                    connection.busy = False
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, ConnectionError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(connection)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, Dict[str, str],
+                                                bytes, Optional[tuple]]]:
+        """Parse one HTTP request; ``None`` on clean EOF.
+
+        The fifth element carries a ready-made error response for
+        malformed-but-answerable requests (oversized body, bad framing).
+        """
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, path, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2))
+        except ValueError:
+            return ("GET", "/", {}, b"",
+                    (400, _error_body("bad_request",
+                                      "malformed HTTP request line")))
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return (method, path, headers, b"",
+                    (400, _error_body("bad_request",
+                                      "unreadable Content-Length")))
+        if length > MAX_BODY_BYTES:
+            return (method, path, headers, b"",
+                    (413, _error_body("bad_request",
+                                      f"body exceeds {MAX_BODY_BYTES} "
+                                      f"bytes")))
+        body = await reader.readexactly(length) if length else b""
+        return (method.upper(), path, headers, body, None)
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, payload: bytes, *,
+                              keep_alive: bool) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                f"\r\n\r\n")
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes
+                        ) -> Tuple[int, bytes]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            depth = self.service.queue_depth()
+            status = "draining" if (self._draining or self.service.closed) \
+                else "ok"
+            return 200, _json_bytes({"status": status,
+                                     "queue_depth": sum(depth.values())})
+        if path == "/metrics" and method == "GET":
+            payload = self.service.metrics.to_payload(
+                queue_depth=self.service.queue_depth())
+            return 200, _json_bytes(payload)
+        if path == "/v1/evaluate":
+            if method != "POST":
+                return 405, _json_bytes(_error_body(
+                    "bad_request", "use POST for /v1/evaluate"))
+            return await self._evaluate(body)
+        return 404, _json_bytes(_error_body(
+            "not_found", f"no route for {method} {path}"))
+
+    async def _evaluate(self, body: bytes) -> Tuple[int, bytes]:
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            return 400, _json_bytes(_error_body(
+                "bad_request", "body is not valid UTF-8"))
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return 400, _json_bytes(_error_body(
+                "bad_request", "empty request body"))
+        try:
+            documents = [json.loads(line) for line in lines]
+        except json.JSONDecodeError as exc:
+            return 400, _json_bytes(_error_body(
+                "bad_request", f"body is not valid JSON: {exc}"))
+        if len(documents) == 1:
+            status, response = await self.service.handle(documents[0])
+            return status, _json_bytes(response)
+        # JSON lines: evaluate concurrently (this is what lets the
+        # batcher coalesce a multi-request body into one kernel batch).
+        outcomes = await asyncio.gather(
+            *(self.service.handle(document) for document in documents))
+        payload = "\n".join(json.dumps(response, sort_keys=True)
+                            for _status, response in outcomes) + "\n"
+        return 200, payload.encode("utf-8")
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Threaded harness (tests, CLI `request` smoke, benchmarks).
+# ----------------------------------------------------------------------
+class ServerThread:
+    """Run a :class:`ReproServer` on a dedicated event-loop thread.
+
+    The blocking-client world (tests, the CLI) talks to the server over
+    real sockets while the calling thread stays synchronous::
+
+        with ServerThread(ReproService()) as handle:
+            client = ServeClient.from_url(handle.url)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) performs the graceful
+    shutdown — in-flight requests finish, the batchers drain.
+    """
+
+    def __init__(self, service: ReproService, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.server = ReproServer(service, host=host, port=port)
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"serve thread failed to start: {self._startup_error}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None \
+                and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 — surface to starter
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()

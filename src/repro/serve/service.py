@@ -1,0 +1,337 @@
+"""The evaluation service: batch evaluators + cache + batchers + metrics.
+
+:class:`ReproService` is the in-process heart of ``repro-serve`` (the
+HTTP server in :mod:`repro.serve.server` is a thin shell around it, and
+the benchmark drives it directly).  One request flows::
+
+    parse_request -> cache lookup -> DynamicBatcher.submit
+                         |                 |
+                      hit: answer       batch evaluator (kernel layer)
+                      immediately          |
+                         <- cache put <- per-lane envelope
+
+The batch evaluators are where the serve layer meets the kernel layer:
+
+* ``delay`` batches assemble one :class:`~repro.core.kernels.StageBatch`
+  (heterogeneous lines/drivers/thresholds broadcast per lane) and run
+  :func:`~repro.core.kernels.threshold_delay_v`,
+* ``critical_inductance`` batches run
+  :func:`~repro.core.kernels.critical_inductance_v`,
+* ``optimize`` batches group lanes by shared (driver, f, method, tol,
+  max_iterations) and run each group's Newton loops in lockstep via
+  :func:`~repro.core.optimize.optimize_repeater_many`, replicating
+  :class:`~repro.engine.jobs.OptimizeJob`'s RC re-seed retry per lane.
+
+Every evaluator produces per-lane result dicts **bitwise identical** to
+the corresponding solo ``job.run()`` (the scalar-vs-vector guarantees of
+the kernel and evaluator layers) — except the optimize trace's execution
+counters, which describe the lockstep pooling itself (see
+:data:`EXACT_AT_ANY_BATCH_SIZE` for how the cache stays coherent with
+``repro-batch`` regardless).  A batch of one skips the vectorized path
+and calls ``job.run()`` directly — that scalar path is also the honest
+baseline the serve benchmark compares micro-batching against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.elmore import rc_optimum
+from ..core.kernels import (StageBatch, critical_inductance_v,
+                            threshold_delay_v)
+from ..core.optimize import optimize_repeater, optimize_repeater_many
+from ..engine.cache import ResultCache
+from ..engine.jobs import _optimum_payload
+from ..errors import OptimizationError
+from .batcher import (DEFAULT_MAX_BATCH_SIZE, DEFAULT_MAX_LINGER,
+                      DEFAULT_MAX_QUEUE_DEPTH, DynamicBatcher)
+from .metrics import ServerMetrics
+from .protocol import (REQUEST_JOB_TYPES, ServeError, ServeRequest,
+                       ServiceClosedError, encode_error, encode_result,
+                       parse_request)
+
+
+# ----------------------------------------------------------------------
+# Batch evaluators (blocking; run on an executor thread).
+# ----------------------------------------------------------------------
+def _solo_envelope(job: Any) -> Dict[str, Any]:
+    """Evaluate one job through its own ``run()`` with fault isolation."""
+    try:
+        return {"ok": True, "result": job.run()}
+    except Exception as exc:  # noqa: BLE001 — isolate any lane failure
+        return {"ok": False, "error": str(exc),
+                "error_type": type(exc).__name__}
+
+
+def _stage_batch(jobs: Sequence[Any]) -> StageBatch:
+    """Pack heterogeneous delay/critical jobs into one kernel batch."""
+    return StageBatch.from_arrays(
+        r=[job.line.r for job in jobs],
+        l=[job.line.l for job in jobs],
+        c=[job.line.c for job in jobs],
+        r_s=[job.driver.r_s for job in jobs],
+        c_p=[job.driver.c_p for job in jobs],
+        c_0=[job.driver.c_0 for job in jobs],
+        h=[job.h for job in jobs],
+        k=[job.k for job in jobs])
+
+
+def evaluate_delay_batch(jobs: Sequence[Any]) -> List[Dict[str, Any]]:
+    """N delay requests as one ``threshold_delay_v`` call.
+
+    Lane payloads match :meth:`repro.engine.jobs.DelayJob.run` bitwise
+    (polish is rejected at the protocol boundary, so every lane is the
+    unpolished kernel solve).  If the vectorized call refuses the batch
+    (one bad lane poisons batch validation), every lane falls back to
+    its solo scalar path so only the offending request fails.
+    """
+    if len(jobs) == 1:
+        return [_solo_envelope(jobs[0])]
+    try:
+        solved = threshold_delay_v(_stage_batch(jobs),
+                                   [job.f for job in jobs])
+    except Exception:  # noqa: BLE001 — isolate per lane via solo path
+        return [_solo_envelope(job) for job in jobs]
+    damping = solved.damping_values()
+    envelopes: List[Dict[str, Any]] = []
+    for i, job in enumerate(jobs):
+        tau = float(solved.tau[i])
+        envelopes.append({"ok": True, "result": {
+            "tau": tau,
+            "delay_per_length": tau / job.h,
+            "threshold": job.f,
+            "damping": damping[i].value,
+            "newton_iterations": 0}})
+    return envelopes
+
+
+def evaluate_critical_inductance_batch(jobs: Sequence[Any]
+                                       ) -> List[Dict[str, Any]]:
+    """N critical-inductance requests as one ``critical_inductance_v``.
+
+    Lane payloads match
+    :meth:`repro.engine.jobs.CriticalInductanceJob.run` bitwise — both
+    paths evaluate the same ``critical_inductance_terms`` expression
+    graph.
+    """
+    if len(jobs) == 1:
+        return [_solo_envelope(jobs[0])]
+    try:
+        l_crit = critical_inductance_v(_stage_batch(jobs))
+    except Exception:  # noqa: BLE001 — isolate per lane via solo path
+        return [_solo_envelope(job) for job in jobs]
+    envelopes: List[Dict[str, Any]] = []
+    for i, job in enumerate(jobs):
+        lc = float(l_crit[i])
+        margin = (job.line.l / lc) if lc > 0.0 else None
+        envelopes.append({"ok": True, "result": {
+            "l_crit": lc, "l": job.line.l, "damping_margin": margin}})
+    return envelopes
+
+
+def evaluate_optimize_batch(jobs: Sequence[Any]) -> List[Dict[str, Any]]:
+    """N optimize requests, lockstep-batched per shared configuration.
+
+    Lanes sharing (driver, f, method, tol, max_iterations) run their
+    Newton loops in lockstep through ``optimize_repeater_many`` —
+    per-lane results, traces and failures bitwise identical to solo
+    ``optimize_repeater`` — and each failed lane replays
+    ``OptimizeJob``'s RC re-seed retry before reporting its own error.
+    """
+    if len(jobs) == 1:
+        return [_solo_envelope(jobs[0])]
+    envelopes: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+    groups: Dict[Any, List[int]] = {}
+    for i, job in enumerate(jobs):
+        key = (job.driver, job.f, job.method, job.tol, job.max_iterations)
+        groups.setdefault(key, []).append(i)
+    for (driver, f, method, tol, max_iterations), indices in groups.items():
+        try:
+            outcomes = optimize_repeater_many(
+                [jobs[i].line for i in indices], driver, f, method=method,
+                initials=[jobs[i].initial for i in indices], tol=tol,
+                max_iterations=max_iterations)
+        except Exception:  # noqa: BLE001 — isolate per lane via solo path
+            for i in indices:
+                envelopes[i] = _solo_envelope(jobs[i])
+            continue
+        for i, outcome in zip(indices, outcomes):
+            job = jobs[i]
+            retried = False
+            if (isinstance(outcome, OptimizationError)
+                    and job.retry_reseed and job.initial is not None):
+                # The warm start failed: re-seed once from the RC
+                # optimum, exactly as the solo OptimizeJob.run does.
+                rc_ref = rc_optimum(job.line, job.driver)
+                try:
+                    outcome = optimize_repeater(
+                        job.line, job.driver, job.f,
+                        initial=(rc_ref.h_opt, rc_ref.k_opt),
+                        method=job.method, tol=job.tol,
+                        max_iterations=job.max_iterations)
+                    retried = True
+                except Exception as exc:  # noqa: BLE001 — lane isolation
+                    outcome = exc
+            if isinstance(outcome, Exception):
+                envelopes[i] = {"ok": False, "error": str(outcome),
+                                "error_type": type(outcome).__name__}
+            else:
+                envelopes[i] = {"ok": True,
+                                "result": _optimum_payload(outcome, retried)}
+    assert all(envelope is not None for envelope in envelopes)
+    return envelopes  # type: ignore[return-value]
+
+
+#: Blocking batch evaluator per served request class.
+EVALUATORS: Dict[str, Callable[[Sequence[Any]], List[Dict[str, Any]]]] = {
+    "delay": evaluate_delay_batch,
+    "critical_inductance": evaluate_critical_inductance_batch,
+    "optimize": evaluate_optimize_batch,
+}
+
+#: Kinds whose batched payloads are bitwise equal to solo ``job.run()``
+#: at any batch size, so the service may write them into the shared
+#: cache unconditionally.  Batched *optimize* lanes match solo runs in
+#: every optimum/step/event field, but the trace's execution counters
+#: (``lanes_evaluated``/``batch_calls``/``memo_hits``) describe the
+#: lockstep pooling itself and legitimately differ — those results are
+#: cached only when they were evaluated as a batch of one, keeping
+#: every record in the store bitwise replayable by the engine.
+EXACT_AT_ANY_BATCH_SIZE = frozenset({"delay", "critical_inductance"})
+
+
+# ----------------------------------------------------------------------
+# The service.
+# ----------------------------------------------------------------------
+class ReproService:
+    """Dynamic-batching evaluation service over the kernel layer.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`~repro.engine.cache.ResultCache`.  Hits are
+        answered without entering a batch; fresh successes are written
+        back under the engine's salt/schema versioning, so the store is
+        shared coherently with ``repro-batch``.
+    max_batch_size / max_linger / max_queue_depth:
+        Batching policy applied to every request class's batcher.
+    default_timeout:
+        Queue deadline (seconds) applied to requests that do not carry
+        their own ``timeout``; ``None`` means wait indefinitely.
+    metrics / evaluators:
+        Injection points for tests; default to a fresh
+        :class:`ServerMetrics` and the kernel-layer :data:`EVALUATORS`.
+    """
+
+    def __init__(self, *, cache: Optional[ResultCache] = None,
+                 max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+                 max_linger: float = DEFAULT_MAX_LINGER,
+                 max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+                 default_timeout: Optional[float] = None,
+                 metrics: Optional[ServerMetrics] = None,
+                 evaluators: Optional[Dict[str, Callable]] = None) -> None:
+        self.cache = cache
+        self.default_timeout = default_timeout
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        table = evaluators if evaluators is not None else EVALUATORS
+        self._batchers: Dict[str, DynamicBatcher] = {
+            kind: DynamicBatcher(
+                kind, table[kind], max_batch_size=max_batch_size,
+                max_linger=max_linger, max_queue_depth=max_queue_depth,
+                on_batch=self.metrics.record_batch)
+            for kind in REQUEST_JOB_TYPES if kind in table}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def queue_depth(self) -> Dict[str, int]:
+        """Current queued-lane count per request class."""
+        return {kind: batcher.queue_depth
+                for kind, batcher in self._batchers.items()}
+
+    # ------------------------------------------------------------------
+    # Request paths.
+    # ------------------------------------------------------------------
+    async def submit(self, request: ServeRequest) -> Dict[str, Any]:
+        """Evaluate one admitted request; returns the response body.
+
+        Raises the :class:`~repro.serve.protocol.ServeError` family on
+        every failure path (the caller maps them to responses).
+        """
+        start = time.perf_counter()
+        kind = request.kind
+        self.metrics.record_request(kind)
+        try:
+            if self._closed:
+                raise ServiceClosedError(
+                    "service is draining; request refused")
+            batcher = self._batchers.get(kind)
+            if batcher is None:
+                raise ServiceClosedError(
+                    f"no batcher serves request kind {kind!r}")
+
+            use_cache = self.cache is not None and not request.no_cache
+            if use_cache:
+                cached = self.cache.get(request.job)
+                self.metrics.record_cache(kind, hit=cached is not None)
+                if cached is not None:
+                    self.metrics.record_outcome(
+                        kind, "ok", time.perf_counter() - start)
+                    return encode_result(kind, cached, cache="hit",
+                                         batch_size=0)
+
+            timeout = (request.timeout if request.timeout is not None
+                       else self.default_timeout)
+            result, batch_size = await batcher.submit(request.job,
+                                                      timeout=timeout)
+            if use_cache and (kind in EXACT_AT_ANY_BATCH_SIZE
+                              or batch_size <= 1):
+                self.cache.put(request.job, result)
+            self.metrics.record_outcome(kind, "ok",
+                                        time.perf_counter() - start)
+            state = ("miss" if use_cache
+                     else "bypass" if request.no_cache and self.cache
+                     else "off")
+            return encode_result(kind, result, cache=state,
+                                 batch_size=batch_size)
+        except ServeError as exc:
+            self.metrics.record_outcome(kind, exc.code,
+                                        time.perf_counter() - start)
+            raise
+
+    async def handle(self, data: Any) -> tuple:
+        """Full protocol path: parse → submit → encode.
+
+        Never raises for protocol-visible failures; returns
+        ``(http_status, response_body)``.
+        """
+        try:
+            request = parse_request(data)
+        except ServeError as exc:
+            self.metrics.record_outcome("unknown", exc.code)
+            return encode_error(exc)
+        try:
+            return 200, await self.submit(request)
+        except ServeError as exc:
+            return encode_error(exc)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Graceful drain: stop admitting, flush every batcher.
+
+        Every request admitted before the call completes normally (its
+        waiter gets a result or an explicit error); later submissions
+        raise :class:`ServiceClosedError`.  Idempotent.
+        """
+        self._closed = True
+        await asyncio.gather(*(batcher.close()
+                               for batcher in self._batchers.values()))

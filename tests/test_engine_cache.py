@@ -1,6 +1,7 @@
 """Unit tests for the content-addressed result cache."""
 
 import json
+import threading
 
 import pytest
 
@@ -62,9 +63,77 @@ class TestStoreAndLookup:
         cache.path_for(key).write_text("{not json")
         assert cache.get(job) is None
 
+    def test_corrupt_record_is_unlinked(self, cache, job):
+        """A torn record must not shadow the next healthy ``put``."""
+        key = cache.put(job, {"h_opt": 1.0})
+        path = cache.path_for(key)
+        # Truncate mid-record: the half a killed writer would leave
+        # behind if os.replace were not atomic, or a full disk produced.
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert cache.get(job) is None
+        assert not path.exists()
+        assert cache.misses == 1
+        # The store heals on the next put/get cycle.
+        cache.put(job, {"h_opt": 2.0})
+        assert cache.get(job) == {"h_opt": 2.0}
+
+    def test_record_missing_result_field_is_a_miss(self, cache, job):
+        key = cache.put(job, {"h_opt": 1.0})
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        del record["result"]
+        path.write_text(json.dumps(record))
+        assert cache.get(job) is None
+        assert not path.exists()
+
+    def test_plain_miss_does_not_unlink_neighbours(self, cache, job):
+        key = cache.put(job, {"h_opt": 1.0})
+        other = OptimizeJob(line=job.line, driver=job.driver, f=0.4)
+        assert cache.get(other) is None  # never written
+        assert cache.path_for(key).exists()
+
     def test_salt_mismatch_is_a_miss(self, tmp_path, job):
         ResultCache(tmp_path, salt="v1").put(job, {"h_opt": 1.0})
         assert ResultCache(tmp_path, salt="v2").get(job) is None
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_exactly_one_valid_record(self, cache,
+                                                           job):
+        """Atomic ``os.replace`` under a many-thread write storm.
+
+        Every writer stores a distinct payload under the *same* key; no
+        interleaving may produce a torn record, a leftover temp file, or
+        more than one record on disk.
+        """
+        n_writers = 16
+        barrier = threading.Barrier(n_writers)
+        errors = []
+
+        def write(i):
+            try:
+                barrier.wait(timeout=10.0)
+                cache.put(job, {"h_opt": float(i)})
+            except Exception as exc:  # noqa: BLE001 — assert below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(i,))
+                   for i in range(n_writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+
+        records = [path for shard in cache.root.iterdir() if shard.is_dir()
+                   for path in shard.iterdir()]
+        assert [path.name for path in records] \
+            == [f"{cache.key(job)}.json"]  # one record, no .tmp leftovers
+        record = json.loads(records[0].read_text())  # parses cleanly
+        assert record["result"] in [{"h_opt": float(i)}
+                                    for i in range(n_writers)]
+        assert cache.get(job) == record["result"]
 
 
 class TestMaintenance:

@@ -123,6 +123,38 @@ class TestCaching:
         assert second.result == first.result
 
 
+class TestWallTimeIsMetricsOnly:
+    def test_wall_time_never_enters_cache_or_payload(self, tmp_path):
+        """The envelope's ``wall_time`` feeds metrics and nothing else:
+        cached records and ``to_payload`` are wall-clock free, so replay
+        equality cannot depend on how fast a run happened to be."""
+        import json
+
+        cache = ResultCache(tmp_path)
+        job = optimize_jobs([1.0])[0]
+        executor = BatchExecutor(jobs=1, cache=cache)
+        fresh = executor.run([job])
+        assert fresh.outcomes[0].wall_time > 0.0  # metrics saw it
+
+        def walk(node, path="record"):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    assert key != "wall_time", f"{path}.{key}"
+                    walk(value, f"{path}.{key}")
+            elif isinstance(node, list):
+                for i, value in enumerate(node):
+                    walk(value, f"{path}[{i}]")
+
+        record = json.loads(cache.path_for(cache.key(job)).read_text())
+        walk(record)
+        walk(fresh.to_payload(), "payload")
+
+        cached = BatchExecutor(jobs=1, cache=cache).run([job])
+        assert cached.outcomes[0].from_cache
+        assert cached.outcomes[0].wall_time == 0.0  # nothing ran
+        assert cached.to_payload() == fresh.to_payload()
+
+
 class TestMetrics:
     def test_iteration_and_time_accounting(self):
         report = BatchExecutor().run(optimize_jobs([0.0, 1.0]))

@@ -6,9 +6,10 @@ import pytest
 
 from repro import (NODE_100NM, OptimizationError, OptimizerMethod, units)
 from repro.engine import jobs as jobs_module
-from repro.engine.jobs import (DelayJob, ExperimentJob, OptimizeJob,
-                               SweepJob, TransientJob, canonical_json,
-                               job_from_dict, job_to_dict, jsonify)
+from repro.engine.jobs import (CriticalInductanceJob, DelayJob,
+                               ExperimentJob, OptimizeJob, SweepJob,
+                               TransientJob, canonical_json, job_from_dict,
+                               job_to_dict, jsonify)
 
 
 @pytest.fixture()
@@ -36,6 +37,8 @@ class TestCanonicalForm:
     def test_canonical_roundtrip_every_kind(self, line, driver):
         specs = [
             DelayJob(line=line, driver=driver, h=0.01, k=100.0),
+            CriticalInductanceJob(line=line, driver=driver, h=0.01,
+                                  k=100.0),
             OptimizeJob(line=line, driver=driver, initial=(0.01, 150.0),
                         method=OptimizerMethod.NEWTON),
             SweepJob(line_zero_l=line.with_inductance(0.0), driver=driver,
@@ -77,6 +80,35 @@ class TestDelayJob:
         assert result["tau"] == direct.tau
         assert result["damping"] == direct.damping.value
         assert result["delay_per_length"] == direct.tau / 0.01
+
+
+class TestCriticalInductanceJob:
+    def test_matches_direct_critical_inductance(self, line, driver):
+        from repro import Stage, critical_inductance
+        job = CriticalInductanceJob(line=line, driver=driver, h=0.01,
+                                    k=150.0)
+        result = job.run()
+        l_crit = critical_inductance(
+            Stage(line=line, driver=driver, h=0.01, k=150.0))
+        assert result["l_crit"] == l_crit
+        assert result["l"] == line.l
+        assert result["damping_margin"] == line.l / l_crit
+        json.dumps(result)
+
+    def test_margin_is_none_when_l_crit_not_positive(self, line, driver,
+                                                     monkeypatch):
+        """``l_crit <= 0`` cannot arise from physical parameters (RC
+        poles at l = 0 are real), but the defensive branch must report a
+        strict-JSON ``None`` margin rather than ``inf``."""
+        monkeypatch.setattr(jobs_module, "critical_inductance",
+                            lambda stage: -1e-7)
+        job = CriticalInductanceJob(line=line, driver=driver, h=0.01,
+                                    k=150.0)
+        result = job.run()
+        assert result["l_crit"] == -1e-7
+        assert result["damping_margin"] is None
+        assert "inf" in job.summary(result)
+        json.dumps(result)
 
 
 class TestOptimizeJob:

@@ -74,7 +74,8 @@ class TestSpecRoundTrip:
 
 class TestRegistry:
     def test_all_kinds_registered(self):
-        assert set(JOB_TYPES) == {"delay", "batch_delay", "optimize",
+        assert set(JOB_TYPES) == {"delay", "batch_delay",
+                                  "critical_inductance", "optimize",
                                   "batch_optimize", "sweep", "transient",
                                   "experiment", "verify"}
         assert JOB_TYPES["verify"] is VerifyJob

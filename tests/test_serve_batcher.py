@@ -1,0 +1,284 @@
+"""Unit tests for the dynamic micro-batcher (no kernel layer involved).
+
+Every test drives a :class:`DynamicBatcher` with a scripted evaluator, so
+the batching policy — coalescing, splitting, admission control, queue
+deadlines, per-lane fault isolation, graceful drain — is exercised in
+isolation from the numerical code.  The suite has no async test runner;
+each test wraps its coroutine in ``asyncio.run``.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.protocol import (DeadlineExceededError,
+                                  EvaluationFailedError, QueueFullError,
+                                  ServiceClosedError)
+
+
+class RecordingEvaluator:
+    """Echo evaluator that records the batches it was handed."""
+
+    def __init__(self, delay=0.0, gate=None):
+        self.batches = []
+        self.delay = delay
+        self.gate = gate  # threading.Event the evaluator waits on
+
+    def __call__(self, jobs):
+        self.batches.append(list(jobs))
+        if self.gate is not None:
+            assert self.gate.wait(timeout=10.0)
+        if self.delay:
+            import time
+            time.sleep(self.delay)
+        return [{"ok": True, "result": {"echo": job}} for job in jobs]
+
+
+class TestCoalescing:
+    def test_concurrent_burst_becomes_one_batch(self):
+        evaluate = RecordingEvaluator()
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_batch_size=64,
+                                     max_linger=0.2)
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(8)))
+            await batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        assert evaluate.batches == [list(range(8))]
+        assert [result for result, _size in results] \
+            == [{"echo": i} for i in range(8)]
+        assert all(size == 8 for _result, size in results)
+
+    def test_max_batch_size_splits_the_queue(self):
+        evaluate = RecordingEvaluator()
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_batch_size=4,
+                                     max_linger=0.2)
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(10)))
+            await batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        assert [len(batch) for batch in evaluate.batches] == [4, 4, 2]
+        assert sorted(job for batch in evaluate.batches for job in batch) \
+            == list(range(10))
+        assert [result for result, _size in results] \
+            == [{"echo": i} for i in range(10)]
+
+    def test_linger_expiry_dispatches_partial_batch(self):
+        evaluate = RecordingEvaluator()
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_batch_size=64,
+                                     max_linger=0.01)
+            result, size = await batcher.submit("alone")
+            await batcher.close()
+            return result, size
+
+        result, size = asyncio.run(run())
+        assert result == {"echo": "alone"}
+        assert size == 1
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher("echo", RecordingEvaluator(), max_batch_size=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher("echo", RecordingEvaluator(), max_linger=-1.0)
+        with pytest.raises(ValueError):
+            DynamicBatcher("echo", RecordingEvaluator(), max_queue_depth=0)
+
+
+class TestFaultIsolation:
+    def test_failed_lane_fails_alone(self):
+        def evaluate(jobs):
+            return [{"ok": False, "error": f"lane {job} diverged",
+                     "error_type": "OptimizationError"}
+                    if job == "bad" else {"ok": True, "result": {"echo": job}}
+                    for job in jobs]
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_linger=0.2)
+            outcomes = await asyncio.gather(
+                batcher.submit("a"), batcher.submit("bad"),
+                batcher.submit("b"), return_exceptions=True)
+            await batcher.close()
+            return outcomes
+
+        good_a, bad, good_b = asyncio.run(run())
+        assert good_a[0] == {"echo": "a"}
+        assert good_b[0] == {"echo": "b"}
+        assert isinstance(bad, EvaluationFailedError)
+        assert "diverged" in bad.message
+        assert bad.details == {"error_type": "OptimizationError"}
+
+    def test_evaluator_crash_fails_only_its_batch(self):
+        calls = []
+
+        def evaluate(jobs):
+            calls.append(list(jobs))
+            if len(calls) == 1:
+                raise RuntimeError("kernel refused the batch")
+            return [{"ok": True, "result": {"echo": job}} for job in jobs]
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_linger=0.05)
+            first = await asyncio.gather(
+                batcher.submit("x"), batcher.submit("y"),
+                return_exceptions=True)
+            # The drain loop survives the crash: later work still runs.
+            second = await batcher.submit("z")
+            await batcher.close()
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert all(isinstance(exc, EvaluationFailedError) for exc in first)
+        assert all("kernel refused" in exc.message for exc in first)
+        assert second[0] == {"echo": "z"}
+        assert len(calls) == 2
+
+    def test_envelope_count_mismatch_is_an_evaluation_failure(self):
+        def evaluate(jobs):
+            return [{"ok": True, "result": {}}] * (len(jobs) + 1)
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_linger=0.01)
+            with pytest.raises(EvaluationFailedError,
+                               match="3 envelopes for 2 jobs"):
+                await asyncio.gather(batcher.submit("a"),
+                                     batcher.submit("b"))
+            await batcher.close()
+
+        asyncio.run(run())
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_immediately(self):
+        gate = threading.Event()
+        evaluate = RecordingEvaluator(gate=gate)
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_batch_size=1,
+                                     max_linger=0.0, max_queue_depth=2)
+            # First submission dispatches and pins the evaluator thread.
+            first = asyncio.ensure_future(batcher.submit("dispatched"))
+            while not evaluate.batches:
+                await asyncio.sleep(0.001)
+            # Two more fill the queue to max_queue_depth.
+            queued = [asyncio.ensure_future(batcher.submit(i))
+                      for i in range(2)]
+            await asyncio.sleep(0.01)
+            assert batcher.queue_depth == 2
+            with pytest.raises(QueueFullError, match="queue is full"):
+                await batcher.submit("rejected")
+            gate.set()
+            results = await asyncio.gather(first, *queued)
+            await batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        # The rejection lost no admitted request.
+        assert [result for result, _size in results] \
+            == [{"echo": "dispatched"}, {"echo": 0}, {"echo": 1}]
+
+    def test_deadline_expires_in_queue(self):
+        gate = threading.Event()
+        released = []
+
+        def evaluate(jobs):
+            if not released:
+                released.append(True)
+                assert gate.wait(timeout=10.0)
+            return [{"ok": True, "result": {"echo": job}} for job in jobs]
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_batch_size=1,
+                                     max_linger=0.0)
+            first = asyncio.ensure_future(batcher.submit("slow"))
+            while not released:
+                await asyncio.sleep(0.001)
+            # Queued behind the stalled batch with a tiny deadline.
+            doomed = asyncio.ensure_future(
+                batcher.submit("doomed", timeout=0.01))
+            await asyncio.sleep(0.05)
+            gate.set()
+            outcomes = await asyncio.gather(first, doomed,
+                                            return_exceptions=True)
+            await batcher.close()
+            return outcomes
+
+        slow, doomed = asyncio.run(run())
+        assert slow[0] == {"echo": "slow"}
+        assert isinstance(doomed, DeadlineExceededError)
+        assert "expired" in doomed.message
+
+    def test_expired_lane_never_reaches_the_evaluator(self):
+        gate = threading.Event()
+        evaluate = RecordingEvaluator(gate=gate)
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_batch_size=1,
+                                     max_linger=0.0)
+            first = asyncio.ensure_future(batcher.submit("pin"))
+            while not evaluate.batches:
+                await asyncio.sleep(0.001)
+            doomed = asyncio.ensure_future(
+                batcher.submit("doomed", timeout=0.01))
+            await asyncio.sleep(0.05)
+            gate.set()
+            await asyncio.gather(first, doomed, return_exceptions=True)
+            await batcher.close()
+
+        asyncio.run(run())
+        assert ["doomed"] not in evaluate.batches
+
+
+class TestGracefulDrain:
+    def test_close_flushes_every_admitted_lane(self):
+        evaluate = RecordingEvaluator()
+
+        async def run():
+            # Linger far longer than the test: only close() can flush.
+            batcher = DynamicBatcher("echo", evaluate, max_batch_size=64,
+                                     max_linger=30.0)
+            waiters = [asyncio.ensure_future(batcher.submit(i))
+                       for i in range(3)]
+            await asyncio.sleep(0.01)
+            assert not any(w.done() for w in waiters)  # still lingering
+            await batcher.close()
+            return await asyncio.gather(*waiters)
+
+        results = asyncio.run(run())
+        assert [result for result, _size in results] \
+            == [{"echo": i} for i in range(3)]
+
+    def test_submit_after_close_is_refused(self):
+        async def run():
+            batcher = DynamicBatcher("echo", RecordingEvaluator(),
+                                     max_linger=0.0)
+            await batcher.close()
+            assert batcher.closed
+            with pytest.raises(ServiceClosedError, match="draining"):
+                await batcher.submit("late")
+            await batcher.close()  # idempotent
+
+        asyncio.run(run())
+
+    def test_on_batch_hook_sees_dispatched_sizes(self):
+        sizes = []
+
+        async def run():
+            batcher = DynamicBatcher(
+                "echo", RecordingEvaluator(), max_batch_size=2,
+                max_linger=0.2, on_batch=lambda kind, n: sizes.append((kind, n)))
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.close()
+
+        asyncio.run(run())
+        assert sizes == [("echo", 2), ("echo", 2)]

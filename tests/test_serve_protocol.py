@@ -1,0 +1,111 @@
+"""Unit tests for the serve wire protocol: parsing, encoding, errors."""
+
+import pytest
+
+from repro import NODE_100NM, units
+from repro.engine.jobs import (CriticalInductanceJob, DelayJob, OptimizeJob,
+                               job_to_dict)
+from repro.serve.protocol import (BadRequestError, DeadlineExceededError,
+                                  EvaluationFailedError, QueueFullError,
+                                  ServeError, ServiceClosedError,
+                                  encode_error, encode_result, parse_request)
+
+
+@pytest.fixture()
+def line():
+    return NODE_100NM.line_with_inductance(1.0 * units.NH_PER_MM)
+
+
+@pytest.fixture()
+def delay_document(line):
+    return job_to_dict(DelayJob(line=line, driver=NODE_100NM.driver,
+                                h=0.01, k=150.0))
+
+
+class TestParse:
+    def test_round_trips_every_served_kind(self, line):
+        driver = NODE_100NM.driver
+        jobs = [
+            DelayJob(line=line, driver=driver, h=0.01, k=150.0, f=0.4),
+            CriticalInductanceJob(line=line, driver=driver, h=0.01,
+                                  k=150.0),
+            OptimizeJob(line=line, driver=driver, initial=(0.01, 150.0)),
+        ]
+        for job in jobs:
+            request = parse_request(job_to_dict(job))
+            assert request.job == job
+            assert request.kind == job.kind
+            assert request.timeout is None
+            assert request.no_cache is False
+
+    def test_protocol_keys_ride_on_top_of_the_job(self, delay_document):
+        delay_document.update(timeout=2.5, no_cache=True)
+        request = parse_request(delay_document)
+        assert request.timeout == 2.5
+        assert request.no_cache is True
+        # The job itself is untouched by the protocol fields: it equals
+        # the job parsed from the bare document (same cache key).
+        bare = {k: v for k, v in delay_document.items()
+                if k not in ("timeout", "no_cache")}
+        assert request.job == parse_request(bare).job
+
+    def test_rejects_non_object(self):
+        with pytest.raises(BadRequestError, match="JSON object"):
+            parse_request([1, 2, 3])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(BadRequestError, match="unknown request kind"):
+            parse_request({"kind": "transmogrify"})
+
+    def test_rejects_missing_fields(self, delay_document):
+        del delay_document["driver"]
+        with pytest.raises(BadRequestError, match="invalid delay request"):
+            parse_request(delay_document)
+
+    def test_rejects_polish_with_newton(self, delay_document):
+        delay_document["polish_with_newton"] = True
+        with pytest.raises(BadRequestError, match="polish_with_newton"):
+            parse_request(delay_document)
+
+    def test_rejects_bad_timeouts(self, delay_document):
+        for timeout in ("soon", 0.0, -1.0):
+            document = dict(delay_document, timeout=timeout)
+            with pytest.raises(BadRequestError, match="timeout"):
+                parse_request(document)
+
+
+class TestEncode:
+    def test_success_body_shape(self):
+        body = encode_result("delay", {"tau": 1e-11}, cache="miss",
+                             batch_size=7)
+        assert body == {"ok": True, "kind": "delay",
+                        "result": {"tau": 1e-11}, "cache": "miss",
+                        "batch_size": 7}
+
+    def test_error_body_and_status_mapping(self):
+        cases = [
+            (BadRequestError("nope"), 400, "bad_request"),
+            (QueueFullError("full"), 429, "queue_full"),
+            (DeadlineExceededError("late"), 504, "deadline_exceeded"),
+            (ServiceClosedError("bye"), 503, "shutting_down"),
+            (EvaluationFailedError("diverged"), 500, "evaluation_failed"),
+        ]
+        for exc, expected_status, expected_code in cases:
+            status, body = encode_error(exc)
+            assert status == expected_status
+            assert body["ok"] is False
+            assert body["error"]["code"] == expected_code
+            assert body["error"]["message"] in str(exc)
+
+    def test_error_details_are_carried(self):
+        exc = EvaluationFailedError("diverged",
+                                    error_type="OptimizationError",
+                                    dropped=None)
+        _status, body = encode_error(exc)
+        assert body["error"]["error_type"] == "OptimizationError"
+        assert "dropped" not in body["error"]  # None details elided
+
+    def test_every_protocol_error_is_a_serve_error(self):
+        for cls in (BadRequestError, QueueFullError, DeadlineExceededError,
+                    ServiceClosedError, EvaluationFailedError):
+            assert issubclass(cls, ServeError)
