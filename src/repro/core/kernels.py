@@ -39,6 +39,7 @@ from typing import Any, List, Sequence, Tuple
 import numpy as np
 
 from ..errors import DelaySolverError, ParameterError
+from ..faults import hooks as _faults
 from .moments import Moments
 from .params import DriverParams, LineParams, Stage
 from .poles import CRITICAL_RTOL, Damping
@@ -669,6 +670,11 @@ def threshold_delay_v(source, f=0.5, *, rtol: float = 1e-12
         iterations[lanes] = iter_l
         bracket_lo[lanes] = t_lo
         bracket_hi[lanes] = t_hi
+    if _faults.ACTIVE is not None:
+        # Named fault site: one lane's solve silently produced NaN (the
+        # shape a masked-solver regression would take).  Consumers must
+        # fail that lane alone, never serialize the NaN.
+        tau = _faults.nan_lanes("kernels.threshold_delay.nan_lane", tau)
     return DelayBatchResult(tau=tau, threshold=f_arr, damping=resp.damping,
                             newton_iterations=iterations,
                             bracket_lo=bracket_lo, bracket_hi=bracket_hi)

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from .. import __version__
+from ..faults import hooks as _faults
 from .jobs import canonical_json, job_to_dict
 
 #: Bump when the job canonical form or the result payloads change shape.
@@ -98,17 +99,32 @@ class ResultCache:
         A record that exists but cannot be parsed — torn JSON from a
         killed writer or a full disk, or a record missing its ``result``
         field — counts as a miss *and is unlinked*, so a corrupt file
-        never shadows the healthy record a later ``put`` writes.
+        never shadows the healthy record a later ``put`` writes.  A
+        plain I/O error (``OSError``) is a miss *without* the unlink:
+        the record content was never seen, so a transient failure — a
+        file-descriptor limit, an injected ``cache.get.os_error`` —
+        must not evict a healthy record.
         """
         path = self.path_for(self.key(job))
         try:
+            if _faults.ACTIVE is not None:
+                # The record name is content-addressed (stable across
+                # runs); the cache root is not — keep event details
+                # replay-comparable.
+                _faults.fire("cache.get.os_error", record=path.name)
             with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
+                text = handle.read()
+            if _faults.ACTIVE is not None:
+                text = _faults.mutate("cache.get.torn_record", text)
+            record = json.loads(text)
             result = record["result"]
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError):
+        except OSError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError):
             self.misses += 1
             try:
                 os.unlink(path)
@@ -132,8 +148,17 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=path.parent,
                                    prefix=f".{key[:8]}.", suffix=".tmp")
         try:
+            if _faults.ACTIVE is not None \
+                    and _faults.should("cache.put.stale_tmp"):
+                # Simulate a concurrent writer killed between mkstemp
+                # and os.replace: its orphaned temp file stays behind.
+                stale_fd, _stale = tempfile.mkstemp(
+                    dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp")
+                os.close(stale_fd)
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(record, handle, sort_keys=True)
+            if _faults.ACTIVE is not None:
+                _faults.fire("cache.put.os_error", record=path.name)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -154,6 +179,20 @@ class ResultCache:
                 for path in sorted(shard.glob("*.json")):
                     yield path
 
+    def tmp_files(self) -> list:
+        """Orphaned writer temp files (``*.tmp``) across every shard.
+
+        A healthy cache has none: writers either promote their temp
+        file with ``os.replace`` or unlink it on failure.  Anything
+        listed here came from a writer that died between the two — the
+        invariant the fault harness counts against injected
+        ``cache.put.stale_tmp`` events.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(path for shard in self.root.iterdir() if shard.is_dir()
+                      for path in shard.glob("*.tmp"))
+
     def stats(self) -> CacheStats:
         """Disk occupancy and this instance's session hit/miss counts."""
         entries = 0
@@ -169,12 +208,18 @@ class ResultCache:
                           salt=self.salt)
 
     def clear(self) -> int:
-        """Delete every record; returns the number of records removed."""
+        """Delete every record (and orphaned writer temp files);
+        returns the number of records removed."""
         removed = 0
         for path in list(self._record_paths()):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in self.tmp_files():
+            try:
+                path.unlink()
             except OSError:
                 pass
         if self.root.is_dir():

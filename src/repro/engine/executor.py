@@ -27,15 +27,42 @@ evaluation path for :func:`repro.core.sweep.sweep_inductance`.
 
 from __future__ import annotations
 
+import math
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..faults import hooks as _faults
 from .cache import ResultCache
 from .jobs import job_to_dict
 from .metrics import BatchMetrics, JobMetrics, iterations_of, trace_counts_of
+
+
+def _nonfinite_path(value: Any, path: str = "result") -> Optional[str]:
+    """Dotted path of the first non-finite number in a result payload.
+
+    ``trace`` subtrees are exempt: an optimizer trace legitimately
+    records non-finite residuals from rejected probe steps.  Everywhere
+    else a NaN/inf is a solver escape, never a valid answer.
+    """
+    if isinstance(value, float):
+        return path if not math.isfinite(value) else None
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if key == "trace":
+                continue
+            found = _nonfinite_path(item, f"{path}.{key}")
+            if found is not None:
+                return found
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            found = _nonfinite_path(item, f"{path}[{index}]")
+            if found is not None:
+                return found
+    return None
 
 
 def _execute_job(job: Any) -> Dict[str, Any]:
@@ -44,15 +71,31 @@ def _execute_job(job: Any) -> Dict[str, Any]:
     Module-level so it pickles for the process-pool backend.  Returns an
     envelope ``{"ok", "result" | ("error", "error_type", "traceback"),
     "wall_time"}``.
+
+    A result containing a non-finite number outside its ``trace`` is
+    reported as that job's *failure*, not a success: a NaN that slipped
+    out of a solver must never be cached or summarized as an answer
+    (the serve layer applies the same screen per lane).
     """
     start = time.perf_counter()
     try:
+        if _faults.ACTIVE is not None:
+            _faults.sleep("executor.job.hang")
+            _faults.fire("executor.job.error", kind=job.kind)
         result = job.run()
     except Exception as exc:  # noqa: BLE001 — isolate *any* job failure
         return {"ok": False,
                 "error": str(exc),
                 "error_type": type(exc).__name__,
                 "traceback": traceback.format_exc(),
+                "wall_time": time.perf_counter() - start}
+    bad = _nonfinite_path(result)
+    if bad is not None:
+        return {"ok": False,
+                "error": f"job produced a non-finite value at {bad} "
+                         f"(solver escape; result not cached)",
+                "error_type": "DelaySolverError",
+                "traceback": "",
                 "wall_time": time.perf_counter() - start}
     return {"ok": True, "result": result,
             "wall_time": time.perf_counter() - start}
@@ -207,15 +250,33 @@ class BatchExecutor:
             return [_execute_job(job) for job in job_list]
         chunksize = self.chunksize or max(
             1, len(job_list) // (4 * self.jobs))
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            return list(pool.map(_execute_job, job_list,
-                                 chunksize=chunksize))
+        try:
+            if _faults.ACTIVE is not None:
+                _faults.fire("executor.pool.broken")
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(_execute_job, job_list,
+                                     chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            # A worker died hard (SIGKILL, os._exit, OOM): per-job fault
+            # isolation cannot name the culprit, so fail the batch with
+            # actionable context instead of a bare pool traceback.
+            raise RuntimeError(
+                f"process pool broke while evaluating {len(job_list)} "
+                f"jobs with {self.jobs} workers (a worker died "
+                f"mid-chunk); re-run with jobs=1 to isolate the failing "
+                f"job: {exc}") from exc
 
     def _outcome_from_envelope(self, job: Any,
                                envelope: Dict[str, Any]) -> JobOutcome:
         if envelope["ok"]:
             if self.cache is not None:
-                self.cache.put(job, envelope["result"])
+                try:
+                    self.cache.put(job, envelope["result"])
+                except OSError:
+                    # A cache write failure (full disk, permissions)
+                    # must never fail a job whose result is in hand;
+                    # the next run simply recomputes.
+                    pass
             return JobOutcome(job=job, result=envelope["result"],
                               wall_time=envelope["wall_time"])
         return JobOutcome(job=job, error=envelope["error"],

@@ -35,6 +35,7 @@ from ..core.elmore import rc_optimum
 from ..core.optimize import OptimizerMethod, optimize_repeater
 from ..core.params import DriverParams, LineParams, Stage
 from ..errors import OptimizationError, ParameterError
+from ..faults import hooks as _faults
 
 
 def canonical_json(obj: Any) -> str:
@@ -396,17 +397,30 @@ class OptimizeJob:
                       max_iterations=self.max_iterations)
         retried = False
         try:
+            if _faults.ACTIVE is not None:
+                _faults.fire("optimize.warm_start")
             optimum = optimize_repeater(self.line, self.driver, self.f,
                                         initial=self.initial, **kwargs)
-        except OptimizationError:
+        except OptimizationError as warm_exc:
             if not (self.retry_reseed and self.initial is not None):
                 raise
             # Re-seed from the RC optimum once before giving up (the
             # Elmore optimum ignores l, so this is the l = 0 seed).
             rc_ref = rc_optimum(self.line, self.driver)
-            optimum = optimize_repeater(
-                self.line, self.driver, self.f,
-                initial=(rc_ref.h_opt, rc_ref.k_opt), **kwargs)
+            try:
+                optimum = optimize_repeater(
+                    self.line, self.driver, self.f,
+                    initial=(rc_ref.h_opt, rc_ref.k_opt), **kwargs)
+            except OptimizationError as exc:
+                # Retry exhausted: name both failures so the batch
+                # report points at the job, not just the last attempt.
+                raise OptimizationError(
+                    f"optimize retry exhausted: warm start "
+                    f"{self.initial} failed ({warm_exc}); RC re-seed "
+                    f"({rc_ref.h_opt:.6g}, {rc_ref.k_opt:.6g}) also "
+                    f"failed: {exc}",
+                    iterations=exc.iterations,
+                    residual=exc.residual) from exc
             retried = True
         return _optimum_payload(optimum, retried)
 

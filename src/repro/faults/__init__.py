@@ -1,0 +1,26 @@
+"""Deterministic fault-injection plane for the engine/serve stack.
+
+Public surface:
+
+* :data:`~repro.faults.plan.FAULT_POINTS` — the registry of named
+  injection sites threaded through the cache, executor, optimizer,
+  kernels, batcher and HTTP server seams;
+* :class:`~repro.faults.plan.FaultPlan` /
+  :class:`~repro.faults.plan.FaultRule` — seeded, serializable,
+  replayable fault schedules;
+* :mod:`repro.faults.hooks` — installation (:func:`hooks.install`,
+  :func:`hooks.active`, the ``REPRO_FAULTS`` env var) and the seam-side
+  helpers;
+* :mod:`repro.faults.harness` — the invariant checks and canned
+  campaign scenarios behind the ``repro-faults`` CLI and the stateful
+  Hypothesis harness (imported lazily: it pulls in the serve stack).
+
+With no plan installed every hook is a pointer comparison — the plane
+is free in production.
+"""
+
+from . import hooks
+from .plan import FAULT_POINTS, FaultEvent, FaultPlan, FaultPoint, FaultRule
+
+__all__ = ["FAULT_POINTS", "FaultEvent", "FaultPlan", "FaultPoint",
+           "FaultRule", "hooks"]

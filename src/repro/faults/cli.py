@@ -1,0 +1,170 @@
+"""``repro-faults`` — author, replay and sweep fault plans.
+
+Usage::
+
+    repro-faults plan --rule cache.get.torn_record:nth:1 --seed 7
+    repro-faults plan --scenario serve --seed 7
+    repro-faults plan --list-sites
+    repro-faults replay '{"rules":[...],"seed":7}'
+    repro-faults replay @failing-plan.json
+    repro-faults campaign --seed 20260809 --randomized-rounds 3 \\
+        --artifact failing-plans.jsonl
+
+``plan`` prints a serialized plan string — the single artifact every
+other workflow consumes.  ``replay`` drives a plan through the live
+invariant harness (:mod:`repro.faults.harness`) and prints the fired
+event log plus any violated invariant; two replays of the same plan
+against the same workload print the same event sequence, which is the
+determinism contract debugging rests on.  ``campaign`` runs the
+deterministic per-site sweep (every registered fault point must fire —
+uncovered sites fail the gate) plus optional seeded randomized rounds,
+writing any failing plan to the artifact file for replay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .plan import FAULT_POINTS, FaultPlan, FaultRule
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="Deterministic fault-injection plans for the "
+                    "engine/serve stack: author, replay, campaign.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = subparsers.add_parser(
+        "plan", help="build and print a serialized fault plan")
+    plan_parser.add_argument(
+        "--rule", action="append", default=[], metavar="SITE[:MODE[:N]]",
+        help="arm SITE with MODE (always/first/nth/prob; default nth) "
+             "and count/probability N; repeatable")
+    plan_parser.add_argument(
+        "--scenario", default=None,
+        help="arm every site of one scenario (cache/engine/serve/all) "
+             "with its preset trigger")
+    plan_parser.add_argument("--seed", type=int, default=0,
+                             help="PRNG seed baked into the plan")
+    plan_parser.add_argument("--list-sites", action="store_true",
+                             help="list the registered fault sites and "
+                                  "exit")
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="drive one plan through the invariant harness")
+    replay_parser.add_argument(
+        "plan", metavar="PLAN",
+        help="a plan string, @FILE to read one from a file, or - for "
+             "stdin")
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="sweep every fault site and assert coverage")
+    campaign_parser.add_argument("--seed", type=int, default=0)
+    campaign_parser.add_argument(
+        "--randomized-rounds", type=int, default=0, metavar="N",
+        help="additional seeded rounds arming random site subsets")
+    campaign_parser.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="write failing plans (JSON lines) here for replay")
+    return parser
+
+
+def _parse_rule(text: str) -> FaultRule:
+    parts = text.split(":")
+    site = parts[0]
+    mode = parts[1] if len(parts) > 1 and parts[1] else "nth"
+    kwargs = {}
+    if len(parts) > 2 and parts[2]:
+        if mode == "prob":
+            kwargs["p"] = float(parts[2])
+        else:
+            kwargs["n"] = int(parts[2])
+    return FaultRule(site=site, mode=mode, **kwargs)
+
+
+def _plan(args: argparse.Namespace) -> int:
+    if args.list_sites:
+        width = max(len(name) for name in FAULT_POINTS)
+        for name, point in sorted(FAULT_POINTS.items()):
+            print(f"{name:<{width}}  [{point.scenario}] "
+                  f"{point.description}")
+        return 0
+    if args.scenario is not None:
+        from .harness import scenario_plan
+
+        try:
+            plan = scenario_plan(args.scenario, seed=args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not args.rule:
+            print("error: give --rule, --scenario or --list-sites",
+                  file=sys.stderr)
+            return 2
+        try:
+            rules = [_parse_rule(text) for text in args.rule]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        plan = FaultPlan(seed=args.seed, rules=rules)
+    print(plan.to_string())
+    return 0
+
+
+def _read_plan_argument(text: str) -> str:
+    if text == "-":
+        return sys.stdin.read()
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            return handle.read()
+    return text
+
+
+def _replay(args: argparse.Namespace) -> int:
+    from .harness import replay
+
+    try:
+        plan_string = _read_plan_argument(args.plan).strip()
+        report = replay(plan_string)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_summary())
+    return 0 if report.ok else 1
+
+
+def _campaign(args: argparse.Namespace) -> int:
+    from .harness import run_campaign
+
+    campaign = run_campaign(seed=args.seed,
+                            randomized_rounds=args.randomized_rounds)
+    print(campaign.format_summary())
+    if args.artifact and campaign.failing_runs():
+        with open(args.artifact, "w", encoding="utf-8") as handle:
+            for run in campaign.failing_runs():
+                handle.write(json.dumps({
+                    "plan": run.plan_string,
+                    "violations": [violation.format()
+                                   for violation in run.violations],
+                    "events": run.events}) + "\n")
+        print(f"failing plans written to {args.artifact}")
+    return 0 if campaign.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "plan":
+        return _plan(args)
+    if args.command == "replay":
+        return _replay(args)
+    return _campaign(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

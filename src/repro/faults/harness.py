@@ -1,0 +1,613 @@
+"""Invariant harness of the fault plane: live workloads, canned scenarios.
+
+This module is the executable answer to "did the recovery paths hold?".
+It drives real components — a :class:`~repro.serve.server.ServerThread`
+over sockets, a :class:`~repro.engine.executor.BatchExecutor` over jobs
+— under an installed :class:`~repro.faults.plan.FaultPlan`, and checks
+the stack's cross-cutting invariants:
+
+* **answered-or-rejected** — every submitted request produces either a
+  response or an explicit, typed failure; nothing hangs, nothing is
+  silently dropped;
+* **bitwise** — every successful response equals the request's own solo
+  ``job.run()`` ground truth (computed with the plan suspended on the
+  harness thread), so injected faults never corrupt a served answer;
+* **cache integrity** — every record in the store parses and carries a
+  ``result``; orphaned ``.tmp`` files are exactly the injected
+  ``cache.put.stale_tmp`` events, never more;
+* **isolation** — a plan with no rules produces zero failures (the
+  plane itself is inert), and lane-scoped faults fail lanes, not runs;
+* **metrics reconcile** — ``requests_total`` equals the sum of recorded
+  outcomes (excluding pre-parse ``unknown`` outcomes), so the
+  observability plane cannot lose or invent requests under faults.
+
+Ground truths are computed on the calling thread inside
+``plan.suspended()`` — the plan stays armed for the server's threads
+while the harness computes what *should* have been served, and
+suspension never consumes PRNG draws or hit counts, so the measurement
+does not perturb the experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from . import hooks
+from .plan import FAULT_POINTS, FaultPlan, FaultRule
+
+#: Trace fields describing the lockstep pooling itself — the only part
+#: of an optimize payload allowed to differ between a batched lane and a
+#: solo run (mirrors ``EXACT_AT_ANY_BATCH_SIZE`` in the service layer).
+EXECUTION_COUNTERS = ("lanes_evaluated", "batch_calls", "memo_hits")
+
+#: Sites that may legitimately change an optimize payload beyond the
+#: execution counters (a re-seeded retry converges to the same optimum
+#: from a different start, so traces and ``retried`` flags differ).
+OPTIMIZE_FAULT_SITES = frozenset({
+    "serve.optimize.lane_error", "optimize.warm_start"})
+
+#: Sites exercised through the engine's BatchExecutor rather than the
+#: serve stack.
+ENGINE_SITES = frozenset(
+    name for name, point in FAULT_POINTS.items()
+    if point.scenario == "engine")
+
+
+# ----------------------------------------------------------------------
+# Reports.
+# ----------------------------------------------------------------------
+@dataclass
+class Violation:
+    """One broken invariant, with enough context to chase it."""
+
+    invariant: str
+    message: str
+
+    def format(self) -> str:
+        return f"[{self.invariant}] {self.message}"
+
+
+@dataclass
+class RunReport:
+    """Outcome of driving one plan through the live workloads."""
+
+    plan_string: str
+    events: List[str] = field(default_factory=list)
+    fired: Dict[str, int] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+    requests_sent: int = 0
+    responses_ok: int = 0
+    responses_error: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violation(self, invariant: str, message: str) -> None:
+        self.violations.append(Violation(invariant, message))
+
+    def format_summary(self) -> str:
+        lines = [f"plan: {self.plan_string}",
+                 f"requests: {self.requests_sent} sent, "
+                 f"{self.responses_ok} ok, "
+                 f"{self.responses_error} failed"]
+        if self.events:
+            lines.append(f"events ({len(self.events)}):")
+            lines.extend(f"  {event}" for event in self.events)
+        else:
+            lines.append("events: none fired")
+        if self.violations:
+            lines.append(f"VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"  {violation.format()}"
+                         for violation in self.violations)
+        else:
+            lines.append("invariants: all held")
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of a multi-plan campaign plus site coverage."""
+
+    runs: List[RunReport] = field(default_factory=list)
+    coverage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs) and not self.uncovered()
+
+    def uncovered(self) -> List[str]:
+        """Registered sites no run of this campaign ever fired."""
+        return sorted(name for name in FAULT_POINTS
+                      if not self.coverage.get(name))
+
+    def failing_runs(self) -> List[RunReport]:
+        return [run for run in self.runs if not run.ok]
+
+    def format_summary(self) -> str:
+        lines = [f"campaign: {len(self.runs)} plans, "
+                 f"{len(self.failing_runs())} failing",
+                 "site coverage:"]
+        for name in sorted(FAULT_POINTS):
+            lines.append(f"  {self.coverage.get(name, 0):4d}  {name}")
+        uncovered = self.uncovered()
+        if uncovered:
+            lines.append("UNCOVERED sites: " + ", ".join(uncovered))
+        for run in self.failing_runs():
+            lines.append("")
+            lines.append(run.format_summary())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The standard workload.
+# ----------------------------------------------------------------------
+def _workload_jobs() -> Dict[str, List[Any]]:
+    """Small, paper-typical job set touching every request class."""
+    from .. import NODE_100NM, units
+    from ..core.elmore import rc_optimum
+    from ..engine.jobs import CriticalInductanceJob, DelayJob, OptimizeJob
+
+    nh = units.NH_PER_MM
+    node = NODE_100NM
+    delay = [DelayJob(line=node.line.with_inductance(l * nh),
+                      driver=node.driver, h=0.01, k=150.0)
+             for l in (0.0, 0.5, 1.0, 1.5, 2.0, 2.5)]
+    critical = [CriticalInductanceJob(
+        line=node.line.with_inductance(l * nh),
+        driver=node.driver, h=0.01, k=150.0)
+        for l in (0.5, 1.0, 1.5)]
+    optimize = []
+    for l in (0.5, 1.0, 1.5):
+        line = node.line.with_inductance(l * nh)
+        seed = rc_optimum(line, node.driver)
+        optimize.append(OptimizeJob(
+            line=line, driver=node.driver,
+            initial=(seed.h_opt, seed.k_opt)))
+    return {"delay": delay, "critical_inductance": critical,
+            "optimize": optimize}
+
+
+def _request_document(job: Any) -> Dict[str, Any]:
+    from ..engine.jobs import job_to_dict
+
+    return job_to_dict(job)
+
+
+def _normalized(kind: str, payload: Dict[str, Any]) -> str:
+    """Canonical form for comparison; optimize counters stripped."""
+    from ..engine.jobs import canonical_json
+
+    document = dict(payload)
+    if kind == "optimize":
+        trace = document.get("trace")
+        if isinstance(trace, dict):
+            document["trace"] = {k: v for k, v in trace.items()
+                                 if k not in EXECUTION_COUNTERS}
+    return canonical_json(document)
+
+
+def _ground_truths(plan: FaultPlan, workload: Dict[str, List[Any]]
+                   ) -> Dict[str, List[str]]:
+    """Solo ``job.run()`` results, computed with the plan suspended."""
+    truths: Dict[str, List[str]] = {}
+    with plan.suspended():
+        for kind, jobs in workload.items():
+            truths[kind] = [_normalized(kind, job.run()) for job in jobs]
+    return truths
+
+
+# ----------------------------------------------------------------------
+# The serve driver (ServerThread over real sockets).
+# ----------------------------------------------------------------------
+def _drive_serve(plan: FaultPlan, report: RunReport,
+                 cache_root: Path, *, passes: int = 2) -> None:
+    """Drive the HTTP stack through the workload under ``plan``.
+
+    Each pass sends every request class as one NDJSON burst (so the
+    batcher genuinely coalesces) plus a handful of sequential singles;
+    the second pass re-sends the same documents, turning the cache
+    seams hot.
+    """
+    import http.client
+    import socket
+
+    from ..engine.cache import ResultCache
+    from ..serve.client import ServeClient, ServeClientError
+    from ..serve.server import ServerThread
+    from ..serve.service import ReproService
+
+    workload = _workload_jobs()
+    truths = _ground_truths(plan, workload)
+    optimize_faulted = any(rule.site in OPTIMIZE_FAULT_SITES
+                           for rule in plan.rules)
+    plan_inert = not plan.rules
+
+    cache = ResultCache(cache_root)
+    service = ReproService(cache=cache, max_batch_size=8,
+                           max_linger=0.05, default_timeout=10.0)
+
+    def check_response(kind: str, index: int,
+                       response: Dict[str, Any]) -> None:
+        if not isinstance(response, dict):
+            report.violation(
+                "answered", f"{kind}[{index}] response is not an object: "
+                            f"{response!r}")
+            return
+        if response.get("ok"):
+            report.responses_ok += 1
+            if kind == "optimize" and optimize_faulted:
+                return  # a re-seeded lane legitimately differs bitwise
+            served = _normalized(kind, response["result"])
+            if served != truths[kind][index]:
+                report.violation(
+                    "bitwise",
+                    f"{kind}[{index}] served result differs from solo "
+                    f"job.run(): served {served} != truth "
+                    f"{truths[kind][index]}")
+        else:
+            report.responses_error += 1
+            error = response.get("error")
+            if not (isinstance(error, dict) and error.get("code")
+                    and error.get("message")):
+                report.violation(
+                    "answered",
+                    f"{kind}[{index}] failed without a structured "
+                    f"error: {response!r}")
+            elif plan_inert:
+                report.violation(
+                    "isolation",
+                    f"{kind}[{index}] failed with no fault armed: "
+                    f"{error}")
+
+    with hooks.active(plan):
+        with ServerThread(service) as handle:
+            client = ServeClient.from_url(handle.url, timeout=15.0)
+            try:
+                for _ in range(passes):
+                    for kind, jobs in workload.items():
+                        documents = [_request_document(job)
+                                     for job in jobs]
+                        report.requests_sent += len(documents)
+                        try:
+                            responses = client.evaluate_many(documents)
+                        except socket.timeout:
+                            # The client gave up waiting: some lane was
+                            # admitted and never answered — the exact
+                            # failure the answered-or-rejected
+                            # invariant exists to catch.
+                            report.responses_error += len(documents)
+                            report.violation(
+                                "answered",
+                                f"{kind} burst timed out — a lane was "
+                                f"admitted but never answered")
+                            continue
+                        except (ServeClientError, http.client.HTTPException,
+                                OSError) as exc:
+                            # An explicit transport/protocol failure is
+                            # an answer ("rejected"); only a hang or a
+                            # lost lane violates the invariant.
+                            report.responses_error += len(documents)
+                            if plan_inert:
+                                report.violation(
+                                    "isolation",
+                                    f"{kind} burst failed with no fault "
+                                    f"armed: {exc}")
+                            continue
+                        if len(responses) != len(documents):
+                            report.violation(
+                                "answered",
+                                f"{kind} burst: {len(documents)} requests "
+                                f"but {len(responses)} responses")
+                            continue
+                        for index, response in enumerate(responses):
+                            check_response(kind, index, response)
+                    # A couple of sequential singles per pass keep the
+                    # per-connection seams (read drop, write truncate)
+                    # hot on a keep-alive socket.
+                    for index, job in enumerate(workload["delay"][:3]):
+                        report.requests_sent += 1
+                        try:
+                            response = client.evaluate(
+                                _request_document(job))
+                            check_response("delay", index, response)
+                        except ServeClientError as exc:
+                            report.responses_error += 1
+                            if plan_inert:
+                                report.violation(
+                                    "isolation",
+                                    f"delay single failed with no fault "
+                                    f"armed: {exc}")
+                        except socket.timeout:
+                            report.responses_error += 1
+                            report.violation(
+                                "answered",
+                                "delay single timed out — admitted but "
+                                "never answered")
+                        except (http.client.HTTPException, OSError) as exc:
+                            report.responses_error += 1
+                            if plan_inert:
+                                report.violation(
+                                    "isolation",
+                                    f"delay single transport error with "
+                                    f"no fault armed: {exc}")
+            finally:
+                client.close()
+
+    # -- post-run invariants ------------------------------------------
+    _check_cache_integrity(plan, report, cache)
+    _check_metrics(report, service)
+
+
+def _check_cache_integrity(plan: FaultPlan, report: RunReport,
+                           cache: Any) -> None:
+    for path in cache._record_paths():
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            record["result"]
+        except (OSError, ValueError, KeyError) as exc:
+            report.violation(
+                "cache", f"torn or incomplete record {path.name}: {exc}")
+    stale = plan.fired_sites().get("cache.put.stale_tmp", 0)
+    tmp_count = len(cache.tmp_files())
+    if tmp_count != stale:
+        report.violation(
+            "cache",
+            f"{tmp_count} orphaned .tmp files but "
+            f"{stale} injected cache.put.stale_tmp events")
+
+
+def _check_metrics(report: RunReport, service: Any) -> None:
+    metrics = service.metrics
+    recorded = sum(count for (kind, _code), count in
+                   metrics.outcomes.items() if kind != "unknown")
+    if metrics.requests_total != recorded:
+        report.violation(
+            "metrics",
+            f"requests_total={metrics.requests_total} but "
+            f"{recorded} outcomes recorded (excluding pre-parse "
+            f"'unknown'): {dict(metrics.outcomes)}")
+
+
+# ----------------------------------------------------------------------
+# The engine driver (BatchExecutor over jobs).
+# ----------------------------------------------------------------------
+def _drive_engine(plan: FaultPlan, report: RunReport,
+                  cache_root: Path) -> None:
+    """Drive the batch executor through the workload under ``plan``."""
+    from ..engine.cache import ResultCache
+    from ..engine.executor import BatchExecutor
+
+    workload = _workload_jobs()
+    jobs = (workload["delay"] + workload["critical_inductance"]
+            + workload["optimize"])
+    kinds = (["delay"] * len(workload["delay"])
+             + ["critical_inductance"] * len(workload["critical_inductance"])
+             + ["optimize"] * len(workload["optimize"]))
+    indices = (list(range(len(workload["delay"])))
+               + list(range(len(workload["critical_inductance"])))
+               + list(range(len(workload["optimize"]))))
+    truths = _ground_truths(plan, workload)
+    optimize_faulted = any(rule.site in OPTIMIZE_FAULT_SITES
+                           for rule in plan.rules)
+    plan_inert = not plan.rules
+
+    cache = ResultCache(cache_root)
+    executor = BatchExecutor(jobs=1, cache=cache)
+    with hooks.active(plan):
+        batch = executor.run(jobs)
+    report.requests_sent += len(jobs)
+
+    if len(batch.outcomes) != len(jobs):
+        report.violation(
+            "answered", f"executor returned {len(batch.outcomes)} "
+                        f"outcomes for {len(jobs)} jobs")
+        return
+    for outcome, job, kind, index in zip(batch.outcomes, jobs, kinds,
+                                         indices):
+        if outcome.ok:
+            report.responses_ok += 1
+            if kind == "optimize" and optimize_faulted:
+                continue
+            produced = _normalized(kind, outcome.result)
+            if produced != truths[kind][index]:
+                report.violation(
+                    "bitwise",
+                    f"executor {kind}[{index}] differs from solo "
+                    f"job.run(): {produced} != {truths[kind][index]}")
+        else:
+            report.responses_error += 1
+            if not (outcome.error and outcome.error_type):
+                report.violation(
+                    "answered",
+                    f"executor {kind}[{index}] failed without error "
+                    f"context: {outcome!r}")
+            elif plan_inert:
+                report.violation(
+                    "isolation",
+                    f"executor {kind}[{index}] failed with no fault "
+                    f"armed: {outcome.error}")
+            with plan.suspended():
+                if cache.get(job) is not None:
+                    report.violation(
+                        "cache", f"failed {kind}[{index}] job has a "
+                                 f"cached result (errors must never be "
+                                 f"cached)")
+
+    if any(rule.site == "executor.pool.broken" for rule in plan.rules):
+        _drive_broken_pool(plan, report, jobs[:4])
+    _check_cache_integrity(plan, report, cache)
+
+
+def _drive_broken_pool(plan: FaultPlan, report: RunReport,
+                       jobs: Sequence[Any]) -> None:
+    """The pool-death path must fail loud, with actionable context."""
+    from ..engine.executor import BatchExecutor
+
+    rules = [rule for rule in plan.rules
+             if rule.site == "executor.pool.broken"]
+    # One pool run triggers the site once; nth/first rules need enough
+    # runs to reach their count.  Probabilistic rules may legitimately
+    # never fire within the budget.
+    attempts = min(5, max([rule.n for rule in rules
+                           if rule.mode in ("nth", "first")] + [1]))
+    deterministic = any(
+        rule.mode == "always"
+        or (rule.mode in ("nth", "first") and rule.n <= attempts)
+        for rule in rules)
+    executor = BatchExecutor(jobs=2)
+    fired = False
+    for _ in range(attempts):
+        try:
+            with hooks.active(plan):
+                executor.run(list(jobs))
+        except RuntimeError as exc:
+            fired = True
+            if "re-run with jobs=1" not in str(exc):
+                report.violation(
+                    "answered",
+                    f"broken-pool error lacks recovery context: {exc}")
+            break
+    if deterministic and not fired:
+        report.violation(
+            "answered",
+            "executor.pool.broken was armed deterministically but the "
+            "pool runs all succeeded")
+
+
+# ----------------------------------------------------------------------
+# Drivers' front door.
+# ----------------------------------------------------------------------
+def run_plan(plan: FaultPlan, *,
+             cache_root: Optional[Path] = None) -> RunReport:
+    """Drive ``plan`` through the live workloads and check invariants.
+
+    Rules naming engine sites route through the
+    :class:`~repro.engine.executor.BatchExecutor` driver; everything
+    else (including an empty plan) routes through the socket-level
+    serve driver.  A plan mixing both runs both.
+    """
+    report = RunReport(plan_string=plan.to_string())
+    sites = {rule.site for rule in plan.rules}
+    engine = bool(sites & ENGINE_SITES)
+    serve = bool(sites - ENGINE_SITES) or not sites
+
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
+        root = Path(cache_root) if cache_root is not None else Path(tmp)
+        if engine:
+            _drive_engine(plan, report, root / "engine")
+        if serve:
+            _drive_serve(plan, report, root / "serve")
+
+    report.events = plan.event_log()
+    report.fired = plan.fired_sites()
+    for rule in plan.rules:
+        if rule.mode in ("always", "first", "nth") \
+                and not report.fired.get(rule.site):
+            report.violation(
+                "coverage",
+                f"rule for {rule.site} (mode {rule.mode}) never fired — "
+                f"the seam is not reachable from the workload")
+    return report
+
+
+def replay(plan_string: str) -> RunReport:
+    """Re-run a serialized plan (the ``repro-faults replay`` core)."""
+    return run_plan(FaultPlan.from_string(plan_string))
+
+
+# ----------------------------------------------------------------------
+# Canned scenarios and campaigns.
+# ----------------------------------------------------------------------
+#: Per-site deterministic rule presets: every registered site is
+#: reachable from the standard workload with these triggers.
+SITE_RULES: Dict[str, Dict[str, Any]] = {
+    "cache.get.os_error": {"mode": "nth", "n": 2},
+    "cache.get.torn_record": {"mode": "nth", "n": 1},
+    "cache.put.os_error": {"mode": "nth", "n": 1},
+    "cache.put.stale_tmp": {"mode": "nth", "n": 1},
+    "executor.job.error": {"mode": "nth", "n": 2},
+    "executor.job.hang": {"mode": "nth", "n": 1, "delay": 0.01},
+    "executor.pool.broken": {"mode": "nth", "n": 1},
+    "optimize.warm_start": {"mode": "nth", "n": 1},
+    "kernels.threshold_delay.nan_lane": {"mode": "nth", "n": 1},
+    "serve.optimize.lane_error": {"mode": "nth", "n": 1},
+    "batcher.dispatch.delay": {"mode": "nth", "n": 1, "delay": 0.01},
+    "batcher.evaluate.error": {"mode": "nth", "n": 1},
+    "batcher.envelope.malformed": {"mode": "nth", "n": 1},
+    "server.read.drop": {"mode": "nth", "n": 2},
+    "server.write.truncate": {"mode": "nth", "n": 1},
+}
+
+
+def scenario_plan(scenario: str, *, seed: int = 0) -> FaultPlan:
+    """Plan arming every site of one scenario (``cache``/``engine``/
+    ``serve``), or ``all``."""
+    names = [name for name, point in sorted(FAULT_POINTS.items())
+             if scenario in ("all", point.scenario)]
+    if not names:
+        known = sorted({point.scenario
+                        for point in FAULT_POINTS.values()} | {"all"})
+        raise ValueError(f"unknown scenario {scenario!r}; known: "
+                         f"{', '.join(known)}")
+    return FaultPlan(seed=seed, rules=[
+        FaultRule(site=name, **SITE_RULES.get(name, {}))
+        for name in names])
+
+
+def site_plan(site: str, *, seed: int = 0) -> FaultPlan:
+    """Plan arming exactly one registered site with its preset."""
+    if site not in FAULT_POINTS:
+        raise ValueError(f"unknown fault site {site!r}")
+    return FaultPlan(seed=seed,
+                     rules=[FaultRule(site=site,
+                                      **SITE_RULES.get(site, {}))])
+
+
+def run_campaign(*, seed: int = 0, randomized_rounds: int = 0
+                 ) -> CampaignReport:
+    """Deterministic per-site sweep plus optional randomized rounds.
+
+    The deterministic phase runs :func:`site_plan` for every registered
+    site — this is what makes campaign coverage a *gate*: a seam whose
+    preset no longer fires turns up in :meth:`CampaignReport.uncovered`.
+    Randomized rounds then arm 2–4 random sites with seeded random
+    triggers; any failure's plan string is in its
+    :class:`RunReport` for replay.
+    """
+    campaign = CampaignReport()
+    for site in sorted(FAULT_POINTS):
+        run = run_plan(site_plan(site, seed=seed))
+        campaign.runs.append(run)
+        for name, count in run.fired.items():
+            campaign.coverage[name] = campaign.coverage.get(name, 0) + count
+
+    rng = random.Random(seed)
+    for round_index in range(randomized_rounds):
+        sites = rng.sample(sorted(FAULT_POINTS), rng.randint(2, 4))
+        rules = []
+        for site in sites:
+            preset = dict(SITE_RULES.get(site, {}))
+            mode = rng.choice(["nth", "first", "prob"])
+            preset["mode"] = mode
+            if mode in ("nth", "first"):
+                preset["n"] = rng.randint(1, 3)
+                preset.pop("p", None)
+            else:
+                preset["p"] = rng.uniform(0.2, 0.8)
+            rules.append(FaultRule(site=site, **preset))
+        run = run_plan(FaultPlan(seed=seed + 1 + round_index, rules=rules))
+        # Randomized triggers may legitimately never fire; reachability
+        # is the deterministic phase's job, not this one's.
+        run.violations = [violation for violation in run.violations
+                          if violation.invariant != "coverage"]
+        campaign.runs.append(run)
+        for name, count in run.fired.items():
+            campaign.coverage[name] = campaign.coverage.get(name, 0) + count
+    return campaign

@@ -1,0 +1,165 @@
+"""Seam-side API of the fault plane: one global plan, cheap guards.
+
+Hot seams use exactly one pattern::
+
+    from ..faults import hooks as _faults
+    ...
+    if _faults.ACTIVE is not None:
+        _faults.fire("cache.get.os_error", path=str(path))
+
+With no plan installed the guard is a module-attribute load plus an
+``is`` comparison — the fault plane costs nothing on the serve hot path
+(asserted by the serve benchmark's unchanged speedup floor).  With a
+plan installed, each helper routes through
+:meth:`repro.faults.plan.FaultPlan.trigger`, which counts the
+invocation, consults the rules, and logs a replayable event when one
+fires.
+
+Activation:
+
+* :func:`install` / :func:`uninstall` / the :func:`active` context
+  manager, for in-process harnesses;
+* the ``REPRO_FAULTS`` environment variable (a plan string), read once
+  at import — which is how freshly spawned process-pool workers arm the
+  same plan as the parent run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, List, Optional, Sequence
+
+from .plan import FaultPlan
+
+#: Environment variable carrying a plan string for cross-process runs.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: The installed plan, or ``None`` (the free, default state).
+ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-wide active plan."""
+    global ACTIVE
+    ACTIVE = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate fault injection (back to the zero-overhead state)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def active(plan: FaultPlan):
+    """Install ``plan`` for the duration of the block."""
+    global ACTIVE
+    previous = ACTIVE
+    install(plan)
+    try:
+        yield plan
+    finally:
+        ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Site helpers.  Every helper is a no-op returning its input (or doing
+# nothing) when no plan is installed or no rule fires.
+# ----------------------------------------------------------------------
+def fire(site: str, **context: Any) -> None:
+    """Raise the configured exception if a rule fires at ``site``."""
+    plan = ACTIVE
+    if plan is None:
+        return
+    detail = " ".join(f"{k}={v}" for k, v in sorted(context.items()))
+    rule = plan.trigger(site, detail=detail)
+    if rule is not None:
+        raise plan.build_exception(rule, site)
+
+
+def should(site: str) -> bool:
+    """True when a rule fires at ``site`` (side-effect sites)."""
+    plan = ACTIVE
+    if plan is None:
+        return False
+    return plan.trigger(site) is not None
+
+
+def delay_duration(site: str) -> float:
+    """Seconds to stall at ``site`` (0.0 when nothing fires)."""
+    plan = ACTIVE
+    if plan is None:
+        return 0.0
+    rule = plan.trigger(site)
+    return rule.delay if rule is not None else 0.0
+
+
+def sleep(site: str) -> None:
+    """Blocking stall at ``site`` (synchronous seams only)."""
+    duration = delay_duration(site)
+    if duration > 0.0:
+        time.sleep(duration)
+
+
+def mutate(site: str, value: Any) -> Any:
+    """Corrupt ``value`` if a rule fires; otherwise pass it through.
+
+    * ``truncate`` on ``str``/``bytes``: cut at ``fraction`` of length;
+    * ``drop_one`` on sequences: remove a seeded element (returns a
+      list) — the malformed-envelope shape.
+    """
+    plan = ACTIVE
+    if plan is None:
+        return value
+    rule = plan.trigger(site)
+    if rule is None:
+        return value
+    action = rule.resolved_action
+    if action == "truncate" and isinstance(value, (str, bytes)):
+        return value[:max(1, int(len(value) * rule.fraction))]
+    if action == "drop_one" and isinstance(value, Sequence) \
+            and not isinstance(value, (str, bytes)):
+        items: List[Any] = list(value)
+        if items:
+            items.pop(plan.pick_index(site, len(items)))
+        return items
+    return value
+
+
+def nan_lanes(site: str, tau):
+    """Poison one seeded lane of ``tau`` with NaN if a rule fires."""
+    plan = ACTIVE
+    if plan is None:
+        return tau
+    rule = plan.trigger(site)
+    if rule is None:
+        return tau
+    import numpy as np
+
+    out = np.array(tau, dtype=float, copy=True)
+    if out.size:
+        out[plan.pick_index(site, out.size)] = np.nan
+    return out
+
+
+def pick_lane(site: str, n: int) -> Optional[int]:
+    """Seeded lane index in ``[0, n)`` if a rule fires, else ``None``."""
+    plan = ACTIVE
+    if plan is None or n <= 0:
+        return None
+    rule = plan.trigger(site)
+    if rule is None:
+        return None
+    return plan.pick_index(site, n)
+
+
+def _install_from_env() -> None:
+    text = os.environ.get(FAULTS_ENV)
+    if text:
+        install(FaultPlan.from_string(text))
+
+
+_install_from_env()

@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..faults import hooks as _faults
 from .protocol import (DeadlineExceededError, EvaluationFailedError,
                        QueueFullError, ServiceClosedError)
 
@@ -162,8 +163,28 @@ class DynamicBatcher:
         if self._wakeup is not None:
             self._wakeup.set()
         if self._task is not None:
-            await self._task
+            task = self._task
+            try:
+                await task
+            except asyncio.CancelledError:
+                if not task.cancelled():
+                    raise  # close() itself was cancelled mid-await
+            except Exception:  # noqa: BLE001 — flush below regardless
+                # A drain task that died abnormally must not abort the
+                # close: the flush below still answers whatever it left.
+                pass
             self._task = None
+        # Defense in depth for the close/drain race: if the drain task
+        # ever exits with lanes still queued (it crashed, or a lane was
+        # admitted in the same event-loop step close() began), those
+        # lanes are rejected explicitly — answered-or-rejected, never
+        # silently lost.
+        while self._pending:
+            lane = self._pending.popleft()
+            if not lane.future.done():
+                lane.future.set_exception(ServiceClosedError(
+                    f"{self.kind} batcher closed before the lane "
+                    f"dispatched"))
 
     def _ensure_draining(self) -> None:
         if self._wakeup is None:
@@ -203,6 +224,13 @@ class DynamicBatcher:
                 except asyncio.TimeoutError:
                     break
 
+            if _faults.ACTIVE is not None:
+                # Named fault site: the drain loop stalls before popping
+                # lanes, widening the linger/deadline/close races.
+                pause = _faults.delay_duration("batcher.dispatch.delay")
+                if pause > 0.0:
+                    await asyncio.sleep(pause)
+
             size = min(self.max_batch_size, len(self._pending))
             lanes = [self._pending.popleft() for _ in range(size)]
             now = loop.time()
@@ -221,28 +249,46 @@ class DynamicBatcher:
                 continue
 
             if self.on_batch is not None:
-                self.on_batch(self.kind, len(live))
+                try:
+                    self.on_batch(self.kind, len(live))
+                except Exception:  # noqa: BLE001 — metrics are advisory
+                    # A raising metrics hook once killed the drain task
+                    # here, silently orphaning every popped lane; the
+                    # answered-or-rejected invariant outranks the
+                    # histogram.
+                    pass
             try:
+                if _faults.ACTIVE is not None:
+                    _faults.fire("batcher.evaluate.error")
                 envelopes = await loop.run_in_executor(
                     None, self._evaluate, [lane.job for lane in live])
+                if _faults.ACTIVE is not None:
+                    envelopes = _faults.mutate(
+                        "batcher.envelope.malformed", envelopes)
                 if len(envelopes) != len(live):
                     raise RuntimeError(
                         f"{self.kind} evaluator returned "
                         f"{len(envelopes)} envelopes for {len(live)} jobs")
+                for lane, envelope in zip(live, envelopes):
+                    if lane.future.done():
+                        continue
+                    if envelope.get("ok"):
+                        lane.future.set_result(
+                            (envelope["result"], len(live)))
+                    else:
+                        lane.future.set_exception(EvaluationFailedError(
+                            envelope.get("error", "evaluation failed"),
+                            error_type=envelope.get("error_type")))
             except Exception as exc:  # noqa: BLE001 — fail this batch only
+                # Everything batch-scoped — the evaluator call, the
+                # envelope count check, and the fan-out itself (a
+                # malformed envelope raises here) — fails exactly this
+                # batch's lanes and keeps the drain task alive for the
+                # queue behind it.  No admitted lane is ever orphaned by
+                # an internal error.
                 for lane in live:
                     if not lane.future.done():
                         lane.future.set_exception(EvaluationFailedError(
                             f"{self.kind} batch evaluation failed: {exc}",
                             error_type=type(exc).__name__))
                 continue
-            for lane, envelope in zip(live, envelopes):
-                if lane.future.done():
-                    continue
-                if envelope.get("ok"):
-                    lane.future.set_result(
-                        (envelope["result"], len(live)))
-                else:
-                    lane.future.set_exception(EvaluationFailedError(
-                        envelope.get("error", "evaluation failed"),
-                        error_type=envelope.get("error_type")))

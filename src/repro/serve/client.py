@@ -65,9 +65,13 @@ class ServeClient:
                 payload = response.read()
                 return response.status, payload
             except (http.client.RemoteDisconnected,
-                    http.client.BadStatusLine, BrokenPipeError,
+                    http.client.BadStatusLine,
+                    http.client.IncompleteRead, BrokenPipeError,
                     ConnectionResetError):
-                # Stale keep-alive socket: reconnect once, then give up.
+                # Stale keep-alive socket, or a response truncated by a
+                # mid-write disconnect.  Every request here is a pure
+                # evaluation (idempotent), so a resend is always safe:
+                # reconnect once, then give up.
                 self.close()
                 if attempt:
                     raise

@@ -38,6 +38,7 @@ class ServerMetrics:
     outcomes: Counter = field(default_factory=Counter)      #: (kind, code)
     cache_hits: Counter = field(default_factory=Counter)    #: by kind
     cache_misses: Counter = field(default_factory=Counter)  #: by kind
+    cache_put_failures: Counter = field(default_factory=Counter)  #: by kind
     batch_sizes: Counter = field(default_factory=Counter)   #: (kind, size)
     batches: Counter = field(default_factory=Counter)       #: by kind
     latencies: Deque[float] = field(
@@ -57,6 +58,10 @@ class ServerMetrics:
 
     def record_cache(self, kind: str, hit: bool) -> None:
         (self.cache_hits if hit else self.cache_misses)[kind] += 1
+
+    def record_cache_put_failure(self, kind: str) -> None:
+        """A computed result could not be written back to the store."""
+        self.cache_put_failures[kind] += 1
 
     def record_batch(self, kind: str, size: int) -> None:
         """Batch-size histogram hook wired into each DynamicBatcher."""
@@ -104,6 +109,7 @@ class ServerMetrics:
                 "hits": dict(self.cache_hits),
                 "misses": dict(self.cache_misses),
                 "hit_rate": self.cache_hit_rate(),
+                "put_failures": dict(self.cache_put_failures),
             },
             "batches": dict(self.batches),
             "batch_size_histogram": {

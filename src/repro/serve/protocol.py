@@ -25,6 +25,7 @@ deadlines ``504``, a draining server ``503``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple, Type
 
@@ -102,6 +103,31 @@ class ServeRequest:
         return self.job.kind
 
 
+def _find_nonfinite(value: Any, path: str) -> Optional[str]:
+    """Path of the first non-finite number in ``value``, else ``None``.
+
+    Strict-JSON guard: ``json.loads`` happily accepts ``NaN`` and
+    ``Infinity`` tokens, but no finite electrical parameter is ever
+    legitimately non-finite — and admitting one would poison a whole
+    kernel batch (NaN propagates across vectorized lanes' shared
+    reductions in some solvers) and could round-trip into the cache.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return path
+    if isinstance(value, dict):
+        for key, item in value.items():
+            found = _find_nonfinite(item, f"{path}.{key}" if path else
+                                    str(key))
+            if found is not None:
+                return found
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            found = _find_nonfinite(item, f"{path}[{index}]")
+            if found is not None:
+                return found
+    return None
+
+
 def parse_request(data: Any) -> ServeRequest:
     """Validate a request document and build its :class:`ServeRequest`.
 
@@ -112,6 +138,11 @@ def parse_request(data: Any) -> ServeRequest:
     if not isinstance(data, dict):
         raise BadRequestError(
             f"request must be a JSON object, got {type(data).__name__}")
+    nonfinite = _find_nonfinite(data, "")
+    if nonfinite is not None:
+        raise BadRequestError(
+            f"request field {nonfinite!r} is not a finite number "
+            f"(NaN/Infinity are not accepted on the wire)")
     kind = data.get("kind")
     if kind not in REQUEST_JOB_TYPES:
         known = ", ".join(sorted(REQUEST_JOB_TYPES))

@@ -27,10 +27,17 @@ import json
 import threading
 from typing import Any, Dict, Optional, Set, Tuple
 
+from ..faults import hooks as _faults
 from .service import ReproService
 
 #: Largest accepted request body, in bytes.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default seconds a request body may take to arrive in full.  A client
+#: that advertises a Content-Length and then stalls (a truncated NDJSON
+#: body with the socket held open) gets a structured 400 instead of
+#: pinning the connection forever.
+DEFAULT_READ_TIMEOUT = 30.0
 
 #: Reason phrases for the statuses this server emits.
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -61,10 +68,13 @@ class ReproServer:
     """
 
     def __init__(self, service: ReproService, *, host: str = "127.0.0.1",
-                 port: int = 8451) -> None:
+                 port: int = 8451,
+                 read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT
+                 ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
         self._draining = False
@@ -116,7 +126,12 @@ class ReproServer:
                 connection.busy = True
                 try:
                     if parse_error is not None:
-                        status, payload = parse_error
+                        # Framing errors carry a response *document*;
+                        # encode it here so the malformed request still
+                        # gets its structured 4xx (never a silently
+                        # closed connection).
+                        status, error_document = parse_error
+                        payload = _json_bytes(error_document)
                     else:
                         status, payload = await self._dispatch(
                             method, path, body)
@@ -155,6 +170,14 @@ class ReproServer:
             return None
         if not request_line:
             return None
+        if _faults.ACTIVE is not None and _faults.should("server.read.drop"):
+            # Named fault site: the client vanished mid-request (after the
+            # request line, before the body).  Surfaces as ConnectionError
+            # so the connection handler tears down exactly as it would for
+            # a real half-open socket.
+            raise ConnectionResetError(
+                "injected fault at server.read.drop: client disconnected "
+                "mid-request")
         try:
             method, path, _version = (
                 request_line.decode("latin-1").strip().split(" ", 2))
@@ -180,7 +203,28 @@ class ReproServer:
                     (413, _error_body("bad_request",
                                       f"body exceeds {MAX_BODY_BYTES} "
                                       f"bytes")))
-        body = await reader.readexactly(length) if length else b""
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length),
+                    self.read_timeout) if self.read_timeout is not None \
+                    else await reader.readexactly(length)
+            except asyncio.TimeoutError:
+                # The client advertised a Content-Length and then stalled
+                # with the socket open: answer with a structured 400
+                # rather than pinning the connection on a body that will
+                # never arrive.
+                return (method.upper(), path, headers, b"",
+                        (400, _error_body(
+                            "bad_request",
+                            f"request body incomplete after "
+                            f"{self.read_timeout:g}s (expected {length} "
+                            f"bytes)")))
+            except asyncio.IncompleteReadError:
+                # Truncated body then EOF — nothing to answer to.
+                return None
+        else:
+            body = b""
         return (method.upper(), path, headers, body, None)
 
     async def _write_response(self, writer: asyncio.StreamWriter,
@@ -192,7 +236,19 @@ class ReproServer:
                 f"Content-Length: {len(payload)}\r\n"
                 f"Connection: {'keep-alive' if keep_alive else 'close'}"
                 f"\r\n\r\n")
-        writer.write(head.encode("latin-1") + payload)
+        wire = head.encode("latin-1") + payload
+        if _faults.ACTIVE is not None:
+            truncated = _faults.mutate("server.write.truncate", wire)
+            if len(truncated) != len(wire):
+                # Named fault site: the connection dies mid-response.  The
+                # client sees fewer bytes than Content-Length promised —
+                # the retryable IncompleteRead path.
+                writer.write(truncated)
+                await writer.drain()
+                raise ConnectionResetError(
+                    "injected fault at server.write.truncate: connection "
+                    "lost mid-response")
+        writer.write(wire)
         await writer.drain()
 
     # ------------------------------------------------------------------
@@ -241,13 +297,28 @@ class ReproServer:
         # batcher coalesce a multi-request body into one kernel batch).
         outcomes = await asyncio.gather(
             *(self.service.handle(document) for document in documents))
-        payload = "\n".join(json.dumps(response, sort_keys=True)
-                            for _status, response in outcomes) + "\n"
+        payload = "\n".join(
+            _json_bytes(response).decode("utf-8").rstrip("\n")
+            for _status, response in outcomes) + "\n"
         return 200, payload.encode("utf-8")
 
 
+#: Strict-JSON fallback: emitted when a response document contains a
+#: non-finite float that slipped past the service-layer screens.  Strict
+#: encoding (``allow_nan=False``) guarantees ``NaN``/``Infinity`` tokens
+#: — invalid JSON most parsers reject — never reach the wire.
+_NONFINITE_BODY = (json.dumps(
+    _error_body("internal",
+                "response contained a non-finite number"),
+    sort_keys=True) + "\n").encode("utf-8")
+
+
 def _json_bytes(payload: Any) -> bytes:
-    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    try:
+        return (json.dumps(payload, sort_keys=True, allow_nan=False)
+                + "\n").encode("utf-8")
+    except ValueError:
+        return _NONFINITE_BODY
 
 
 # ----------------------------------------------------------------------
@@ -268,9 +339,12 @@ class ServerThread:
     """
 
     def __init__(self, service: ReproService, *, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT
+                 ) -> None:
         self.service = service
-        self.server = ReproServer(service, host=host, port=port)
+        self.server = ReproServer(service, host=host, port=port,
+                                  read_timeout=read_timeout)
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None

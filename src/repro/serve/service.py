@@ -35,6 +35,7 @@ baseline the serve benchmark compares micro-batching against.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -45,6 +46,7 @@ from ..core.optimize import optimize_repeater, optimize_repeater_many
 from ..engine.cache import ResultCache
 from ..engine.jobs import _optimum_payload
 from ..errors import OptimizationError
+from ..faults import hooks as _faults
 from .batcher import (DEFAULT_MAX_BATCH_SIZE, DEFAULT_MAX_LINGER,
                       DEFAULT_MAX_QUEUE_DEPTH, DynamicBatcher)
 from .metrics import ServerMetrics
@@ -56,13 +58,48 @@ from .protocol import (REQUEST_JOB_TYPES, ServeError, ServeRequest,
 # ----------------------------------------------------------------------
 # Batch evaluators (blocking; run on an executor thread).
 # ----------------------------------------------------------------------
-def _solo_envelope(job: Any) -> Dict[str, Any]:
-    """Evaluate one job through its own ``run()`` with fault isolation."""
+def _solo_envelope(job: Any, *, screen: bool = False) -> Dict[str, Any]:
+    """Evaluate one job through its own ``run()`` with fault isolation.
+
+    With ``screen`` true the result is additionally rejected if it
+    contains non-finite numbers (the delay/critical kinds, whose
+    payloads are always finite when healthy).  Optimize payloads are
+    not screened: a *successful* optimum is finite where it matters,
+    but its trace may legitimately record non-finite residuals from
+    rejected probe steps.
+    """
     try:
-        return {"ok": True, "result": job.run()}
+        envelope = {"ok": True, "result": job.run()}
     except Exception as exc:  # noqa: BLE001 — isolate any lane failure
         return {"ok": False, "error": str(exc),
                 "error_type": type(exc).__name__}
+    return _screened(envelope) if screen else envelope
+
+
+def _finite(value: Any) -> bool:
+    """Every number in ``value`` is finite (``None`` margins allowed)."""
+    if isinstance(value, float):
+        return math.isfinite(value)
+    if isinstance(value, dict):
+        return all(_finite(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return all(_finite(v) for v in value)
+    return True
+
+
+def _screened(envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """Fail a lane whose result contains NaN/inf instead of serving it.
+
+    The wire protocol is strict JSON (no ``NaN`` tokens) and the cache
+    must never store a non-finite payload, so a lane that solved to NaN
+    — a numerical escape, or the ``kernels.threshold_delay.nan_lane``
+    fault — is reported as that lane's own structured failure.
+    """
+    if envelope.get("ok") and not _finite(envelope["result"]):
+        return {"ok": False,
+                "error": "evaluation produced a non-finite result",
+                "error_type": "DelaySolverError"}
+    return envelope
 
 
 def _stage_batch(jobs: Sequence[Any]) -> StageBatch:
@@ -88,22 +125,22 @@ def evaluate_delay_batch(jobs: Sequence[Any]) -> List[Dict[str, Any]]:
     its solo scalar path so only the offending request fails.
     """
     if len(jobs) == 1:
-        return [_solo_envelope(jobs[0])]
+        return [_solo_envelope(jobs[0], screen=True)]
     try:
         solved = threshold_delay_v(_stage_batch(jobs),
                                    [job.f for job in jobs])
     except Exception:  # noqa: BLE001 — isolate per lane via solo path
-        return [_solo_envelope(job) for job in jobs]
+        return [_solo_envelope(job, screen=True) for job in jobs]
     damping = solved.damping_values()
     envelopes: List[Dict[str, Any]] = []
     for i, job in enumerate(jobs):
         tau = float(solved.tau[i])
-        envelopes.append({"ok": True, "result": {
+        envelopes.append(_screened({"ok": True, "result": {
             "tau": tau,
             "delay_per_length": tau / job.h,
             "threshold": job.f,
             "damping": damping[i].value,
-            "newton_iterations": 0}})
+            "newton_iterations": 0}}))
     return envelopes
 
 
@@ -117,17 +154,17 @@ def evaluate_critical_inductance_batch(jobs: Sequence[Any]
     graph.
     """
     if len(jobs) == 1:
-        return [_solo_envelope(jobs[0])]
+        return [_solo_envelope(jobs[0], screen=True)]
     try:
         l_crit = critical_inductance_v(_stage_batch(jobs))
     except Exception:  # noqa: BLE001 — isolate per lane via solo path
-        return [_solo_envelope(job) for job in jobs]
+        return [_solo_envelope(job, screen=True) for job in jobs]
     envelopes: List[Dict[str, Any]] = []
     for i, job in enumerate(jobs):
         lc = float(l_crit[i])
         margin = (job.line.l / lc) if lc > 0.0 else None
-        envelopes.append({"ok": True, "result": {
-            "l_crit": lc, "l": job.line.l, "damping_margin": margin}})
+        envelopes.append(_screened({"ok": True, "result": {
+            "l_crit": lc, "l": job.line.l, "damping_margin": margin}}))
     return envelopes
 
 
@@ -157,6 +194,17 @@ def evaluate_optimize_batch(jobs: Sequence[Any]) -> List[Dict[str, Any]]:
             for i in indices:
                 envelopes[i] = _solo_envelope(jobs[i])
             continue
+        outcomes = list(outcomes)
+        if _faults.ACTIVE is not None:
+            # Named fault site: exactly one lane of the lockstep batch
+            # diverges; the re-seed retry below must recover (or fail)
+            # that lane alone.
+            lane = _faults.pick_lane("serve.optimize.lane_error",
+                                     len(outcomes))
+            if lane is not None:
+                outcomes[lane] = OptimizationError(
+                    "injected fault at serve.optimize.lane_error: "
+                    "lane diverged")
         for i, outcome in zip(indices, outcomes):
             job = jobs[i]
             retried = False
@@ -293,7 +341,13 @@ class ReproService:
                                                       timeout=timeout)
             if use_cache and (kind in EXACT_AT_ANY_BATCH_SIZE
                               or batch_size <= 1):
-                self.cache.put(request.job, result)
+                try:
+                    self.cache.put(request.job, result)
+                except OSError:
+                    # A store failure (full disk, permissions, an
+                    # injected cache.put.os_error) must never fail a
+                    # request whose result is already in hand.
+                    self.metrics.record_cache_put_failure(kind)
             self.metrics.record_outcome(kind, "ok",
                                         time.perf_counter() - start)
             state = ("miss" if use_cache

@@ -282,3 +282,57 @@ class TestGracefulDrain:
 
         asyncio.run(run())
         assert sizes == [("echo", 2), ("echo", 2)]
+
+
+class TestDrainRobustness:
+    """Regressions for the close/linger race and the advisory hook.
+
+    Both bugs shared a failure shape: the drain task died (or exited
+    with lanes still queued) and every orphaned waiter hung forever.
+    The invariant under test is answered-or-rejected — a lane may fail,
+    but it may never be silently dropped.
+    """
+
+    def test_raising_on_batch_hook_does_not_orphan_lanes(self):
+        # A metrics hook that raises once killed the drain task after
+        # lanes were popped from the queue: the popped lanes hung and
+        # every later submit joined a queue nobody drained.
+        evaluate = RecordingEvaluator()
+
+        def hostile_hook(kind, size):
+            raise RuntimeError("histogram backend exploded")
+
+        async def run():
+            batcher = DynamicBatcher("echo", evaluate, max_batch_size=4,
+                                     max_linger=0.01,
+                                     on_batch=hostile_hook)
+            first = await asyncio.gather(
+                *(batcher.submit(i) for i in range(4)))
+            # The drain task must have survived the hook to serve this.
+            second = await asyncio.gather(
+                *(batcher.submit(i) for i in range(4, 8)))
+            await batcher.close()
+            return first + second
+
+        results = asyncio.run(run())
+        assert [result for result, _size in results] \
+            == [{"echo": i} for i in range(8)]
+        assert len(evaluate.batches) == 2
+
+    def test_close_rejects_lanes_left_behind_by_a_dead_drain_task(self):
+        # The close/linger race, distilled: the drain task is gone while
+        # a lane still sits in the queue.  close() must reject that lane
+        # explicitly instead of returning with it parked forever.
+        async def run():
+            batcher = DynamicBatcher("echo", RecordingEvaluator(),
+                                     max_linger=30.0)
+            waiter = asyncio.ensure_future(batcher.submit(0))
+            await asyncio.sleep(0.01)  # lane admitted, drain lingering
+            batcher._task.cancel()     # simulate the task dying
+            await asyncio.sleep(0)
+            await batcher.close()      # must not leak CancelledError
+            with pytest.raises(ServiceClosedError,
+                               match="before the lane dispatched"):
+                await waiter
+
+        asyncio.run(run())

@@ -1,0 +1,211 @@
+"""Property tests for the serve wire protocol and HTTP framing.
+
+Two layers, one contract — a malformed request can never hang a
+connection or escape as a traceback:
+
+* ``parse_request`` properties (Hypothesis): every valid job document
+  round-trips losslessly; any JSON document either parses or raises
+  :class:`BadRequestError`; non-finite numbers anywhere in a request
+  are rejected before they can reach a kernel batch or the cache.
+* socket-level framing: truncated bodies (Content-Length promised,
+  bytes withheld) get a structured 400 via the read timeout instead of
+  pinning the connection; oversized bodies get 413; garbage request
+  lines get 400; NaN tokens in the body get 400 — and after each, the
+  server still serves the next connection.
+"""
+
+import json
+import socket
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.jobs import canonical_json, job_to_dict
+from repro.serve.protocol import BadRequestError, parse_request
+from repro.serve.server import ServerThread
+from repro.serve.service import ReproService
+
+from .strategies import drivers, lines
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies.
+# ----------------------------------------------------------------------
+delay_documents = st.builds(
+    lambda line, driver, h, k, f: {
+        "kind": "delay",
+        "line": {"r": line.r, "l": line.l, "c": line.c},
+        "driver": {"r_s": driver.r_s, "c_p": driver.c_p,
+                   "c_0": driver.c_0},
+        "h": h, "k": k, "f": f},
+    line=lines, driver=drivers,
+    h=st.floats(min_value=1e-4, max_value=0.05),
+    k=st.floats(min_value=1.0, max_value=5000.0),
+    f=st.floats(min_value=0.1, max_value=0.9))
+
+json_values = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-10**6, max_value=10**6)
+    | st.floats(allow_nan=True, allow_infinity=True) | st.text(),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=12), children, max_size=4),
+    max_leaves=12)
+
+
+class TestParseRequestProperties:
+    @given(document=delay_documents)
+    @settings(max_examples=60, deadline=None)
+    def test_valid_document_round_trips(self, document):
+        request = parse_request(document)
+        rebuilt = parse_request(job_to_dict(request.job))
+        assert canonical_json(job_to_dict(request.job)) \
+            == canonical_json(job_to_dict(rebuilt.job))
+        assert request.timeout is None
+        assert request.no_cache is False
+
+    @given(document=delay_documents,
+           field=st.sampled_from(["h", "k", "f"]),
+           bad=st.sampled_from([float("nan"), float("inf"),
+                                float("-inf")]))
+    @settings(max_examples=40, deadline=None)
+    def test_nonfinite_field_rejected(self, document, field, bad):
+        document[field] = bad
+        with pytest.raises(BadRequestError,
+                           match="not a finite number"):
+            parse_request(document)
+
+    @given(document=delay_documents,
+           bad=st.sampled_from([float("nan"), float("inf")]))
+    @settings(max_examples=40, deadline=None)
+    def test_nonfinite_nested_field_rejected(self, document, bad):
+        document["line"]["l"] = bad
+        with pytest.raises(BadRequestError, match="line.l"):
+            parse_request(document)
+
+    @given(data=json_values)
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_arbitrary_json_parses_or_bad_request(self, data):
+        """No input JSON may escape as anything but BadRequestError."""
+        try:
+            parse_request(data)
+        except BadRequestError as exc:
+            assert exc.code == "bad_request"
+            assert exc.message
+
+    @given(kind=st.text(min_size=1, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_unicode_kind_rejected_structurally(self, kind):
+        if kind in ("delay", "critical_inductance", "optimize"):
+            return
+        with pytest.raises(BadRequestError, match="unknown request kind"):
+            parse_request({"kind": kind})
+
+
+# ----------------------------------------------------------------------
+# Socket-level framing.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    service = ReproService(max_linger=0.001)
+    with ServerThread(service, read_timeout=0.3) as handle:
+        yield handle
+
+
+def _raw_exchange(handle, payload: bytes, *, timeout: float = 5.0) -> bytes:
+    with socket.create_connection((handle.server.host,
+                                   handle.server.port),
+                                  timeout=timeout) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+
+def _status_and_body(raw: bytes):
+    head, _sep, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body.splitlines()[0]) if body.strip() \
+        else None
+
+
+class TestFraming:
+    def test_truncated_body_gets_400_not_a_hung_connection(self, server):
+        # Content-Length promises 100 bytes; only 10 arrive.  The read
+        # timeout turns the stall into a structured 400 and closes.
+        raw = _raw_exchange(
+            server,
+            b"POST /v1/evaluate HTTP/1.1\r\n"
+            b"Content-Length: 100\r\n\r\n" + b"x" * 10)
+        status, body = _status_and_body(raw)
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert "incomplete" in body["error"]["message"]
+
+    def test_oversized_body_gets_413(self, server):
+        raw = _raw_exchange(
+            server,
+            b"POST /v1/evaluate HTTP/1.1\r\n"
+            b"Content-Length: 99999999\r\n\r\n")
+        status, body = _status_and_body(raw)
+        assert status == 413
+
+    def test_garbage_request_line_gets_400(self, server):
+        raw = _raw_exchange(server, b"NONSENSE\r\n\r\n")
+        status, body = _status_and_body(raw)
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_unreadable_content_length_gets_400(self, server):
+        raw = _raw_exchange(
+            server,
+            b"POST /v1/evaluate HTTP/1.1\r\n"
+            b"Content-Length: banana\r\n\r\n")
+        status, body = _status_and_body(raw)
+        assert status == 400
+
+    def test_nan_token_in_body_gets_400(self, server):
+        payload = (b'{"kind": "delay", "h": NaN}')
+        raw = _raw_exchange(
+            server,
+            b"POST /v1/evaluate HTTP/1.1\r\n"
+            b"Connection: close\r\n"
+            + f"Content-Length: {len(payload)}\r\n\r\n".encode("latin-1")
+            + payload)
+        status, body = _status_and_body(raw)
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        # json.loads accepts the NaN token, so rejection comes from the
+        # protocol's finiteness screen, with the offending path named.
+        assert "finite" in body["error"]["message"]
+
+    def test_mid_stream_disconnect_leaves_server_healthy(self, server):
+        # Open, send half a request, slam the connection shut...
+        with socket.create_connection((server.server.host,
+                                       server.server.port),
+                                      timeout=5.0) as sock:
+            sock.sendall(b"POST /v1/evaluate HTTP/1.1\r\n"
+                         b"Content-Len")
+        # ... and the server still answers the next connection.
+        raw = _raw_exchange(server,
+                            b"GET /healthz HTTP/1.1\r\n"
+                            b"Connection: close\r\n\r\n")
+        status, body = _status_and_body(raw)
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_server_never_emits_nan_tokens(self, server):
+        """Strict encoding: every body parses with a strict JSON parser."""
+        raw = _raw_exchange(server,
+                            b"GET /metrics HTTP/1.1\r\n"
+                            b"Connection: close\r\n\r\n")
+        _head, _sep, body = raw.partition(b"\r\n\r\n")
+
+        def reject(value):
+            raise ValueError(f"non-finite token {value!r} on the wire")
+
+        json.loads(body.decode("utf-8"), parse_constant=reject)
