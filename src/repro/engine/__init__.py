@@ -14,6 +14,8 @@ The engine is the single evaluation path:
 runner both submit their work through it.
 """
 
+from .backends import (BACKEND_NAMES, Backend, BackendStats, ProcessBackend,
+                       SerialBackend, ThreadBackend, make_backend)
 from .cache import CacheStats, ResultCache, code_version_salt, \
     default_cache_dir
 from .executor import BatchExecutor, BatchReport, JobOutcome
@@ -25,11 +27,13 @@ from .manifest import ManifestError, load_manifest
 from .metrics import BatchMetrics, JobMetrics, latency_percentiles
 
 __all__ = [
+    "BACKEND_NAMES", "Backend", "BackendStats",
     "BatchDelayJob", "BatchExecutor", "BatchMetrics", "BatchOptimizeJob",
     "BatchReport", "CacheStats", "CriticalInductanceJob",
     "DelayJob", "ExperimentJob", "JOB_TYPES", "JobMetrics", "JobOutcome",
-    "ManifestError", "OptimizeJob", "ResultCache", "SweepJob",
-    "TransientJob", "code_version_salt", "default_cache_dir",
-    "job_from_dict", "job_to_dict", "latency_percentiles",
-    "load_manifest", "register_job_type",
+    "ManifestError", "OptimizeJob", "ProcessBackend", "ResultCache",
+    "SerialBackend", "SweepJob", "ThreadBackend", "TransientJob",
+    "code_version_salt", "default_cache_dir", "job_from_dict",
+    "job_to_dict", "latency_percentiles", "load_manifest", "make_backend",
+    "register_job_type",
 ]

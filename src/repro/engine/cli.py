@@ -23,6 +23,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .backends import BACKEND_NAMES
 from .cache import ResultCache, default_cache_dir
 from .executor import BatchExecutor, BatchReport
 from .manifest import ManifestError, load_manifest
@@ -43,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--chunksize", type=int, default=None,
                             metavar="N",
                             help="jobs per worker dispatch (pool backend)")
+    run_parser.add_argument("--backend", choices=BACKEND_NAMES,
+                            default=None,
+                            help="execution backend (default: serial "
+                                 "when --jobs 1, process otherwise)")
     run_parser.add_argument("--cache-dir", default=None, metavar="DIR",
                             help="result cache directory (default: "
                                  "$REPRO_CACHE_DIR or ./.repro-cache)")
@@ -99,9 +104,10 @@ def _run(args: argparse.Namespace) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
-    executor = BatchExecutor(jobs=args.jobs, cache=cache,
-                             chunksize=args.chunksize)
-    report = executor.run(job_specs)
+    with BatchExecutor(jobs=args.jobs, cache=cache,
+                       chunksize=args.chunksize,
+                       backend=args.backend) as executor:
+        report = executor.run(job_specs)
 
     print(_format_results_table(report))
     print()

@@ -1,14 +1,21 @@
-"""Batch scheduler: serial in-process or ``ProcessPoolExecutor`` backed.
+"""Batch scheduler: a thin orchestrator over a pluggable backend.
 
 The executor turns a sequence of job specs into an ordered sequence of
-:class:`JobOutcome` records.  Guarantees:
+:class:`JobOutcome` records.  Everything that decides *what* runs and
+what the results mean — cache lookups, the RC-reseed retry (in the job
+specs), the non-finite screen, submission-order collection, metrics —
+lives here, *above* the backend seam; the
+:class:`repro.engine.backends.Backend` below it only moves envelopes.
+Guarantees:
 
 * **Determinism** — results are collected in submission order and the
   result payloads contain no wall-clock data, so ``jobs=4`` is bitwise
-  identical to ``jobs=1``.  The ``wall_time`` the ``_execute_job``
-  envelope carries is *metrics-only*: it feeds ``JobMetrics`` and never
-  enters the cached payload, ``JobOutcome.to_payload()`` or result
-  equality (asserted by ``tests/test_engine_executor.py``).
+  identical to ``jobs=1`` on every backend.  The ``wall_time`` the
+  ``_execute_job`` envelope carries is *metrics-only*: it feeds
+  ``JobMetrics`` and never enters the cached payload,
+  ``JobOutcome.to_payload()`` or result equality (asserted by
+  ``tests/test_engine_executor.py`` and the parity suite in
+  ``tests/test_backends.py``).
 * **Fault isolation** — a job that raises (``OptimizationError``,
   convergence failure, bad parameters, ...) is reported failed with its
   captured traceback; the rest of the batch completes.  The bounded
@@ -16,89 +23,32 @@ The executor turns a sequence of job specs into an ordered sequence of
   itself (:class:`repro.engine.jobs.OptimizeJob`), so every backend
   applies the same recovery.
 * **Caching** — with a :class:`repro.engine.cache.ResultCache` attached,
-  hits are served in-process without spawning work and fresh successes
-  are written back.  Failures are never cached.
+  hits are served in-process without dispatching work and fresh
+  successes are written back.  Failures are never cached.
 
 The serial backend (``jobs=1``, the default) runs everything in-process:
 monkeypatching, shared ``lru_cache`` state and warm-start chaining all
 behave exactly as direct function calls — which is why it is the default
 evaluation path for :func:`repro.core.sweep.sweep_inductance`.
+``jobs=N`` selects the persistent process backend, whose warm workers
+survive across ``run()`` calls; an executor that built its own backend
+owns it — ``close()`` (or the context-manager form) shuts the workers
+down.
 """
 
 from __future__ import annotations
 
-import math
 import time
-import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
-from ..faults import hooks as _faults
+# Re-exported for compatibility: these moved to repro.engine.backends
+# (tests and the serve layer import them from here).
+from .backends import (Backend, _execute_job, _nonfinite_path,  # noqa: F401
+                       make_backend)
 from .cache import ResultCache
 from .jobs import job_to_dict
 from .metrics import BatchMetrics, JobMetrics, iterations_of, trace_counts_of
-
-
-def _nonfinite_path(value: Any, path: str = "result") -> Optional[str]:
-    """Dotted path of the first non-finite number in a result payload.
-
-    ``trace`` subtrees are exempt: an optimizer trace legitimately
-    records non-finite residuals from rejected probe steps.  Everywhere
-    else a NaN/inf is a solver escape, never a valid answer.
-    """
-    if isinstance(value, float):
-        return path if not math.isfinite(value) else None
-    if isinstance(value, dict):
-        for key, item in value.items():
-            if key == "trace":
-                continue
-            found = _nonfinite_path(item, f"{path}.{key}")
-            if found is not None:
-                return found
-    elif isinstance(value, (list, tuple)):
-        for index, item in enumerate(value):
-            found = _nonfinite_path(item, f"{path}[{index}]")
-            if found is not None:
-                return found
-    return None
-
-
-def _execute_job(job: Any) -> Dict[str, Any]:
-    """Evaluate one job, never raising — the unit of fault isolation.
-
-    Module-level so it pickles for the process-pool backend.  Returns an
-    envelope ``{"ok", "result" | ("error", "error_type", "traceback"),
-    "wall_time"}``.
-
-    A result containing a non-finite number outside its ``trace`` is
-    reported as that job's *failure*, not a success: a NaN that slipped
-    out of a solver must never be cached or summarized as an answer
-    (the serve layer applies the same screen per lane).
-    """
-    start = time.perf_counter()
-    try:
-        if _faults.ACTIVE is not None:
-            _faults.sleep("executor.job.hang")
-            _faults.fire("executor.job.error", kind=job.kind)
-        result = job.run()
-    except Exception as exc:  # noqa: BLE001 — isolate *any* job failure
-        return {"ok": False,
-                "error": str(exc),
-                "error_type": type(exc).__name__,
-                "traceback": traceback.format_exc(),
-                "wall_time": time.perf_counter() - start}
-    bad = _nonfinite_path(result)
-    if bad is not None:
-        return {"ok": False,
-                "error": f"job produced a non-finite value at {bad} "
-                         f"(solver escape; result not cached)",
-                "error_type": "DelaySolverError",
-                "traceback": "",
-                "wall_time": time.perf_counter() - start}
-    return {"ok": True, "result": result,
-            "wall_time": time.perf_counter() - start}
 
 
 @dataclass(frozen=True)
@@ -168,24 +118,33 @@ class BatchReport:
 
 
 class BatchExecutor:
-    """Schedules job batches over a serial or process-pool backend.
+    """Schedules job batches over a pluggable execution backend.
 
     Parameters
     ----------
     jobs:
-        Worker count.  1 (default) evaluates serially in-process; > 1
-        uses a ``ProcessPoolExecutor`` with that many workers.
+        Worker count.  With ``backend`` unset, 1 (default) evaluates
+        serially in-process and > 1 selects the persistent process
+        backend with that many warm workers.
     cache:
         Optional result cache consulted before evaluating and updated
         with fresh successes.
     chunksize:
-        Jobs handed to a pool worker per pickle round-trip.  Defaults to
-        ``max(1, pending // (4 * jobs))`` which keeps all workers busy
-        while amortizing IPC for large batches.
+        Jobs handed to a process worker per pickle round-trip.  Defaults
+        to ``max(1, pending // (4 * jobs))`` which keeps all workers
+        busy while amortizing IPC for large batches.  Ignored by the
+        serial and thread backends.
+    backend:
+        A name from :data:`repro.engine.backends.BACKEND_NAMES`
+        (``serial``/``thread``/``process``) or a live
+        :class:`~repro.engine.backends.Backend` instance to share.  The
+        executor owns (and ``close()``\\ s) a backend it built from a
+        name; a shared instance stays the caller's to close.
     """
 
     def __init__(self, jobs: int = 1, *, cache: Optional[ResultCache] = None,
-                 chunksize: Optional[int] = None) -> None:
+                 chunksize: Optional[int] = None,
+                 backend: Optional[Union[str, Backend]] = None) -> None:
         if jobs < 1:
             raise ValueError(f"worker count must be >= 1, got {jobs}")
         if chunksize is not None and chunksize < 1:
@@ -193,6 +152,29 @@ class BatchExecutor:
         self.jobs = jobs
         self.cache = cache
         self.chunksize = chunksize
+        self._owns_backend = not isinstance(backend, Backend)
+        if backend is None:
+            backend = "serial" if jobs == 1 else "process"
+        self.backend = make_backend(backend, workers=jobs,
+                                    thread_name_prefix="repro-batch")
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down an owned backend's workers (idempotent).
+
+        A shared backend instance passed in by the caller is left
+        running — whoever created it closes it.
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Public API.
@@ -201,7 +183,9 @@ class BatchExecutor:
         """Evaluate every job; outcomes are returned in submission order."""
         job_list = list(job_specs)
         report = BatchReport()
-        report.metrics.workers = self.jobs
+        report.metrics.workers = self.backend.workers
+        report.metrics.backend = self.backend.name
+        before = self.backend.stats.snapshot()
         start = time.perf_counter()
 
         # Serve cache hits in-process; only misses are evaluated.
@@ -234,6 +218,12 @@ class BatchExecutor:
                 fallbacks=fallbacks,
                 backtracks=backtracks))
         report.metrics.wall_time = time.perf_counter() - start
+        after = self.backend.stats.snapshot()
+        report.metrics.dispatches = (after["dispatches"]
+                                     - before["dispatches"])
+        report.metrics.worker_restarts = (after["worker_restarts"]
+                                          - before["worker_restarts"])
+        report.metrics.dispatch_wait = dict(after["dispatch_wait"])
         return report
 
     def run_one(self, job: Any) -> JobOutcome:
@@ -241,30 +231,12 @@ class BatchExecutor:
         return self.run([job]).outcomes[0]
 
     # ------------------------------------------------------------------
-    # Backends.
+    # The backend seam.
     # ------------------------------------------------------------------
     def _evaluate(self, job_list: List[Any]) -> List[Dict[str, Any]]:
         if not job_list:
             return []
-        if self.jobs == 1:
-            return [_execute_job(job) for job in job_list]
-        chunksize = self.chunksize or max(
-            1, len(job_list) // (4 * self.jobs))
-        try:
-            if _faults.ACTIVE is not None:
-                _faults.fire("executor.pool.broken")
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                return list(pool.map(_execute_job, job_list,
-                                     chunksize=chunksize))
-        except BrokenProcessPool as exc:
-            # A worker died hard (SIGKILL, os._exit, OOM): per-job fault
-            # isolation cannot name the culprit, so fail the batch with
-            # actionable context instead of a bare pool traceback.
-            raise RuntimeError(
-                f"process pool broke while evaluating {len(job_list)} "
-                f"jobs with {self.jobs} workers (a worker died "
-                f"mid-chunk); re-run with jobs=1 to isolate the failing "
-                f"job: {exc}") from exc
+        return self.backend.submit_batch(job_list, chunksize=self.chunksize)
 
     def _outcome_from_envelope(self, job: Any,
                                envelope: Dict[str, Any]) -> JobOutcome:

@@ -98,6 +98,10 @@ class BatchMetrics:
     newton_fallbacks: int = 0        #: Newton -> direct fallback events
     backtrack_steps: int = 0         #: Newton backtracking halvings
     workers: int = 1
+    backend: str = "serial"          #: execution backend name
+    dispatches: int = 0              #: backend dispatches this batch made
+    worker_restarts: int = 0         #: broken pools rebuilt during the batch
+    dispatch_wait: Dict[str, float] = field(default_factory=dict)
     per_job: List[JobMetrics] = field(default_factory=list)
 
     def record(self, job_metrics: JobMetrics) -> None:
@@ -141,6 +145,16 @@ class BatchMetrics:
             f"{self.backtrack_steps} backtracking steps, "
             f"{self.retries} RC re-seed retries",
         ]
+        backend_line = (f"backend: {self.backend}, "
+                        f"{self.dispatches} dispatch"
+                        f"{'es' if self.dispatches != 1 else ''}, "
+                        f"{self.worker_restarts} worker restart"
+                        f"{'s' if self.worker_restarts != 1 else ''}")
+        if self.dispatch_wait:
+            backend_line += ", dispatch wait " + " ".join(
+                f"{name}={value:.4g}s"
+                for name, value in sorted(self.dispatch_wait.items()))
+        lines.append(backend_line)
         percentiles = latency_percentiles(
             [job.wall_time for job in self.per_job])
         if percentiles:

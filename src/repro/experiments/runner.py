@@ -27,6 +27,7 @@ import sys
 import time
 from typing import Iterable
 
+from ..engine.backends import BACKEND_NAMES
 from ..engine.cache import ResultCache
 from ..engine.executor import BatchExecutor
 from ..engine.jobs import ExperimentJob
@@ -70,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
                             help="worker processes for the batch engine "
                                  "(1 = serial in-process)")
+    run_parser.add_argument("--backend", choices=BACKEND_NAMES,
+                            default=None,
+                            help="execution backend (default: serial "
+                                 "when --jobs 1, process otherwise)")
     run_parser.add_argument("--cache", action="store_true",
                             help="replay results from the engine's "
                                  "content-addressed cache when possible")
@@ -112,9 +117,10 @@ def main(argv: list[str] | None = None) -> int:
         job_specs.append(ExperimentJob.create(experiment_id, **kwargs))
 
     cache = ResultCache(args.cache_dir) if args.cache else None
-    executor = BatchExecutor(jobs=args.jobs, cache=cache)
     start = time.perf_counter()
-    batch = executor.run(job_specs)
+    with BatchExecutor(jobs=args.jobs, cache=cache,
+                       backend=args.backend) as executor:
+        batch = executor.run(job_specs)
 
     reports = []
     failed = []

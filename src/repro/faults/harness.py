@@ -57,6 +57,12 @@ ENGINE_SITES = frozenset(
     name for name, point in FAULT_POINTS.items()
     if point.scenario == "engine")
 
+#: Sites of the execution-backend plane, driven through both seams the
+#: backend serves (engine ``submit_batch`` and serve ``run_call``).
+BACKEND_SITES = frozenset(
+    name for name, point in FAULT_POINTS.items()
+    if point.scenario == "backend")
+
 
 # ----------------------------------------------------------------------
 # Reports.
@@ -401,7 +407,23 @@ def _drive_engine(plan: FaultPlan, report: RunReport,
     cache = ResultCache(cache_root)
     executor = BatchExecutor(jobs=1, cache=cache)
     with hooks.active(plan):
-        batch = executor.run(jobs)
+        try:
+            batch = executor.run(jobs)
+        except RuntimeError as exc:
+            # A mixed plan can arm backend-plane sites alongside engine
+            # sites; the serial backend's dispatch guard then fails the
+            # whole run.  That is an explicit, contextual rejection —
+            # answered-or-rejected holds — as long as the error names
+            # the backend plane or the recovery path.
+            message = str(exc)
+            report.requests_sent += len(jobs)
+            report.responses_error += len(jobs)
+            if ("backend." not in message
+                    and "re-run with jobs=1" not in message):
+                report.violation(
+                    "answered",
+                    f"engine run failed without backend context: {exc}")
+            return
     report.requests_sent += len(jobs)
 
     if len(batch.outcomes) != len(jobs):
@@ -463,22 +485,151 @@ def _drive_broken_pool(plan: FaultPlan, report: RunReport,
         for rule in rules)
     executor = BatchExecutor(jobs=2)
     fired = False
-    for _ in range(attempts):
-        try:
-            with hooks.active(plan):
-                executor.run(list(jobs))
-        except RuntimeError as exc:
-            fired = True
-            if "re-run with jobs=1" not in str(exc):
-                report.violation(
-                    "answered",
-                    f"broken-pool error lacks recovery context: {exc}")
-            break
+    try:
+        for _ in range(attempts):
+            try:
+                with hooks.active(plan):
+                    executor.run(list(jobs))
+            except RuntimeError as exc:
+                fired = True
+                if "re-run with jobs=1" not in str(exc):
+                    report.violation(
+                        "answered",
+                        f"broken-pool error lacks recovery context: {exc}")
+                break
+    finally:
+        executor.close()
     if deterministic and not fired:
         report.violation(
             "answered",
             "executor.pool.broken was armed deterministically but the "
             "pool runs all succeeded")
+
+
+# ----------------------------------------------------------------------
+# The backend driver (both seams of the execution plane).
+# ----------------------------------------------------------------------
+def _drive_backend(plan: FaultPlan, report: RunReport) -> None:
+    """Drive the backend fault plane through both of its seams.
+
+    Engine seam first: a multi-worker :class:`BatchExecutor` runs the
+    delay workload repeatedly, consuming the armed site's first hits
+    deterministically.  A dispatch that fails must fail *loud and
+    contextual* (the ``re-run with jobs=1`` recovery text, or the
+    injected site's own name), and — the restart invariant — once a
+    failure has been observed, a later run on the *same executor* must
+    succeed: a process backend that lost a worker rebuilds its pool
+    instead of staying broken.
+
+    Serve seam second: a :class:`ReproService` whose batchers share a
+    backend of the same flavor evaluates the delay workload.  Every
+    lane is answered-or-rejected — a successful response is bitwise
+    equal to solo ``job.run()``, a failed one carries a structured
+    :class:`ServeError` — even when a worker died mid-batch.
+    """
+    import asyncio
+
+    from ..engine.executor import BatchExecutor
+    from ..serve.protocol import ServeError, parse_request
+    from ..serve.service import ReproService
+
+    workload = _workload_jobs()
+    truths = _ground_truths(plan, workload)
+    plan_inert = not plan.rules
+    crash_armed = any(rule.site == "backend.worker.crash"
+                      for rule in plan.rules)
+    backend_name = "process" if crash_armed else "thread"
+
+    # -- engine seam ---------------------------------------------------
+    executor = BatchExecutor(jobs=2, backend=backend_name)
+    saw_failure = False
+    saw_recovery = False
+    try:
+        for _ in range(4):
+            report.requests_sent += len(workload["delay"])
+            try:
+                with hooks.active(plan):
+                    batch = executor.run(workload["delay"])
+            except RuntimeError as exc:
+                report.responses_error += len(workload["delay"])
+                message = str(exc)
+                saw_failure = True
+                if ("backend." not in message
+                        and "re-run with jobs=1" not in message):
+                    report.violation(
+                        "answered",
+                        f"backend dispatch failed without recovery "
+                        f"context: {exc}")
+                continue
+            report.responses_ok += len(workload["delay"])
+            for index, outcome in enumerate(batch.outcomes):
+                if not outcome.ok:
+                    report.violation(
+                        "isolation",
+                        f"backend delay[{index}] failed under a "
+                        f"dispatch-plane fault (lane isolation must "
+                        f"not be affected): {outcome.error}")
+                elif (_normalized("delay", outcome.result)
+                        != truths["delay"][index]):
+                    report.violation(
+                        "bitwise",
+                        f"backend delay[{index}] differs from solo "
+                        f"job.run()")
+            if saw_failure:
+                saw_recovery = True
+                break
+    finally:
+        executor.close()
+    if saw_failure and not saw_recovery:
+        report.violation(
+            "answered",
+            f"{backend_name} backend never recovered: every run after "
+            f"the first failure kept failing (a broken pool must be "
+            f"rebuilt)")
+
+    # -- serve seam ----------------------------------------------------
+    async def drive_service():
+        service = ReproService(backend=backend_name, backend_workers=2,
+                               max_batch_size=4, max_linger=0.02,
+                               default_timeout=30.0)
+        try:
+            requests = [parse_request(_request_document(job))
+                        for job in workload["delay"]]
+            return await asyncio.gather(
+                *(service.submit(request) for request in requests),
+                return_exceptions=True)
+        finally:
+            await service.close()
+
+    with hooks.active(plan):
+        results = asyncio.run(drive_service())
+    report.requests_sent += len(results)
+    for index, result in enumerate(results):
+        if isinstance(result, ServeError):
+            report.responses_error += 1
+            if plan_inert:
+                report.violation(
+                    "isolation",
+                    f"serve delay[{index}] rejected with no fault "
+                    f"armed: {result}")
+        elif isinstance(result, BaseException):
+            report.violation(
+                "answered",
+                f"serve delay[{index}] raised an unstructured "
+                f"{type(result).__name__}: {result}")
+        elif isinstance(result, dict) and result.get("ok"):
+            report.responses_ok += 1
+            served = _normalized("delay", result["result"])
+            if served != truths["delay"][index]:
+                report.violation(
+                    "bitwise",
+                    f"serve delay[{index}] served result differs from "
+                    f"solo job.run()")
+        else:
+            report.violation(
+                "answered",
+                f"serve delay[{index}] returned neither a result nor "
+                f"a typed rejection: {result!r}")
 
 
 # ----------------------------------------------------------------------
@@ -489,19 +640,24 @@ def run_plan(plan: FaultPlan, *,
     """Drive ``plan`` through the live workloads and check invariants.
 
     Rules naming engine sites route through the
-    :class:`~repro.engine.executor.BatchExecutor` driver; everything
-    else (including an empty plan) routes through the socket-level
-    serve driver.  A plan mixing both runs both.
+    :class:`~repro.engine.executor.BatchExecutor` driver and rules
+    naming backend sites through the dual-seam backend driver;
+    everything else (including an empty plan) routes through the
+    socket-level serve driver.  A plan mixing scenarios runs every
+    driver it names.
     """
     report = RunReport(plan_string=plan.to_string())
     sites = {rule.site for rule in plan.rules}
     engine = bool(sites & ENGINE_SITES)
-    serve = bool(sites - ENGINE_SITES) or not sites
+    backend = bool(sites & BACKEND_SITES)
+    serve = bool(sites - ENGINE_SITES - BACKEND_SITES) or not sites
 
     with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
         root = Path(cache_root) if cache_root is not None else Path(tmp)
         if engine:
             _drive_engine(plan, report, root / "engine")
+        if backend:
+            _drive_backend(plan, report)
         if serve:
             _drive_serve(plan, report, root / "serve")
 
@@ -543,6 +699,12 @@ SITE_RULES: Dict[str, Dict[str, Any]] = {
     "batcher.envelope.malformed": {"mode": "nth", "n": 1},
     "server.read.drop": {"mode": "nth", "n": 2},
     "server.write.truncate": {"mode": "nth", "n": 1},
+    # First three dispatches fail (the backend driver's engine seam
+    # consumes them, proving contextual failure + pool rebuild), then
+    # the serve seam runs clean over the restarted workers.
+    "backend.worker.crash": {"mode": "first", "n": 3},
+    "backend.worker.hang": {"mode": "nth", "n": 1, "delay": 0.01},
+    "backend.dispatch.queue_full": {"mode": "nth", "n": 1},
 }
 
 

@@ -115,6 +115,17 @@ FAULT_POINTS: Dict[str, FaultPoint] = {point.name: point for point in [
     FaultPoint("server.write.truncate",
                "the response body is truncated and the connection closed",
                "serve", "truncate"),
+    FaultPoint("backend.worker.crash",
+               "a backend worker dies mid-batch (the pool breaks under "
+               "a dispatched batch; process backends rebuild it)",
+               "backend", "raise"),
+    FaultPoint("backend.worker.hang",
+               "a backend dispatch stalls before reaching a worker",
+               "backend", "delay"),
+    FaultPoint("backend.dispatch.queue_full",
+               "the backend refuses a dispatch at submission (its "
+               "internal queue is saturated)",
+               "backend", "raise"),
 ]}
 
 
@@ -149,6 +160,8 @@ _DEFAULT_EXCEPTIONS = {
     "optimize.warm_start": "OptimizationError",
     "batcher.evaluate.error": "RuntimeError",
     "server.read.drop": "ConnectionError",
+    "backend.worker.crash": "BrokenProcessPool",
+    "backend.dispatch.queue_full": "RuntimeError",
 }
 
 

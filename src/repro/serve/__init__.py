@@ -9,7 +9,11 @@ into per-class queues, coalesced by a max-batch-size / max-linger
 policy into single ``threshold_delay_v`` / ``critical_inductance_v`` /
 ``optimize_repeater_many`` calls, and fanned back to per-request futures
 — with per-lane fault isolation, bounded-queue admission control (429),
-per-request queue deadlines (504) and graceful drain.
+per-request queue deadlines (504) and graceful drain.  Batch
+evaluations dispatch onto a shared execution backend
+(:mod:`repro.engine.backends` — serial, thread or warm-process
+workers, selected via ``repro-serve serve --backend``), the same plane
+the batch engine runs on.
 
 Modules: :mod:`~repro.serve.protocol` (wire format + error codes),
 :mod:`~repro.serve.batcher` (the dynamic micro-batcher),

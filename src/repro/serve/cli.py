@@ -25,8 +25,9 @@ import signal
 import sys
 from typing import Any, List, Optional
 
+from ..engine.backends import BACKEND_NAMES
 from ..engine.cache import ResultCache
-from .bench import run_benchmark, strip_responses
+from .bench import run_backend_benchmark, run_benchmark, strip_responses
 from .client import ServeClient, ServeClientError
 from .server import ReproServer
 from .service import ReproService
@@ -64,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
                                    "$REPRO_CACHE_DIR or ./.repro-cache)")
     serve_parser.add_argument("--no-cache", action="store_true",
                               help="serve without the result cache")
+    serve_parser.add_argument("--backend", choices=BACKEND_NAMES,
+                              default="thread",
+                              help="execution backend batch evaluations "
+                                   "dispatch onto (default: thread)")
+    serve_parser.add_argument("--backend-workers", type=int, default=None,
+                              metavar="N",
+                              help="backend worker count (default: "
+                                   "min(8, cpu count))")
 
     request_parser = subparsers.add_parser(
         "request", help="post a request document to a running server")
@@ -84,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--max-batch-size", type=int, default=None,
                               metavar="N",
                               help="batched arm's cap (default: N requests)")
+    bench_parser.add_argument("--backends", action="store_true",
+                              help="run the thread-vs-process backend "
+                                   "benchmark (optimize-heavy stream) "
+                                   "instead of the micro-batching one")
+    bench_parser.add_argument("--workers", type=int, default=4, metavar="N",
+                              help="backend workers for --backends")
     bench_parser.add_argument("--out", default=None, metavar="FILE",
                               help="write the JSON report here")
     return parser
@@ -101,12 +116,17 @@ def _serve(args: argparse.Namespace) -> int:
         print(f"repro-serve: --linger-ms must be >= 0, got "
               f"{args.linger_ms}", file=sys.stderr)
         return 2
+    if args.backend_workers is not None and args.backend_workers < 1:
+        print("repro-serve: --backend-workers must be >= 1",
+              file=sys.stderr)
+        return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     service = ReproService(
         cache=cache, max_batch_size=args.max_batch_size,
         max_linger=args.linger_ms / 1000.0,
         max_queue_depth=args.queue_depth,
-        default_timeout=args.default_timeout)
+        default_timeout=args.default_timeout,
+        backend=args.backend, backend_workers=args.backend_workers)
     server = ReproServer(service, host=args.host, port=args.port)
 
     async def _main() -> None:
@@ -120,8 +140,10 @@ def _serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"repro-serve: listening on {server.url} "
               f"(batch<= {args.max_batch_size}, linger "
-              f"{args.linger_ms:g}ms, queue<= {args.queue_depth}, cache "
-              f"{'off' if cache is None else cache.root})", flush=True)
+              f"{args.linger_ms:g}ms, queue<= {args.queue_depth}, "
+              f"backend {service.backend.name}x{service.backend.workers}, "
+              f"cache {'off' if cache is None else cache.root})",
+              flush=True)
         await stop.wait()
         print("repro-serve: draining ...", flush=True)
         await server.shutdown()
@@ -180,15 +202,31 @@ def _bench(args: argparse.Namespace) -> int:
         print("repro-serve: --requests and --reps must be >= 1",
               file=sys.stderr)
         return 2
-    report = run_benchmark(args.requests, reps=args.reps,
-                           max_batch_size=args.max_batch_size)
-    persisted = strip_responses(report)
-    print(f"{report['requests']} requests: "
-          f"batched {report['batched']['seconds']:.4f}s "
-          f"({report['batched']['throughput_rps']:.0f} req/s) vs "
-          f"solo {report['solo']['seconds']:.4f}s "
-          f"({report['solo']['throughput_rps']:.0f} req/s) -> "
-          f"{report['speedup']:.2f}x")
+    if args.backends:
+        if args.workers < 1:
+            print("repro-serve: --workers must be >= 1", file=sys.stderr)
+            return 2
+        report = run_backend_benchmark(
+            args.requests, workers=args.workers, reps=args.reps,
+            max_batch_size=args.max_batch_size or 6)
+        persisted = strip_responses(report)
+        print(f"{report['requests']} optimize requests, "
+              f"{report['workers']} workers: "
+              f"process {report['process']['seconds']:.4f}s "
+              f"({report['process']['throughput_rps']:.0f} req/s) vs "
+              f"thread {report['thread']['seconds']:.4f}s "
+              f"({report['thread']['throughput_rps']:.0f} req/s) -> "
+              f"{report['process_over_thread']:.2f}x")
+    else:
+        report = run_benchmark(args.requests, reps=args.reps,
+                               max_batch_size=args.max_batch_size)
+        persisted = strip_responses(report)
+        print(f"{report['requests']} requests: "
+              f"batched {report['batched']['seconds']:.4f}s "
+              f"({report['batched']['throughput_rps']:.0f} req/s) vs "
+              f"solo {report['solo']['seconds']:.4f}s "
+              f"({report['solo']['throughput_rps']:.0f} req/s) -> "
+              f"{report['speedup']:.2f}x")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(persisted, handle, indent=2, sort_keys=True)

@@ -96,9 +96,15 @@ class ServerMetrics:
     # ------------------------------------------------------------------
     # Rendering.
     # ------------------------------------------------------------------
-    def to_payload(self, *, queue_depth: Optional[Dict[str, int]] = None
+    def to_payload(self, *, queue_depth: Optional[Dict[str, int]] = None,
+                   backend: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
-        """JSON document served by ``GET /metrics``."""
+        """JSON document served by ``GET /metrics``.
+
+        ``backend`` is the shared execution backend's stats block
+        (``Backend.stats_payload()``): dispatch counts, in-flight and
+        queued batches, worker restarts, dispatch-wait p50/p95.
+        """
         payload: Dict[str, Any] = {
             "requests_total": self.requests_total,
             "requests": dict(self.requests),
@@ -122,6 +128,8 @@ class ServerMetrics:
         if queue_depth is not None:
             payload["queue_depth"] = dict(queue_depth)
             payload["queue_depth_total"] = sum(queue_depth.values())
+        if backend is not None:
+            payload["backend"] = dict(backend)
         return payload
 
     def format_summary(self) -> str:

@@ -265,7 +265,8 @@ class ReproServer:
                                      "queue_depth": sum(depth.values())})
         if path == "/metrics" and method == "GET":
             payload = self.service.metrics.to_payload(
-                queue_depth=self.service.queue_depth())
+                queue_depth=self.service.queue_depth(),
+                backend=self.service.backend_stats())
             return 200, _json_bytes(payload)
         if path == "/v1/evaluate":
             if method != "POST":

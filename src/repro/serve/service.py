@@ -36,13 +36,15 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.elmore import rc_optimum
 from ..core.kernels import (StageBatch, critical_inductance_v,
                             threshold_delay_v)
 from ..core.optimize import optimize_repeater, optimize_repeater_many
+from ..engine.backends import Backend, make_backend
 from ..engine.cache import ResultCache
 from ..engine.jobs import _optimum_payload
 from ..errors import OptimizationError
@@ -249,6 +251,9 @@ EVALUATORS: Dict[str, Callable[[Sequence[Any]], List[Dict[str, Any]]]] = {
 #: every record in the store bitwise replayable by the engine.
 EXACT_AT_ANY_BATCH_SIZE = frozenset({"delay", "critical_inductance"})
 
+#: Default dispatch workers for a service-owned backend.
+DEFAULT_SERVE_WORKERS = max(1, min(8, os.cpu_count() or 1))
+
 
 # ----------------------------------------------------------------------
 # The service.
@@ -271,6 +276,16 @@ class ReproService:
     metrics / evaluators:
         Injection points for tests; default to a fresh
         :class:`ServerMetrics` and the kernel-layer :data:`EVALUATORS`.
+    backend / backend_workers:
+        The execution backend every batcher dispatches evaluator calls
+        onto — a name from
+        :data:`repro.engine.backends.BACKEND_NAMES` (default
+        ``thread``, a bounded named pool of ``backend_workers``
+        workers) or a live :class:`~repro.engine.backends.Backend`
+        instance to share (the caller then owns its lifecycle).  A
+        service-owned backend is shut down by :meth:`close` *after* the
+        batchers drain, so in-flight dispatches always complete before
+        the workers go away.
     """
 
     def __init__(self, *, cache: Optional[ResultCache] = None,
@@ -279,16 +294,24 @@ class ReproService:
                  max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
                  default_timeout: Optional[float] = None,
                  metrics: Optional[ServerMetrics] = None,
-                 evaluators: Optional[Dict[str, Callable]] = None) -> None:
+                 evaluators: Optional[Dict[str, Callable]] = None,
+                 backend: Optional[Union[str, Backend]] = None,
+                 backend_workers: Optional[int] = None) -> None:
         self.cache = cache
         self.default_timeout = default_timeout
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._owns_backend = not isinstance(backend, Backend)
+        self.backend = make_backend(
+            backend if backend is not None else "thread",
+            workers=backend_workers or DEFAULT_SERVE_WORKERS,
+            thread_name_prefix="repro-serve-dispatch")
         table = evaluators if evaluators is not None else EVALUATORS
         self._batchers: Dict[str, DynamicBatcher] = {
             kind: DynamicBatcher(
                 kind, table[kind], max_batch_size=max_batch_size,
                 max_linger=max_linger, max_queue_depth=max_queue_depth,
-                on_batch=self.metrics.record_batch)
+                on_batch=self.metrics.record_batch,
+                backend=self.backend)
             for kind in REQUEST_JOB_TYPES if kind in table}
         self._closed = False
 
@@ -303,6 +326,10 @@ class ReproService:
         """Current queued-lane count per request class."""
         return {kind: batcher.queue_depth
                 for kind, batcher in self._batchers.items()}
+
+    def backend_stats(self) -> Dict[str, Any]:
+        """The shared backend's dispatch stats (the ``/metrics`` block)."""
+        return self.backend.stats_payload()
 
     # ------------------------------------------------------------------
     # Request paths.
@@ -384,8 +411,12 @@ class ReproService:
 
         Every request admitted before the call completes normally (its
         waiter gets a result or an explicit error); later submissions
-        raise :class:`ServiceClosedError`.  Idempotent.
+        raise :class:`ServiceClosedError`.  A service-owned backend is
+        shut down only after every batcher has drained, so in-flight
+        dispatches finish on live workers.  Idempotent.
         """
         self._closed = True
         await asyncio.gather(*(batcher.close()
                                for batcher in self._batchers.values()))
+        if self._owns_backend:
+            self.backend.close()

@@ -28,6 +28,7 @@ import json
 import sys
 from typing import List, Optional, Tuple
 
+from ..engine.backends import BACKEND_NAMES
 from ..engine.cache import ResultCache
 from ..engine.executor import BatchExecutor
 from .cases import VerifyCase, default_case_matrix, load_case_matrix
@@ -53,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
                               f"(default: all of {','.join(oracle_names())})")
         sub.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes (1 = serial in-process)")
+        sub.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                         help="execution backend (default: serial when "
+                              "--jobs 1, process otherwise)")
         sub.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="opt-in engine result cache (off by default "
                               "so stale results cannot mask regressions)")
@@ -100,7 +104,8 @@ def _setup(args: argparse.Namespace
     else:
         names = oracle_names()
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    executor = BatchExecutor(jobs=args.jobs, cache=cache)
+    executor = BatchExecutor(jobs=args.jobs, cache=cache,
+                             backend=args.backend)
     return cases, names, executor
 
 
@@ -127,8 +132,9 @@ def _observation_pairs(cases: List[VerifyCase], names: List[str],
 
 def _run(args: argparse.Namespace) -> int:
     cases, names, executor = _setup(args)
-    report = run_differential(cases, oracles=names, ledger=DEFAULT_LEDGER,
-                              executor=executor)
+    with executor:
+        report = run_differential(cases, oracles=names,
+                                  ledger=DEFAULT_LEDGER, executor=executor)
     print(report.format_table(only_violations=not args.all))
     print()
     print(f"{report.n_cases} cases, {len(report.checks)} checks, "
@@ -145,7 +151,8 @@ def _run(args: argparse.Namespace) -> int:
 def _diff(args: argparse.Namespace) -> int:
     cases, names, executor = _setup(args)
     store = GoldenStore(args.golden)
-    mismatches = store.diff(_observation_pairs(cases, names, executor))
+    with executor:
+        mismatches = store.diff(_observation_pairs(cases, names, executor))
     if not mismatches:
         print(f"golden: all observations match {store.path}")
         return 0
@@ -159,7 +166,8 @@ def _diff(args: argparse.Namespace) -> int:
 def _bless(args: argparse.Namespace) -> int:
     cases, names, executor = _setup(args)
     store = GoldenStore(args.golden)
-    total = store.bless(_observation_pairs(cases, names, executor))
+    with executor:
+        total = store.bless(_observation_pairs(cases, names, executor))
     print(f"blessed: {store.path} now holds {total} fixtures")
     return 0
 
