@@ -19,6 +19,8 @@ from .backends import (BACKEND_NAMES, Backend, BackendStats, ProcessBackend,
 from .cache import CacheStats, ResultCache, code_version_salt, \
     default_cache_dir
 from .executor import BatchExecutor, BatchReport, JobOutcome
+from .store import (STORE_NAMES, DiskStore, MemoryStore, ResultStore,
+                    SingleFlight, TieredStore, flight_key, make_store)
 from .jobs import (JOB_TYPES, BatchDelayJob, BatchOptimizeJob,
                    CriticalInductanceJob, DelayJob, ExperimentJob,
                    OptimizeJob, SweepJob, TransientJob, job_from_dict,
@@ -30,10 +32,12 @@ __all__ = [
     "BACKEND_NAMES", "Backend", "BackendStats",
     "BatchDelayJob", "BatchExecutor", "BatchMetrics", "BatchOptimizeJob",
     "BatchReport", "CacheStats", "CriticalInductanceJob",
-    "DelayJob", "ExperimentJob", "JOB_TYPES", "JobMetrics", "JobOutcome",
-    "ManifestError", "OptimizeJob", "ProcessBackend", "ResultCache",
-    "SerialBackend", "SweepJob", "ThreadBackend", "TransientJob",
-    "code_version_salt", "default_cache_dir", "job_from_dict",
-    "job_to_dict", "latency_percentiles", "load_manifest", "make_backend",
+    "DelayJob", "DiskStore", "ExperimentJob", "JOB_TYPES", "JobMetrics",
+    "JobOutcome", "ManifestError", "MemoryStore", "OptimizeJob",
+    "ProcessBackend", "ResultCache", "ResultStore", "STORE_NAMES",
+    "SerialBackend", "SingleFlight", "SweepJob", "ThreadBackend",
+    "TieredStore", "TransientJob", "code_version_salt",
+    "default_cache_dir", "flight_key", "job_from_dict", "job_to_dict",
+    "latency_percentiles", "load_manifest", "make_backend", "make_store",
     "register_job_type",
 ]

@@ -175,6 +175,7 @@ class BackendStats:
         self._lanes = 0
         self._in_flight = 0
         self._worker_restarts = 0
+        self._io_calls = 0
         self._waits: deque = deque(maxlen=DISPATCH_WAIT_WINDOW)
 
     def dispatch_started(self, lanes: int) -> None:
@@ -193,6 +194,11 @@ class BackendStats:
         with self._lock:
             self._worker_restarts += 1
 
+    def record_io(self) -> None:
+        """One store/auxiliary I/O call routed off the event loop."""
+        with self._lock:
+            self._io_calls += 1
+
     @property
     def in_flight(self) -> int:
         with self._lock:
@@ -206,6 +212,7 @@ class BackendStats:
                 "lanes": self._lanes,
                 "in_flight": self._in_flight,
                 "worker_restarts": self._worker_restarts,
+                "io_calls": self._io_calls,
                 "dispatch_wait": latency_percentiles(self._waits),
                 "dispatch_wait_samples": len(self._waits),
             }
@@ -227,6 +234,9 @@ class Backend:
 
     def __init__(self) -> None:
         self.stats = BackendStats()
+        self._io_pool: Optional[ThreadPoolExecutor] = None
+        self._io_lock = threading.Lock()
+        self._io_finalizer: Optional[weakref.finalize] = None
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -238,6 +248,19 @@ class Backend:
 
     def close(self) -> None:
         """Shut workers down; in-flight dispatches complete first."""
+        self._close_io_pool()
+
+    def _close_io_pool(self) -> None:
+        with self._io_lock:
+            pool, self._io_pool = self._io_pool, None
+            if self._io_finalizer is not None:
+                self._io_finalizer.detach()
+                self._io_finalizer = None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True)
+            except Exception:  # noqa: BLE001 — closing is best-effort
+                pass
 
     def __enter__(self) -> "Backend":
         self.start()
@@ -264,6 +287,37 @@ class Backend:
         """Awaitable :meth:`run_call` that never blocks the event loop
         (except on :class:`SerialBackend`, which is inline by design)."""
         raise NotImplementedError
+
+    # -- auxiliary I/O ----------------------------------------------------
+    def _io_submit(self, fn: Callable[[], Any]) -> Any:
+        """Place one small blocking call on the auxiliary I/O thread.
+
+        The I/O lane is deliberately *not* the dispatch pool: store
+        reads must not queue behind long evaluator calls (and the
+        process backend could not ship a closure to a worker anyway).
+        One thread is enough — the calls are sub-millisecond file
+        reads/writes — and it is created lazily so backends that never
+        serve async callers pay nothing.
+        """
+        with self._io_lock:
+            if self._io_pool is None:
+                self._io_pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-io")
+                self._io_finalizer = weakref.finalize(
+                    self, _shutdown_pool_quietly, self._io_pool)
+            pool = self._io_pool
+        self.stats.record_io()
+        return pool.submit(fn)
+
+    async def run_io_async(self, fn: Callable[[], Any]) -> Any:
+        """Run one blocking store/file call off the event loop.
+
+        The serve layer routes every result-store ``get``/``put``
+        through this seam so a cache hit never does file I/O or JSON
+        decoding on the loop thread.  :class:`SerialBackend` overrides
+        it inline (by design: serial means zero indirection).
+        """
+        return await asyncio.wrap_future(self._io_submit(fn))
 
     # -- observability ---------------------------------------------------
     def stats_payload(self) -> Dict[str, Any]:
@@ -325,6 +379,10 @@ class SerialBackend(Backend):
     """
 
     name = "serial"
+
+    async def run_io_async(self, fn: Callable[[], Any]) -> Any:
+        self.stats.record_io()
+        return fn()
 
     def submit_batch(self, jobs: Sequence[Any], *,
                      chunksize: Optional[int] = None
@@ -410,6 +468,7 @@ class _PoolBackend(Backend):
 
     def close(self) -> None:
         self._discard_pool(wait=True)
+        self._close_io_pool()
 
 
 def _shutdown_pool_quietly(pool: Any) -> None:

@@ -1,232 +1,24 @@
-"""Content-addressed on-disk result store for the batch engine.
+"""Compatibility shim: the result cache moved to :mod:`repro.engine.store`.
 
-The cache key of a job is ``SHA-256(canonical-JSON(spec) + "\\0" + salt)``
-where the salt carries the code version: results computed by one version
-of the numerical code are never replayed against another.  Records are
-small JSON files sharded by the first two key hex digits, written
-atomically (temp file + ``os.replace``) so concurrent workers and
-interrupted runs cannot leave a torn record.
-
-Only *successful* results are cached — a failed job is always retried by
-the next batch that contains it.
+``ResultCache`` is now :class:`repro.engine.store.DiskStore` — the same
+content-addressed, sharded, atomically-written on-disk store — kept
+importable under its historical name so existing callers and manifests
+keep working.  New code should construct stores through
+:func:`repro.engine.store.make_store`, which also offers the bounded
+in-memory and tiered variants.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import tempfile
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Any, Dict, Optional
+from .store import (CACHE_DIR_ENV, DEFAULT_CACHE_DIR,  # noqa: F401
+                    ENGINE_SCHEMA_VERSION, CacheStats, DiskStore,
+                    code_version_salt, default_cache_dir)
 
-from .. import __version__
-from ..faults import hooks as _faults
-from .jobs import canonical_json, job_to_dict
+#: Historical name of the on-disk store.
+ResultCache = DiskStore
 
-#: Bump when the job canonical form or the result payloads change shape.
-ENGINE_SCHEMA_VERSION = 1
-
-#: Environment variable overriding the default cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Default cache directory (relative to the working directory).
-DEFAULT_CACHE_DIR = ".repro-cache"
-
-
-def default_cache_dir() -> Path:
-    """Cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
-    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
-
-
-def code_version_salt() -> str:
-    """Salt tying cache keys to the library version and engine schema."""
-    return f"repro-{__version__}+engine-schema-{ENGINE_SCHEMA_VERSION}"
-
-
-@dataclass
-class CacheStats:
-    """Disk occupancy plus this session's hit/miss accounting."""
-
-    entries: int = 0
-    total_bytes: int = 0
-    hits: int = 0
-    misses: int = 0
-    salt: str = field(default_factory=code_version_salt)
-
-    @property
-    def hit_rate(self) -> float:
-        """Session hit rate in [0, 1]; 0.0 before any lookup."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
-
-    def format_summary(self) -> str:
-        return (f"cache: {self.entries} entries, {self.total_bytes} bytes "
-                f"on disk; session {self.hits} hits / {self.misses} misses "
-                f"({100.0 * self.hit_rate:.1f}% hit rate); salt "
-                f"{self.salt!r}")
-
-
-class ResultCache:
-    """Content-addressed store mapping job specs to result records."""
-
-    def __init__(self, root: "os.PathLike[str] | str | None" = None, *,
-                 salt: Optional[str] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
-        self.salt = salt if salt is not None else code_version_salt()
-        self.hits = 0
-        self.misses = 0
-
-    # ------------------------------------------------------------------
-    # Keys and paths.
-    # ------------------------------------------------------------------
-    def key(self, job: Any) -> str:
-        """SHA-256 hex digest of the job's canonical spec + version salt."""
-        text = canonical_json(job_to_dict(job)) + "\0" + self.salt
-        return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-    def path_for(self, key: str) -> Path:
-        """On-disk path of the record with the given key."""
-        return self.root / key[:2] / f"{key}.json"
-
-    # ------------------------------------------------------------------
-    # Lookup / store.
-    # ------------------------------------------------------------------
-    def get(self, job: Any) -> Optional[Dict[str, Any]]:
-        """Return the cached result dict for ``job``, or ``None`` on miss.
-
-        A record that exists but cannot be parsed — torn JSON from a
-        killed writer or a full disk, or a record missing its ``result``
-        field — counts as a miss *and is unlinked*, so a corrupt file
-        never shadows the healthy record a later ``put`` writes.  A
-        plain I/O error (``OSError``) is a miss *without* the unlink:
-        the record content was never seen, so a transient failure — a
-        file-descriptor limit, an injected ``cache.get.os_error`` —
-        must not evict a healthy record.
-        """
-        path = self.path_for(self.key(job))
-        try:
-            if _faults.ACTIVE is not None:
-                # The record name is content-addressed (stable across
-                # runs); the cache root is not — keep event details
-                # replay-comparable.
-                _faults.fire("cache.get.os_error", record=path.name)
-            with open(path, "r", encoding="utf-8") as handle:
-                text = handle.read()
-            if _faults.ACTIVE is not None:
-                text = _faults.mutate("cache.get.torn_record", text)
-            record = json.loads(text)
-            result = record["result"]
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except OSError:
-            self.misses += 1
-            return None
-        except (ValueError, KeyError):
-            self.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-            return None
-        self.hits += 1
-        return result
-
-    def put(self, job: Any, result: Dict[str, Any]) -> str:
-        """Store a successful result; returns the record key."""
-        key = self.key(job)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        record = {"key": key, "salt": self.salt,
-                  "job": job_to_dict(job), "result": result}
-        # The temp name must be unique per *writer*, not just per
-        # process: concurrent threads sharing one name would interleave
-        # writes into one inode and os.replace could promote a torn
-        # record.  mkstemp gives every writer its own file.
-        fd, tmp = tempfile.mkstemp(dir=path.parent,
-                                   prefix=f".{key[:8]}.", suffix=".tmp")
-        try:
-            if _faults.ACTIVE is not None \
-                    and _faults.should("cache.put.stale_tmp"):
-                # Simulate a concurrent writer killed between mkstemp
-                # and os.replace: its orphaned temp file stays behind.
-                stale_fd, _stale = tempfile.mkstemp(
-                    dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp")
-                os.close(stale_fd)
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
-            if _faults.ACTIVE is not None:
-                _faults.fire("cache.put.os_error", record=path.name)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return key
-
-    # ------------------------------------------------------------------
-    # Maintenance.
-    # ------------------------------------------------------------------
-    def _record_paths(self):
-        if not self.root.is_dir():
-            return
-        for shard in sorted(self.root.iterdir()):
-            if shard.is_dir():
-                for path in sorted(shard.glob("*.json")):
-                    yield path
-
-    def tmp_files(self) -> list:
-        """Orphaned writer temp files (``*.tmp``) across every shard.
-
-        A healthy cache has none: writers either promote their temp
-        file with ``os.replace`` or unlink it on failure.  Anything
-        listed here came from a writer that died between the two — the
-        invariant the fault harness counts against injected
-        ``cache.put.stale_tmp`` events.
-        """
-        if not self.root.is_dir():
-            return []
-        return sorted(path for shard in self.root.iterdir() if shard.is_dir()
-                      for path in shard.glob("*.tmp"))
-
-    def stats(self) -> CacheStats:
-        """Disk occupancy and this instance's session hit/miss counts."""
-        entries = 0
-        total_bytes = 0
-        for path in self._record_paths():
-            entries += 1
-            try:
-                total_bytes += path.stat().st_size
-            except OSError:
-                pass
-        return CacheStats(entries=entries, total_bytes=total_bytes,
-                          hits=self.hits, misses=self.misses,
-                          salt=self.salt)
-
-    def clear(self) -> int:
-        """Delete every record (and orphaned writer temp files);
-        returns the number of records removed."""
-        removed = 0
-        for path in list(self._record_paths()):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for path in self.tmp_files():
-            try:
-                path.unlink()
-            except OSError:
-                pass
-        if self.root.is_dir():
-            for shard in list(self.root.iterdir()):
-                if shard.is_dir():
-                    try:
-                        shard.rmdir()
-                    except OSError:
-                        pass
-        return removed
+__all__ = [
+    "CACHE_DIR_ENV", "DEFAULT_CACHE_DIR", "ENGINE_SCHEMA_VERSION",
+    "CacheStats", "DiskStore", "ResultCache", "code_version_salt",
+    "default_cache_dir",
+]

@@ -24,9 +24,9 @@ import sys
 from typing import List, Optional
 
 from .backends import BACKEND_NAMES
-from .cache import ResultCache, default_cache_dir
 from .executor import BatchExecutor, BatchReport
 from .manifest import ManifestError, load_manifest
+from .store import add_store_arguments, store_from_args
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "$REPRO_CACHE_DIR or ./.repro-cache)")
     run_parser.add_argument("--no-cache", action="store_true",
                             help="evaluate everything, ignore the cache")
+    add_store_arguments(run_parser)
     run_parser.add_argument("--out", default=None, metavar="FILE",
                             help="write deterministic JSON results here")
 
@@ -61,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("action", choices=("stats", "clear"))
     cache_parser.add_argument("--cache-dir", default=None, metavar="DIR",
                               help="result cache directory")
+    add_store_arguments(cache_parser)
     return parser
 
 
@@ -103,7 +105,11 @@ def _run(args: argparse.Namespace) -> int:
 
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir)
+        try:
+            cache = store_from_args(args)
+        except ValueError as exc:
+            print(f"repro-batch: {exc}", file=sys.stderr)
+            return 2
     with BatchExecutor(jobs=args.jobs, cache=cache,
                        chunksize=args.chunksize,
                        backend=args.backend) as executor:
@@ -113,7 +119,11 @@ def _run(args: argparse.Namespace) -> int:
     print()
     print(report.metrics.format_summary())
     if cache is not None:
-        print(f"cache dir: {cache.root}")
+        root = getattr(cache, "root", None)
+        if root is not None:
+            print(f"cache dir: {root}")
+        else:
+            print(f"cache: {cache.name} store (in-process)")
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -124,13 +134,24 @@ def _run(args: argparse.Namespace) -> int:
 
 
 def _cache(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir)
+    try:
+        cache = store_from_args(args)
+    except ValueError as exc:
+        print(f"repro-batch: {exc}", file=sys.stderr)
+        return 2
+    root = getattr(cache, "root", None)
     if args.action == "stats":
         print(cache.stats().format_summary())
-        print(f"cache dir: {cache.root}")
+        tier_stats = getattr(cache, "tier_stats", None)
+        if tier_stats is not None:
+            for tier, stats in tier_stats().items():
+                print(f"  {tier}: {stats.format_summary()}")
+        if root is not None:
+            print(f"cache dir: {root}")
         return 0
     removed = cache.clear()
-    print(f"removed {removed} cached results from {cache.root}")
+    where = f" from {root}" if root is not None else ""
+    print(f"removed {removed} cached results{where}")
     return 0
 
 

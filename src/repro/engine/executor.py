@@ -22,9 +22,16 @@ Guarantees:
   RC-optimum re-seed retry for optimizer jobs lives in the job spec
   itself (:class:`repro.engine.jobs.OptimizeJob`), so every backend
   applies the same recovery.
-* **Caching** — with a :class:`repro.engine.cache.ResultCache` attached,
+* **Caching** — with a :class:`repro.engine.store.ResultStore` attached
+  (disk, memory, or tiered — see :func:`repro.engine.store.make_store`),
   hits are served in-process without dispatching work and fresh
   successes are written back.  Failures are never cached.
+* **Deduplication** — duplicate specs inside one batch collapse to a
+  single evaluation through a
+  :class:`~repro.engine.store.SingleFlight` table (shareable across
+  racing executors): the leader's envelope fans out to every duplicate
+  lane, so N identical manifest rows cost one solver run and still
+  emit N identical payloads.
 
 The serial backend (``jobs=1``, the default) runs everything in-process:
 monkeypatching, shared ``lru_cache`` state and warm-start chaining all
@@ -46,9 +53,9 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 # (tests and the serve layer import them from here).
 from .backends import (Backend, _execute_job, _nonfinite_path,  # noqa: F401
                        make_backend)
-from .cache import ResultCache
 from .jobs import job_to_dict
 from .metrics import BatchMetrics, JobMetrics, iterations_of, trace_counts_of
+from .store import Flight, ResultStore, SingleFlight, flight_key
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,7 @@ class JobOutcome:
     traceback: Optional[str] = None
     from_cache: bool = False
     wall_time: float = 0.0
+    deduped: bool = False     #: fanned out from another lane's evaluation
 
     @property
     def ok(self) -> bool:
@@ -140,11 +148,18 @@ class BatchExecutor:
         :class:`~repro.engine.backends.Backend` instance to share.  The
         executor owns (and ``close()``\\ s) a backend it built from a
         name; a shared instance stays the caller's to close.
+    flights:
+        Optional shared :class:`~repro.engine.store.SingleFlight` table.
+        Duplicate specs within one batch always collapse to a single
+        evaluation (the leader's envelope fans out to every duplicate
+        lane); passing a shared table additionally collapses identical
+        specs across *racing* executors in the same process.
     """
 
-    def __init__(self, jobs: int = 1, *, cache: Optional[ResultCache] = None,
+    def __init__(self, jobs: int = 1, *, cache: Optional[ResultStore] = None,
                  chunksize: Optional[int] = None,
-                 backend: Optional[Union[str, Backend]] = None) -> None:
+                 backend: Optional[Union[str, Backend]] = None,
+                 flights: Optional[SingleFlight] = None) -> None:
         if jobs < 1:
             raise ValueError(f"worker count must be >= 1, got {jobs}")
         if chunksize is not None and chunksize < 1:
@@ -152,6 +167,7 @@ class BatchExecutor:
         self.jobs = jobs
         self.cache = cache
         self.chunksize = chunksize
+        self.flights = flights if flights is not None else SingleFlight()
         self._owns_backend = not isinstance(backend, Backend)
         if backend is None:
             backend = "serial" if jobs == 1 else "process"
@@ -199,10 +215,61 @@ class BatchExecutor:
             else:
                 pending.append(index)
 
-        for index, envelope in zip(pending, self._evaluate(
-                [job_list[i] for i in pending])):
+        # Single-flight above the backend seam: one leader per unique
+        # spec hash.  Duplicate specs in this batch — and identical
+        # specs a racing executor sharing this flight table already
+        # has in the air — follow the leader's envelope instead of
+        # dispatching their own evaluation.  Leaders are dispatched as
+        # one batch (collection order unchanged), so jobs=N stays
+        # bitwise identical to jobs=1.
+        leaders: List[int] = []
+        leader_flights: Dict[int, Flight] = {}
+        followers: List[tuple] = []
+        for index in pending:
+            is_leader, flight = self.flights.acquire(
+                flight_key(job_list[index]))
+            if is_leader:
+                leaders.append(index)
+                leader_flights[index] = flight
+            else:
+                followers.append((index, flight))
+
+        try:
+            envelopes = self._evaluate([job_list[i] for i in leaders])
+        except BaseException as exc:
+            # A whole-batch dispatch failure must still resolve every
+            # leader's flight, or followers (here or in racing runs)
+            # would wait forever on an evaluation nobody is running.
+            for index in leaders:
+                self.flights.publish_error(leader_flights[index], exc)
+            raise
+
+        for index, envelope in zip(leaders, envelopes):
+            try:
+                self.flights.publish(leader_flights[index], envelope)
+            except Exception as exc:
+                # Injected leader crash: the flight already resolved
+                # with the failure (followers are answered); the
+                # leader's own lane reports the same failure.
+                envelope = {"ok": False, "error": str(exc),
+                            "error_type": type(exc).__name__,
+                            "traceback": "",
+                            "wall_time": envelope.get("wall_time", 0.0)}
             outcomes[index] = self._outcome_from_envelope(
                 job_list[index], envelope)
+
+        for index, flight in followers:
+            outcome = flight.wait()
+            assert outcome is not None  # leaders always publish
+            status, value = outcome
+            if status == "error":
+                outcomes[index] = JobOutcome(
+                    job=job_list[index], error=str(value),
+                    error_type=type(value).__name__, traceback="",
+                    deduped=True)
+            else:
+                outcomes[index] = self._outcome_from_envelope(
+                    job_list[index], value, deduped=True)
 
         for outcome in outcomes:
             assert outcome is not None
@@ -216,7 +283,8 @@ class BatchExecutor:
                 newton_iterations=iterations_of(outcome.result or {}),
                 retried=bool((outcome.result or {}).get("retried", False)),
                 fallbacks=fallbacks,
-                backtracks=backtracks))
+                backtracks=backtracks,
+                deduped=outcome.deduped))
         report.metrics.wall_time = time.perf_counter() - start
         after = self.backend.stats.snapshot()
         report.metrics.dispatches = (after["dispatches"]
@@ -238,10 +306,12 @@ class BatchExecutor:
             return []
         return self.backend.submit_batch(job_list, chunksize=self.chunksize)
 
-    def _outcome_from_envelope(self, job: Any,
-                               envelope: Dict[str, Any]) -> JobOutcome:
+    def _outcome_from_envelope(self, job: Any, envelope: Dict[str, Any],
+                               *, deduped: bool = False) -> JobOutcome:
         if envelope["ok"]:
-            if self.cache is not None:
+            if self.cache is not None and not deduped:
+                # Followers skip the write-back: the leader already
+                # stored the identical record.
                 try:
                     self.cache.put(job, envelope["result"])
                 except OSError:
@@ -250,8 +320,12 @@ class BatchExecutor:
                     # the next run simply recomputes.
                     pass
             return JobOutcome(job=job, result=envelope["result"],
-                              wall_time=envelope["wall_time"])
+                              wall_time=0.0 if deduped
+                              else envelope["wall_time"],
+                              deduped=deduped)
         return JobOutcome(job=job, error=envelope["error"],
                           error_type=envelope["error_type"],
                           traceback=envelope["traceback"],
-                          wall_time=envelope["wall_time"])
+                          wall_time=0.0 if deduped
+                          else envelope["wall_time"],
+                          deduped=deduped)

@@ -48,6 +48,7 @@ class JobMetrics:
     retried: bool             #: recovered via the RC-optimum re-seed
     fallbacks: int = 0        #: Newton -> direct fallbacks in the traces
     backtracks: int = 0       #: Newton backtracking halvings in the traces
+    deduped: bool = False     #: fanned out from another lane's evaluation
 
 
 def iterations_of(result: Dict[str, Any]) -> int:
@@ -91,6 +92,7 @@ class BatchMetrics:
     jobs_failed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    deduplicated: int = 0            #: lanes answered by another lane's run
     wall_time: float = 0.0           #: whole-batch wall time in seconds
     evaluation_time: float = 0.0     #: sum of per-job evaluation times
     newton_iterations: int = 0
@@ -113,6 +115,8 @@ class BatchMetrics:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+        if job_metrics.deduped:
+            self.deduplicated += 1
         self.evaluation_time += job_metrics.wall_time
         self.newton_iterations += job_metrics.newton_iterations
         if job_metrics.retried:
@@ -137,7 +141,9 @@ class BatchMetrics:
             f"{self.jobs_failed} failed ({self.workers} worker"
             f"{'s' if self.workers != 1 else ''})",
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
-            f"({100.0 * self.cache_hit_rate:.1f}% hit rate)",
+            f"({100.0 * self.cache_hit_rate:.1f}% hit rate)"
+            + (f", {self.deduplicated} deduplicated"
+               if self.deduplicated else ""),
             f"time: {self.wall_time:.3f}s wall, "
             f"{self.evaluation_time:.3f}s evaluating",
             f"solver: {self.newton_iterations} iterations, "

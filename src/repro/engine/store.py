@@ -1,0 +1,750 @@
+"""One result plane: tiered pluggable result stores + single-flight dedup.
+
+Every layer that replays results — the engine's
+:class:`~repro.engine.executor.BatchExecutor`, the serve layer's
+``ReproService``, ``repro-verify`` and ``repro-experiments`` — funnels
+through one :class:`ResultStore` seam:
+
+* :class:`DiskStore` — the content-addressed on-disk store (formerly
+  ``repro.engine.cache.ResultCache``): records sharded by the first two
+  key hex digits, written atomically, with transparent read-through of
+  the legacy *flat* layout (``root/<key>.json``) that migrates each
+  legacy record into its shard on first hit;
+* :class:`MemoryStore` — a byte-budgeted LRU of decoded payloads; hits
+  never touch the filesystem;
+* :class:`TieredStore` — memory over disk: write-through puts,
+  promote-on-hit, memory hits never open a file.
+
+Stores are selected by name through :func:`make_store`, mirroring
+:func:`repro.engine.backends.make_backend`, so every CLI shares one
+``--store {disk,memory,tiered}`` vocabulary.
+
+On top of the store sits :class:`SingleFlight`, a coalescer keyed on the
+spec hash: concurrent identical evaluations — duplicate specs in one
+batch, racing executors sharing a flight table — collapse to one
+evaluation whose outcome fans out to every waiter.  A leader that dies
+before publishing resolves its flight with the failure, so followers
+are always *answered or rejected*, never hung (the invariant the fault
+harness drives through ``store.singleflight.leader_crash``).
+
+The cache key of a job is ``SHA-256(canonical-JSON(spec) + "\\0" + salt)``
+where the salt carries the code version: results computed by one version
+of the numerical code are never replayed against another.  Only
+*successful* results are stored — a failed job is always retried by the
+next batch that contains it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..faults import hooks as _faults
+from .jobs import canonical_json, job_to_dict
+
+#: Bump when the job canonical form or the result payloads change shape.
+ENGINE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Selectable store names, in the order CLIs advertise them.
+STORE_NAMES = ("disk", "memory", "tiered")
+
+#: Default byte budget for the memory tier (64 MiB).
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+
+
+def default_cache_dir() -> Path:
+    """Cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+def code_version_salt() -> str:
+    """Salt tying cache keys to the library version and engine schema."""
+    return f"repro-{__version__}+engine-schema-{ENGINE_SCHEMA_VERSION}"
+
+
+def flight_key(job: Any) -> str:
+    """Version-independent spec hash used to coalesce identical work.
+
+    Unlike the store key this carries no version salt: two in-process
+    evaluations of the same spec are the same work regardless of which
+    store (if any) the results land in.
+    """
+    text = canonical_json(job_to_dict(job))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Store occupancy plus this session's hit/miss accounting."""
+
+    entries: int = 0
+    total_bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+    salt: str = field(default_factory=code_version_salt)
+    medium: str = "on disk"
+
+    @property
+    def hit_rate(self) -> float:
+        """Session hit rate in [0, 1]; 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def format_summary(self) -> str:
+        return (f"cache: {self.entries} entries, {self.total_bytes} bytes "
+                f"{self.medium}; session {self.hits} hits / {self.misses} "
+                f"misses ({100.0 * self.hit_rate:.1f}% hit rate); salt "
+                f"{self.salt!r}")
+
+
+# ----------------------------------------------------------------------
+# The store protocol.
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Base result store: content-addressed keys, get/put/stats/close.
+
+    Subclasses implement :meth:`get`, :meth:`put`, :meth:`stats` and
+    :meth:`clear`; :meth:`close` is idempotent and a closed store may
+    still be read (closing releases resources, it does not invalidate
+    records).  ``hits``/``misses`` are per-instance session counters.
+    """
+
+    name = "store"
+
+    #: Bound on the per-store key memo (entries are ~100 bytes each).
+    _KEY_CACHE_LIMIT = 4096
+
+    def __init__(self, *, salt: Optional[str] = None) -> None:
+        self.salt = salt if salt is not None else code_version_salt()
+        self.hits = 0
+        self.misses = 0
+        self._key_cache: Dict[Any, str] = {}
+
+    def key(self, job: Any) -> str:
+        """SHA-256 hex digest of the job's canonical spec + version salt.
+
+        Hashable jobs (the frozen spec dataclasses) are memoized: on a
+        hot-repeat workload the canonical-JSON + SHA-256 work would
+        otherwise dominate a memory-tier hit.
+        """
+        try:
+            cached = self._key_cache.get(job)
+        except TypeError:               # unhashable job: compute directly
+            return self._compute_key(job)
+        if cached is not None:
+            return cached
+        key = self._compute_key(job)
+        if len(self._key_cache) >= self._KEY_CACHE_LIMIT:
+            self._key_cache.clear()
+        self._key_cache[job] = key
+        return key
+
+    def _compute_key(self, job: Any) -> str:
+        text = canonical_json(job_to_dict(job)) + "\0" + self.salt
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def get(self, job: Any) -> Optional[Dict[str, Any]]:
+        """Return the stored result dict for ``job``, or ``None``."""
+        raise NotImplementedError
+
+    def put(self, job: Any, result: Dict[str, Any]) -> str:
+        """Store a successful result; returns the record key."""
+        raise NotImplementedError
+
+    def stats(self) -> CacheStats:
+        """Occupancy and this instance's session hit/miss counts."""
+        raise NotImplementedError
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (idempotent; records stay readable)."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class DiskStore(ResultStore):
+    """Content-addressed on-disk store mapping job specs to records.
+
+    Records are small JSON files sharded by the first two key hex
+    digits (``root/ab/<key>.json``), written atomically (temp file +
+    ``os.replace``) so concurrent workers and interrupted runs cannot
+    leave a torn record.  Records written by the legacy *flat* layout
+    (``root/<key>.json``) are read through transparently and migrated
+    into their shard on first hit, so an old cache directory keeps
+    serving without a conversion pass.
+    """
+
+    name = "disk"
+
+    def __init__(self, root: "os.PathLike[str] | str | None" = None, *,
+                 salt: Optional[str] = None) -> None:
+        super().__init__(salt=salt)
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # ------------------------------------------------------------------
+    # Paths.
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """On-disk path of the record with the given key."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def _legacy_path_for(self, key: str) -> Path:
+        """Where the pre-shard flat layout kept the same record."""
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store.
+    # ------------------------------------------------------------------
+    def get(self, job: Any) -> Optional[Dict[str, Any]]:
+        """Return the cached result dict for ``job``, or ``None`` on miss.
+
+        A record that exists but cannot be parsed — torn JSON from a
+        killed writer or a full disk, or a record missing its ``result``
+        field — counts as a miss *and is unlinked*, so a corrupt file
+        never shadows the healthy record a later ``put`` writes.  A
+        plain I/O error (``OSError``) is a miss *without* the unlink:
+        the record content was never seen, so a transient failure — a
+        file-descriptor limit, an injected ``cache.get.os_error`` —
+        must not evict a healthy record.
+        """
+        key = self.key(job)
+        path = self.path_for(key)
+        legacy = False
+        try:
+            if _faults.ACTIVE is not None:
+                # The record name is content-addressed (stable across
+                # runs); the cache root is not — keep event details
+                # replay-comparable.
+                _faults.fire("cache.get.os_error", record=path.name)
+            try:
+                handle = open(path, "r", encoding="utf-8")
+            except FileNotFoundError:
+                path = self._legacy_path_for(key)
+                legacy = True
+                handle = open(path, "r", encoding="utf-8")
+            with handle:
+                text = handle.read()
+            if _faults.ACTIVE is not None:
+                text = _faults.mutate("cache.get.torn_record", text)
+            record = json.loads(text)
+            result = record["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError):
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        if legacy:
+            self._migrate_legacy(key, path)
+        self.hits += 1
+        return result
+
+    def _migrate_legacy(self, key: str, legacy_path: Path) -> None:
+        """Move a flat-layout record into its shard (best-effort).
+
+        ``os.replace`` keeps the move atomic; a migration that fails
+        (read-only cache, permissions) leaves the legacy record in
+        place and read-through keeps serving it.
+        """
+        target = self.path_for(key)
+        try:
+            self._make_shard(target.parent, key)
+            os.replace(legacy_path, target)
+        except OSError:
+            pass
+
+    def _make_shard(self, shard: Path, key: str) -> None:
+        if _faults.ACTIVE is not None:
+            _faults.fire("store.disk.shard_unwritable", shard=key[:2])
+        shard.mkdir(parents=True, exist_ok=True)
+
+    def put(self, job: Any, result: Dict[str, Any]) -> str:
+        """Store a successful result; returns the record key."""
+        key = self.key(job)
+        path = self.path_for(key)
+        self._make_shard(path.parent, key)
+        record = {"key": key, "salt": self.salt,
+                  "job": job_to_dict(job), "result": result}
+        # The temp name must be unique per *writer*, not just per
+        # process: concurrent threads sharing one name would interleave
+        # writes into one inode and os.replace could promote a torn
+        # record.  mkstemp gives every writer its own file.
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{key[:8]}.", suffix=".tmp")
+        try:
+            if _faults.ACTIVE is not None \
+                    and _faults.should("cache.put.stale_tmp"):
+                # Simulate a concurrent writer killed between mkstemp
+                # and os.replace: its orphaned temp file stays behind.
+                stale_fd, _stale = tempfile.mkstemp(
+                    dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp")
+                os.close(stale_fd)
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            if _faults.ACTIVE is not None:
+                _faults.fire("cache.put.os_error", record=path.name)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return key
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+    def _record_paths(self):
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                for path in sorted(shard.glob("*.json")):
+                    yield path
+        # Legacy flat-layout records not yet migrated into a shard.
+        for path in sorted(self.root.glob("*.json")):
+            yield path
+
+    def tmp_files(self) -> list:
+        """Orphaned writer temp files (``*.tmp``) across every shard.
+
+        A healthy store has none: writers either promote their temp
+        file with ``os.replace`` or unlink it on failure.  Anything
+        listed here came from a writer that died between the two — the
+        invariant the fault harness counts against injected
+        ``cache.put.stale_tmp`` events.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted([path for shard in self.root.iterdir()
+                       if shard.is_dir() for path in shard.glob("*.tmp")]
+                      + list(self.root.glob("*.tmp")))
+
+    def stats(self) -> CacheStats:
+        """Disk occupancy and this instance's session hit/miss counts."""
+        entries = 0
+        total_bytes = 0
+        for path in self._record_paths():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(entries=entries, total_bytes=total_bytes,
+                          hits=self.hits, misses=self.misses,
+                          salt=self.salt)
+
+    def clear(self) -> int:
+        """Delete every record (and orphaned writer temp files);
+        returns the number of records removed."""
+        removed = 0
+        for path in list(self._record_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self.tmp_files():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for shard in list(self.root.iterdir()):
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        return removed
+
+
+class MemoryStore(ResultStore):
+    """Byte-budgeted LRU of decoded result payloads.
+
+    Hits never touch the filesystem: the payload object decoded at
+    ``put`` time is returned directly (callers treat results as
+    immutable throughout the stack).  An entry's cost is the byte
+    length of its canonical JSON, so the budget tracks what the same
+    records would occupy on disk; the store evicts least-recently-used
+    entries until the total fits, and a single payload larger than the
+    whole budget is simply not retained.
+
+    Thread-safe: every operation holds one lock, so a store shared by
+    backend workers and the executor keeps its budget invariant under
+    concurrent puts (the ``store.memory.evict_race`` fault site models
+    a racing evictor removing an extra entry — a lost entry is only a
+    future miss, never a wrong answer).
+    """
+
+    name = "memory"
+
+    def __init__(self, max_bytes: int = DEFAULT_MEMORY_BUDGET, *,
+                 salt: Optional[str] = None) -> None:
+        super().__init__(salt=salt)
+        if max_bytes < 0:
+            raise ValueError(f"memory budget must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[Dict[str, Any], int]]" = \
+            OrderedDict()
+        self._total_bytes = 0
+
+    def get(self, job: Any) -> Optional[Dict[str, Any]]:
+        key = self.key(job)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, job: Any, result: Dict[str, Any]) -> str:
+        key = self.key(job)
+        size = len(canonical_json(result).encode("utf-8"))
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._total_bytes -= old[1]
+            if size <= self.max_bytes:
+                self._entries[key] = (result, size)
+                self._total_bytes += size
+                self._evict_locked()
+        return key
+
+    def _evict_locked(self) -> None:
+        while self._total_bytes > self.max_bytes and self._entries:
+            _, (_, size) = self._entries.popitem(last=False)
+            self._total_bytes -= size
+            if _faults.ACTIVE is not None \
+                    and _faults.should("store.memory.evict_race"):
+                # A racing evictor got the same LRU head: one extra
+                # entry disappears.  The budget invariant still holds
+                # and a lost entry is only a future miss.
+                if self._entries:
+                    _, (_, extra) = self._entries.popitem(last=False)
+                    self._total_bytes -= extra
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(entries=len(self._entries),
+                              total_bytes=self._total_bytes,
+                              hits=self.hits, misses=self.misses,
+                              salt=self.salt, medium="in memory")
+
+    def clear(self) -> int:
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            self._total_bytes = 0
+        return removed
+
+    def close(self) -> None:
+        self.clear()
+
+
+class TieredStore(ResultStore):
+    """Memory over disk: write-through puts, promote-on-hit.
+
+    ``get`` consults the memory tier first — a memory hit never touches
+    the filesystem — and promotes disk hits into memory, so a hot
+    working set converges to memory speed while the disk tier stays the
+    durable system of record.  ``put`` writes through to disk first
+    (the disk record is the one other processes share) and then
+    populates memory; a disk write failure propagates to the caller
+    exactly as :class:`DiskStore`'s would, without poisoning the memory
+    tier with a record the disk never accepted.
+
+    Maintenance (``root``/``_record_paths``/``tmp_files``) delegates to
+    the disk tier so the fault harness's cache-integrity checks and the
+    CLIs see the durable records; ``clear`` empties both tiers.
+    """
+
+    name = "tiered"
+
+    def __init__(self, memory: Optional[MemoryStore] = None,
+                 disk: Optional[DiskStore] = None, *,
+                 root: "os.PathLike[str] | str | None" = None,
+                 max_bytes: int = DEFAULT_MEMORY_BUDGET,
+                 salt: Optional[str] = None) -> None:
+        super().__init__(salt=salt)
+        self.memory = (memory if memory is not None
+                       else MemoryStore(max_bytes, salt=self.salt))
+        self.disk = (disk if disk is not None
+                     else DiskStore(root, salt=self.salt))
+
+    @property
+    def root(self) -> Path:
+        return self.disk.root
+
+    def path_for(self, key: str) -> Path:
+        return self.disk.path_for(key)
+
+    def key(self, job: Any) -> str:
+        return self.disk.key(job)
+
+    def get(self, job: Any) -> Optional[Dict[str, Any]]:
+        result = self.memory.get(job)
+        if result is not None:
+            self.hits += 1
+            return result
+        result = self.disk.get(job)
+        if result is None:
+            self.misses += 1
+            return None
+        # Promote-on-hit: idempotent (re-promoting replaces the entry
+        # with an identical payload at identical cost).
+        self.memory.put(job, result)
+        self.hits += 1
+        return result
+
+    def put(self, job: Any, result: Dict[str, Any]) -> str:
+        key = self.disk.put(job, result)
+        self.memory.put(job, result)
+        return key
+
+    def _record_paths(self):
+        return self.disk._record_paths()
+
+    def tmp_files(self) -> list:
+        return self.disk.tmp_files()
+
+    def stats(self) -> CacheStats:
+        disk = self.disk.stats()
+        return CacheStats(entries=disk.entries,
+                          total_bytes=disk.total_bytes,
+                          hits=self.hits, misses=self.misses,
+                          salt=self.salt)
+
+    def tier_stats(self) -> Dict[str, CacheStats]:
+        """Per-tier accounting (``repro-batch cache stats``)."""
+        return {"memory": self.memory.stats(), "disk": self.disk.stats()}
+
+    def clear(self) -> int:
+        self.memory.clear()
+        return self.disk.clear()
+
+    def close(self) -> None:
+        self.memory.close()
+        self.disk.close()
+
+
+# ----------------------------------------------------------------------
+# The factory every consumer layer constructs through.
+# ----------------------------------------------------------------------
+def make_store(store: Any = None, *,
+               root: "os.PathLike[str] | str | None" = None,
+               max_bytes: int = DEFAULT_MEMORY_BUDGET,
+               salt: Optional[str] = None) -> ResultStore:
+    """Resolve a store selection to a live :class:`ResultStore`.
+
+    ``store`` may be a name from :data:`STORE_NAMES`, ``None`` (disk —
+    today's behaviour), or an existing :class:`ResultStore` instance
+    (returned as-is, so a shared instance can be threaded through
+    layers).  ``root`` selects the disk directory; ``max_bytes`` bounds
+    the memory tier.
+    """
+    if isinstance(store, ResultStore):
+        return store
+    name = "disk" if store is None else str(store).lower()
+    if name == "disk":
+        return DiskStore(root, salt=salt)
+    if name == "memory":
+        return MemoryStore(max_bytes, salt=salt)
+    if name == "tiered":
+        return TieredStore(root=root, max_bytes=max_bytes, salt=salt)
+    raise ValueError(f"unknown store {store!r}; choose from "
+                     f"{', '.join(STORE_NAMES)}")
+
+
+def add_store_arguments(parser: Any) -> None:
+    """Attach the shared ``--store``/``--store-mem-mb`` CLI options.
+
+    Every CLI that constructs a store (``repro-batch``, ``repro-serve``,
+    ``repro-verify``, ``repro-experiments``) advertises the same
+    vocabulary and resolves it through :func:`store_from_args`.
+    """
+    parser.add_argument("--store", choices=STORE_NAMES, default=None,
+                        help="result store flavor: disk (default), "
+                             "memory (byte-budgeted LRU), or tiered "
+                             "(memory over disk)")
+    parser.add_argument("--store-mem-mb", type=int, default=64,
+                        metavar="MB",
+                        help="memory-tier budget in MiB for --store "
+                             "memory/tiered (default: 64)")
+
+
+def store_from_args(args: Any, *,
+                    root: "os.PathLike[str] | str | None" = None
+                    ) -> ResultStore:
+    """Build the selected store from options parsed by
+    :func:`add_store_arguments` (plus the CLI's own ``--cache-dir``)."""
+    if root is None:
+        root = getattr(args, "cache_dir", None)
+    mem_mb = getattr(args, "store_mem_mb", None)
+    if mem_mb is None:
+        return make_store(getattr(args, "store", None), root=root)
+    if mem_mb < 0:
+        raise ValueError(f"--store-mem-mb must be >= 0, got {mem_mb}")
+    return make_store(getattr(args, "store", None), root=root,
+                      max_bytes=int(mem_mb) * 1024 * 1024)
+
+
+def describe_store(store: Optional[ResultStore]) -> str:
+    """One-line human description for CLI startup banners."""
+    if store is None:
+        return "off"
+    if isinstance(store, TieredStore):
+        return (f"tiered ({store.root}, memory<= "
+                f"{store.memory.max_bytes} bytes)")
+    if isinstance(store, MemoryStore):
+        return f"memory (<= {store.max_bytes} bytes)"
+    root = getattr(store, "root", None)
+    return f"{store.name} ({root})" if root is not None else store.name
+
+
+# ----------------------------------------------------------------------
+# Single-flight coalescing.
+# ----------------------------------------------------------------------
+class Flight:
+    """One in-progress evaluation other waiters can subscribe to."""
+
+    __slots__ = ("key", "_event", "_outcome")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self._event = threading.Event()
+        self._outcome: Optional[Tuple[str, Any]] = None
+
+    def resolve(self, outcome: Tuple[str, Any]) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None
+             ) -> Optional[Tuple[str, Any]]:
+        """Block for the outcome: ``("ok", value)``, ``("error", exc)``,
+        or ``None`` if ``timeout`` elapsed first."""
+        if not self._event.wait(timeout):
+            return None
+        return self._outcome
+
+
+class SingleFlight:
+    """Coalesce concurrent identical evaluations onto one leader.
+
+    ``acquire(key)`` is non-blocking: the first caller for a key
+    becomes the *leader* (and must eventually :meth:`publish` or
+    :meth:`publish_error` — the answered-or-rejected contract) and
+    everyone else a *follower* holding the same :class:`Flight` to
+    :meth:`Flight.wait` on.  :meth:`do` packages the whole protocol for
+    callers that evaluate one spec at a time; the batch executor uses
+    the primitives directly so leaders still dispatch as one batch.
+
+    A published flight is removed from the table *before* its waiters
+    wake, so a request arriving after publication starts a fresh
+    evaluation — single-flight dedupes concurrency, it is not a cache.
+
+    The ``store.singleflight.leader_crash`` fault site fires inside
+    :meth:`publish`: the flight resolves with the injected failure (all
+    followers answered) and the leader sees the raise — modelling a
+    leader that died after evaluating but before handing over.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[str, Flight] = {}
+        self.leads = 0
+        self.followers = 0
+
+    def acquire(self, key: str) -> Tuple[bool, Flight]:
+        """Join the flight for ``key``; returns ``(is_leader, flight)``."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = Flight(key)
+                self._flights[key] = flight
+                self.leads += 1
+                return True, flight
+            self.followers += 1
+            return False, flight
+
+    def _resolve(self, flight: Flight, outcome: Tuple[str, Any]) -> None:
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+        flight.resolve(outcome)
+
+    def publish(self, flight: Flight, value: Any) -> None:
+        """Leader hand-off: fan ``value`` out to every follower.
+
+        If the leader-crash fault fires here the flight resolves with
+        the injected failure instead (followers are answered with the
+        error) and the exception propagates to the leader.
+        """
+        if _faults.ACTIVE is not None:
+            try:
+                _faults.fire("store.singleflight.leader_crash",
+                             key=flight.key[:12])
+            except BaseException as exc:
+                self._resolve(flight, ("error", exc))
+                raise
+        self._resolve(flight, ("ok", value))
+
+    def publish_error(self, flight: Flight, exc: BaseException) -> None:
+        """Leader hand-off for a failed evaluation."""
+        self._resolve(flight, ("error", exc))
+
+    def do(self, key: str, fn: Any) -> Any:
+        """Evaluate ``fn()`` once per concurrent ``key``; all callers
+        get the leader's value (or raise the leader's exception)."""
+        leader, flight = self.acquire(key)
+        if not leader:
+            outcome = flight.wait()
+            assert outcome is not None  # no timeout: leaders always publish
+            status, value = outcome
+            if status == "error":
+                raise value
+            return value
+        try:
+            value = fn()
+        except BaseException as exc:
+            self.publish_error(flight, exc)
+            raise
+        self.publish(flight, value)
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"leads": self.leads, "followers": self.followers,
+                    "in_flight": len(self._flights)}

@@ -28,8 +28,8 @@ import time
 from typing import Iterable
 
 from ..engine.backends import BACKEND_NAMES
-from ..engine.cache import ResultCache
 from ..engine.executor import BatchExecutor
+from ..engine.store import add_store_arguments, store_from_args
 from ..engine.jobs import ExperimentJob
 from .base import DESCRIPTIONS, ExperimentResult, all_experiment_ids
 
@@ -81,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--cache-dir", default=None, metavar="DIR",
                             help="cache directory (with --cache; default: "
                                  "$REPRO_CACHE_DIR or ./.repro-cache)")
+    add_store_arguments(run_parser)
     return parser
 
 
@@ -116,7 +117,12 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = FAST_OVERRIDES.get(experiment_id, {}) if args.fast else {}
         job_specs.append(ExperimentJob.create(experiment_id, **kwargs))
 
-    cache = ResultCache(args.cache_dir) if args.cache else None
+    cache = None
+    if args.cache:
+        try:
+            cache = store_from_args(args)
+        except ValueError as exc:
+            raise SystemExit(f"repro-experiments: {exc}")
     start = time.perf_counter()
     with BatchExecutor(jobs=args.jobs, cache=cache,
                        backend=args.backend) as executor:

@@ -46,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
              "and count/probability N; repeatable")
     plan_parser.add_argument(
         "--scenario", default=None,
-        help="arm every site of one scenario (cache/engine/serve/all) "
+        help="arm every site of one scenario (cache/engine/serve/backend/store/all) "
              "with its preset trigger")
     plan_parser.add_argument("--seed", type=int, default=0,
                              help="PRNG seed baked into the plan")

@@ -63,6 +63,12 @@ BACKEND_SITES = frozenset(
     name for name, point in FAULT_POINTS.items()
     if point.scenario == "backend")
 
+#: Sites of the result-store plane (tiered store + single-flight),
+#: driven through the dedicated store driver.
+STORE_SITES = frozenset(
+    name for name, point in FAULT_POINTS.items()
+    if point.scenario == "store")
+
 
 # ----------------------------------------------------------------------
 # Reports.
@@ -633,6 +639,169 @@ def _drive_backend(plan: FaultPlan, report: RunReport) -> None:
 
 
 # ----------------------------------------------------------------------
+# The store driver (tiered result store + single-flight coalescing).
+# ----------------------------------------------------------------------
+def _drive_store(plan: FaultPlan, report: RunReport,
+                 cache_root: Path) -> None:
+    """Drive the result-store plane under ``plan``.
+
+    Phase A (deterministic, single-threaded): every delay job is
+    evaluated through :meth:`SingleFlight.do` and written through a
+    :class:`TieredStore` whose memory tier holds ~2.5 records, so the
+    put sequence reaches eviction (``store.memory.evict_race``) and
+    shard creation (``store.disk.shard_unwritable``); each ``do``
+    publishes exactly once, in job order, so nth-mode rules fire at the
+    same global hit in every replay.  A re-read pass then proves every
+    record that was stored still replays bitwise equal to solo
+    ``job.run()``.
+
+    Phase B (concurrent): the harness thread takes leadership of one
+    flight, 16 follower threads subscribe (a semaphore counts them in
+    before the hand-off), and the leader publishes — the phase's single
+    publish, so a ``leader_crash`` preset of ``nth=7`` lands exactly
+    here, after Phase A's six.  Every follower must come back answered
+    or rejected: a follower that times out, or one that was wrongly
+    promoted to leader (a duplicate evaluation), is a violation.
+    """
+    import threading
+
+    from ..engine.store import DiskStore, MemoryStore, SingleFlight, \
+        TieredStore
+
+    workload = _workload_jobs()
+    jobs = workload["delay"]
+    plan_inert = not plan.rules
+    with plan.suspended():
+        truths = [_normalized("delay", job.run()) for job in jobs]
+
+    # ~2.5 records of budget: the fourth put must evict, so the
+    # eviction seam is reachable from a six-job phase.
+    budget = int(2.5 * len(truths[0].encode("utf-8")))
+    store = TieredStore(memory=MemoryStore(budget),
+                        disk=DiskStore(cache_root))
+    flights = SingleFlight()
+
+    with hooks.active(plan):
+        # -- phase A: sequential single-flight + write-through ---------
+        stored: List[int] = []
+        for index, job in enumerate(jobs):
+            report.requests_sent += 1
+            try:
+                result = flights.do(store.key(job), job.run)
+            except Exception as exc:
+                report.responses_error += 1
+                if plan_inert:
+                    report.violation(
+                        "isolation",
+                        f"store delay[{index}] failed with no fault "
+                        f"armed: {exc}")
+                continue
+            report.responses_ok += 1
+            if _normalized("delay", result) != truths[index]:
+                report.violation(
+                    "bitwise",
+                    f"store delay[{index}] single-flight result differs "
+                    f"from solo job.run()")
+                continue
+            try:
+                store.put(job, result)
+                stored.append(index)
+            except OSError:
+                # Store consumers swallow put failures: the result was
+                # still served, only the replay is lost.
+                pass
+        for index in stored:
+            replayed = store.get(jobs[index])
+            if replayed is None:
+                if plan_inert:
+                    report.violation(
+                        "cache",
+                        f"store delay[{index}] record vanished after a "
+                        f"successful put with no fault armed")
+                continue
+            if _normalized("delay", replayed) != truths[index]:
+                report.violation(
+                    "bitwise",
+                    f"store delay[{index}] replayed record differs from "
+                    f"solo job.run()")
+
+        # -- phase B: one leader, 16 counted-in followers --------------
+        job_b, truth_b = jobs[0], truths[0]
+        key_b = store.key(job_b)
+        leader, flight = flights.acquire(key_b)
+        if not leader:
+            report.violation(
+                "answered",
+                "store flight table leaked a resolved flight — a new "
+                "acquire after publication must lead")
+            return
+        outcomes: List[Tuple[bool, Any]] = []
+        outcomes_lock = threading.Lock()
+        subscribed = threading.Semaphore(0)
+
+        def follow() -> None:
+            is_leader, joined = flights.acquire(key_b)
+            subscribed.release()
+            got = None if is_leader else joined.wait(timeout=10.0)
+            with outcomes_lock:
+                outcomes.append((is_leader, got))
+
+        threads = [threading.Thread(target=follow) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for _ in threads:
+            subscribed.acquire()
+        report.requests_sent += len(threads)
+        with plan.suspended():
+            value_b = job_b.run()
+        try:
+            flights.publish(flight, value_b)
+        except Exception:
+            pass  # the flight already resolved with the injected failure
+        for thread in threads:
+            thread.join()
+
+        for is_leader, got in outcomes:
+            if is_leader:
+                report.violation(
+                    "answered",
+                    "a follower was promoted to leader mid-flight — "
+                    "the same spec would evaluate twice")
+                continue
+            if got is None:
+                report.responses_error += 1
+                report.violation(
+                    "answered",
+                    "single-flight follower timed out — never answered "
+                    "after the leader published or crashed")
+                continue
+            status, payload = got
+            if status == "ok":
+                report.responses_ok += 1
+                if _normalized("delay", payload) != truth_b:
+                    report.violation(
+                        "bitwise",
+                        "single-flight follower received a result "
+                        "differing from solo job.run()")
+            else:
+                report.responses_error += 1
+                if plan_inert:
+                    report.violation(
+                        "isolation",
+                        f"single-flight follower rejected with no fault "
+                        f"armed: {payload}")
+
+    # -- post-run invariants ------------------------------------------
+    memory_stats = store.memory.stats()
+    if memory_stats.total_bytes > store.memory.max_bytes:
+        report.violation(
+            "cache",
+            f"memory tier holds {memory_stats.total_bytes} bytes over "
+            f"its {store.memory.max_bytes}-byte budget")
+    _check_cache_integrity(plan, report, store)
+
+
+# ----------------------------------------------------------------------
 # Drivers' front door.
 # ----------------------------------------------------------------------
 def run_plan(plan: FaultPlan, *,
@@ -640,8 +809,9 @@ def run_plan(plan: FaultPlan, *,
     """Drive ``plan`` through the live workloads and check invariants.
 
     Rules naming engine sites route through the
-    :class:`~repro.engine.executor.BatchExecutor` driver and rules
-    naming backend sites through the dual-seam backend driver;
+    :class:`~repro.engine.executor.BatchExecutor` driver, rules naming
+    backend sites through the dual-seam backend driver, and rules
+    naming store sites through the tiered-store/single-flight driver;
     everything else (including an empty plan) routes through the
     socket-level serve driver.  A plan mixing scenarios runs every
     driver it names.
@@ -650,7 +820,9 @@ def run_plan(plan: FaultPlan, *,
     sites = {rule.site for rule in plan.rules}
     engine = bool(sites & ENGINE_SITES)
     backend = bool(sites & BACKEND_SITES)
-    serve = bool(sites - ENGINE_SITES - BACKEND_SITES) or not sites
+    store = bool(sites & STORE_SITES)
+    serve = bool(sites - ENGINE_SITES - BACKEND_SITES - STORE_SITES) \
+        or not sites
 
     with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
         root = Path(cache_root) if cache_root is not None else Path(tmp)
@@ -658,6 +830,8 @@ def run_plan(plan: FaultPlan, *,
             _drive_engine(plan, report, root / "engine")
         if backend:
             _drive_backend(plan, report)
+        if store:
+            _drive_store(plan, report, root / "store")
         if serve:
             _drive_serve(plan, report, root / "serve")
 
@@ -705,12 +879,20 @@ SITE_RULES: Dict[str, Dict[str, Any]] = {
     "backend.worker.crash": {"mode": "first", "n": 3},
     "backend.worker.hang": {"mode": "nth", "n": 1, "delay": 0.01},
     "backend.dispatch.queue_full": {"mode": "nth", "n": 1},
+    # The store driver's Phase A evicts from its fourth put on and
+    # creates the first shard on its first put.
+    "store.memory.evict_race": {"mode": "nth", "n": 1},
+    "store.disk.shard_unwritable": {"mode": "nth", "n": 1},
+    # Phase A publishes exactly six times (one per delay job), so the
+    # seventh publish is Phase B's concurrent hand-off: the leader dies
+    # in front of 16 live followers, who must all still be answered.
+    "store.singleflight.leader_crash": {"mode": "nth", "n": 7},
 }
 
 
 def scenario_plan(scenario: str, *, seed: int = 0) -> FaultPlan:
     """Plan arming every site of one scenario (``cache``/``engine``/
-    ``serve``), or ``all``."""
+    ``serve``/``backend``/``store``), or ``all``."""
     names = [name for name, point in sorted(FAULT_POINTS.items())
              if scenario in ("all", point.scenario)]
     if not names:

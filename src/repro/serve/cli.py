@@ -26,7 +26,8 @@ import sys
 from typing import Any, List, Optional
 
 from ..engine.backends import BACKEND_NAMES
-from ..engine.cache import ResultCache
+from ..engine.store import add_store_arguments, describe_store, \
+    store_from_args
 from .bench import run_backend_benchmark, run_benchmark, strip_responses
 from .client import ServeClient, ServeClientError
 from .server import ReproServer
@@ -65,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "$REPRO_CACHE_DIR or ./.repro-cache)")
     serve_parser.add_argument("--no-cache", action="store_true",
                               help="serve without the result cache")
+    add_store_arguments(serve_parser)
     serve_parser.add_argument("--backend", choices=BACKEND_NAMES,
                               default="thread",
                               help="execution backend batch evaluations "
@@ -120,7 +122,14 @@ def _serve(args: argparse.Namespace) -> int:
         print("repro-serve: --backend-workers must be >= 1",
               file=sys.stderr)
         return 2
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.no_cache:
+        cache = None
+    else:
+        try:
+            cache = store_from_args(args)
+        except ValueError as exc:
+            print(f"repro-serve: {exc}", file=sys.stderr)
+            return 2
     service = ReproService(
         cache=cache, max_batch_size=args.max_batch_size,
         max_linger=args.linger_ms / 1000.0,
@@ -142,7 +151,7 @@ def _serve(args: argparse.Namespace) -> int:
               f"(batch<= {args.max_batch_size}, linger "
               f"{args.linger_ms:g}ms, queue<= {args.queue_depth}, "
               f"backend {service.backend.name}x{service.backend.workers}, "
-              f"cache {'off' if cache is None else cache.root})",
+              f"cache {describe_store(cache)})",
               flush=True)
         await stop.wait()
         print("repro-serve: draining ...", flush=True)

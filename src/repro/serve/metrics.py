@@ -39,6 +39,7 @@ class ServerMetrics:
     cache_hits: Counter = field(default_factory=Counter)    #: by kind
     cache_misses: Counter = field(default_factory=Counter)  #: by kind
     cache_put_failures: Counter = field(default_factory=Counter)  #: by kind
+    coalesced: Counter = field(default_factory=Counter)     #: by kind
     batch_sizes: Counter = field(default_factory=Counter)   #: (kind, size)
     batches: Counter = field(default_factory=Counter)       #: by kind
     latencies: Deque[float] = field(
@@ -62,6 +63,10 @@ class ServerMetrics:
     def record_cache_put_failure(self, kind: str) -> None:
         """A computed result could not be written back to the store."""
         self.cache_put_failures[kind] += 1
+
+    def record_coalesced(self, kind: str) -> None:
+        """A request answered by an identical in-flight evaluation."""
+        self.coalesced[kind] += 1
 
     def record_batch(self, kind: str, size: int) -> None:
         """Batch-size histogram hook wired into each DynamicBatcher."""
@@ -117,6 +122,7 @@ class ServerMetrics:
                 "hit_rate": self.cache_hit_rate(),
                 "put_failures": dict(self.cache_put_failures),
             },
+            "coalesced": dict(self.coalesced),
             "batches": dict(self.batches),
             "batch_size_histogram": {
                 f"{kind}:{size}": count
@@ -142,7 +148,9 @@ class ServerMetrics:
             f"mean size {self.mean_batch_size():.2f}",
             f"cache: {sum(self.cache_hits.values())} hits / "
             f"{sum(self.cache_misses.values())} misses "
-            f"({100.0 * self.cache_hit_rate():.1f}% hit rate)",
+            f"({100.0 * self.cache_hit_rate():.1f}% hit rate)"
+            + (f", {sum(self.coalesced.values())} coalesced"
+               if self.coalesced else ""),
         ]
         percentiles = self.latency_summary()
         if percentiles:

@@ -45,16 +45,16 @@ from ..core.kernels import (StageBatch, critical_inductance_v,
                             threshold_delay_v)
 from ..core.optimize import optimize_repeater, optimize_repeater_many
 from ..engine.backends import Backend, make_backend
-from ..engine.cache import ResultCache
 from ..engine.jobs import _optimum_payload
+from ..engine.store import ResultStore, flight_key
 from ..errors import OptimizationError
 from ..faults import hooks as _faults
 from .batcher import (DEFAULT_MAX_BATCH_SIZE, DEFAULT_MAX_LINGER,
                       DEFAULT_MAX_QUEUE_DEPTH, DynamicBatcher)
 from .metrics import ServerMetrics
-from .protocol import (REQUEST_JOB_TYPES, ServeError, ServeRequest,
-                       ServiceClosedError, encode_error, encode_result,
-                       parse_request)
+from .protocol import (REQUEST_JOB_TYPES, DeadlineExceededError, ServeError,
+                       ServeRequest, ServiceClosedError, encode_error,
+                       encode_result, parse_request)
 
 
 # ----------------------------------------------------------------------
@@ -264,10 +264,15 @@ class ReproService:
     Parameters
     ----------
     cache:
-        Optional :class:`~repro.engine.cache.ResultCache`.  Hits are
-        answered without entering a batch; fresh successes are written
-        back under the engine's salt/schema versioning, so the store is
-        shared coherently with ``repro-batch``.
+        Optional :class:`~repro.engine.store.ResultStore` (disk,
+        memory, or tiered — see :func:`repro.engine.store.make_store`).
+        Hits are answered without entering a batch; fresh successes are
+        written back under the engine's salt/schema versioning, so the
+        store is shared coherently with ``repro-batch``.  Every store
+        ``get``/``put`` runs through the backend's auxiliary I/O lane
+        (:meth:`~repro.engine.backends.Backend.run_io_async`), so a
+        cache hit never opens files or decodes JSON on the event-loop
+        thread (serial backends are inline by design).
     max_batch_size / max_linger / max_queue_depth:
         Batching policy applied to every request class's batcher.
     default_timeout:
@@ -288,7 +293,7 @@ class ReproService:
         the workers go away.
     """
 
-    def __init__(self, *, cache: Optional[ResultCache] = None,
+    def __init__(self, *, cache: Optional[ResultStore] = None,
                  max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
                  max_linger: float = DEFAULT_MAX_LINGER,
                  max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
@@ -313,6 +318,11 @@ class ReproService:
                 on_batch=self.metrics.record_batch,
                 backend=self.backend)
             for kind in REQUEST_JOB_TYPES if kind in table}
+        #: In-flight coalescing table: spec hash -> future resolving to
+        #: ("ok", response) | ("error", exc).  Concurrent identical
+        #: requests (across micro-batches too) collapse onto the first
+        #: one's evaluation and receive its exact response body.
+        self._inflight: Dict[str, "asyncio.Future"] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -339,6 +349,14 @@ class ReproService:
 
         Raises the :class:`~repro.serve.protocol.ServeError` family on
         every failure path (the caller maps them to responses).
+
+        Identical requests already in flight are coalesced: the first
+        (leader) evaluates — at most one evaluation per unique spec no
+        matter how many arrive concurrently — and every follower gets
+        the leader's exact response body (or its failure; leader
+        failure propagates, so followers stay answered-or-rejected).
+        ``no_cache`` requests opt out: they asked for their own fresh
+        evaluation.
         """
         start = time.perf_counter()
         kind = request.kind
@@ -352,40 +370,99 @@ class ReproService:
                 raise ServiceClosedError(
                     f"no batcher serves request kind {kind!r}")
 
-            use_cache = self.cache is not None and not request.no_cache
-            if use_cache:
-                cached = self.cache.get(request.job)
-                self.metrics.record_cache(kind, hit=cached is not None)
-                if cached is not None:
-                    self.metrics.record_outcome(
-                        kind, "ok", time.perf_counter() - start)
-                    return encode_result(kind, cached, cache="hit",
-                                         batch_size=0)
-
-            timeout = (request.timeout if request.timeout is not None
-                       else self.default_timeout)
-            result, batch_size = await batcher.submit(request.job,
-                                                      timeout=timeout)
-            if use_cache and (kind in EXACT_AT_ANY_BATCH_SIZE
-                              or batch_size <= 1):
+            key = None if request.no_cache else flight_key(request.job)
+            if key is not None:
+                leading = self._inflight.get(key)
+                if leading is not None:
+                    return await self._follow(kind, request, leading,
+                                              start)
+                future = asyncio.get_running_loop().create_future()
+                self._inflight[key] = future
                 try:
-                    self.cache.put(request.job, result)
-                except OSError:
-                    # A store failure (full disk, permissions, an
-                    # injected cache.put.os_error) must never fail a
-                    # request whose result is already in hand.
-                    self.metrics.record_cache_put_failure(kind)
-            self.metrics.record_outcome(kind, "ok",
-                                        time.perf_counter() - start)
-            state = ("miss" if use_cache
-                     else "bypass" if request.no_cache and self.cache
-                     else "off")
-            return encode_result(kind, result, cache=state,
-                                 batch_size=batch_size)
+                    response = await self._evaluate(kind, request,
+                                                    batcher, start)
+                except BaseException as exc:
+                    self._inflight.pop(key, None)
+                    future.set_result(("error", exc))
+                    raise
+                self._inflight.pop(key, None)
+                future.set_result(("ok", response))
+                return response
+            return await self._evaluate(kind, request, batcher, start)
         except ServeError as exc:
             self.metrics.record_outcome(kind, exc.code,
                                         time.perf_counter() - start)
             raise
+
+    async def _evaluate(self, kind: str, request: ServeRequest,
+                        batcher: DynamicBatcher,
+                        start: float) -> Dict[str, Any]:
+        """Leader path: cache lookup, batched evaluation, write-back.
+
+        All store I/O runs on the backend's auxiliary I/O lane — a
+        cache hit never opens a file or decodes JSON on the event-loop
+        thread.
+        """
+        use_cache = self.cache is not None and not request.no_cache
+        if use_cache:
+            cached = await self.backend.run_io_async(
+                lambda: self.cache.get(request.job))
+            self.metrics.record_cache(kind, hit=cached is not None)
+            if cached is not None:
+                self.metrics.record_outcome(
+                    kind, "ok", time.perf_counter() - start)
+                return encode_result(kind, cached, cache="hit",
+                                     batch_size=0)
+
+        timeout = (request.timeout if request.timeout is not None
+                   else self.default_timeout)
+        result, batch_size = await batcher.submit(request.job,
+                                                  timeout=timeout)
+        if use_cache and (kind in EXACT_AT_ANY_BATCH_SIZE
+                          or batch_size <= 1):
+            try:
+                await self.backend.run_io_async(
+                    lambda: self.cache.put(request.job, result))
+            except OSError:
+                # A store failure (full disk, permissions, an
+                # injected cache.put.os_error) must never fail a
+                # request whose result is already in hand.
+                self.metrics.record_cache_put_failure(kind)
+        self.metrics.record_outcome(kind, "ok",
+                                    time.perf_counter() - start)
+        state = ("miss" if use_cache
+                 else "bypass" if request.no_cache and self.cache
+                 else "off")
+        return encode_result(kind, result, cache=state,
+                             batch_size=batch_size)
+
+    async def _follow(self, kind: str, request: ServeRequest,
+                      future: "asyncio.Future",
+                      start: float) -> Dict[str, Any]:
+        """Follower path: wait out the in-flight leader's evaluation.
+
+        The future is shielded so one follower's deadline cannot
+        cancel the shared evaluation other waiters (and the leader)
+        depend on.
+        """
+        self.metrics.record_coalesced(kind)
+        timeout = (request.timeout if request.timeout is not None
+                   else self.default_timeout)
+        try:
+            if timeout is not None:
+                status, value = await asyncio.wait_for(
+                    asyncio.shield(future), timeout)
+            else:
+                status, value = await future
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                f"coalesced {kind} request timed out after {timeout:g}s "
+                f"waiting for the in-flight evaluation") from None
+        if status == "error":
+            raise value
+        self.metrics.record_outcome(kind, "ok",
+                                    time.perf_counter() - start)
+        return value
 
     async def handle(self, data: Any) -> tuple:
         """Full protocol path: parse → submit → encode.

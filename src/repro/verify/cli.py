@@ -29,8 +29,8 @@ import sys
 from typing import List, Optional, Tuple
 
 from ..engine.backends import BACKEND_NAMES
-from ..engine.cache import ResultCache
 from ..engine.executor import BatchExecutor
+from ..engine.store import add_store_arguments, store_from_args
 from .cases import VerifyCase, default_case_matrix, load_case_matrix
 from .differential import evaluate_matrix, run_differential
 from .golden import GoldenStore
@@ -60,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="opt-in engine result cache (off by default "
                               "so stale results cannot mask regressions)")
+        add_store_arguments(sub)
 
     run_parser = subparsers.add_parser(
         "run", help="differential sweep against the tolerance ledger")
@@ -103,7 +104,14 @@ def _setup(args: argparse.Namespace
                 f"known: {', '.join(oracle_names())}")
     else:
         names = oracle_names()
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    cache = None
+    if args.cache_dir or args.store:
+        # --store memory opts in to caching without touching disk — a
+        # bounded replay tier for repeated sweeps on unchanging code.
+        try:
+            cache = store_from_args(args)
+        except ValueError as exc:
+            raise SystemExit(f"repro-verify: {exc}")
     executor = BatchExecutor(jobs=args.jobs, cache=cache,
                              backend=args.backend)
     return cases, names, executor

@@ -12,8 +12,8 @@ import pytest
 
 from repro.faults import FAULT_POINTS, FaultPlan
 from repro.faults.cli import main
-from repro.faults.harness import (SITE_RULES, run_campaign, scenario_plan,
-                                  site_plan)
+from repro.faults.harness import (SITE_RULES, run_campaign, run_plan,
+                                  scenario_plan, site_plan)
 
 
 class TestPlanCommand:
@@ -105,6 +105,27 @@ class TestCampaignPresets:
     def test_scenario_all_covers_registry(self):
         plan = scenario_plan("all")
         assert {rule.site for rule in plan.rules} == set(FAULT_POINTS)
+
+
+class TestStoreScenario:
+    def test_leader_crash_answers_every_follower(self):
+        """16 followers watch their leader die; all are rejected, none
+        hang — the single-flight answered-or-rejected contract."""
+        report = run_plan(site_plan("store.singleflight.leader_crash"))
+        assert report.ok, report.format_summary()
+        assert report.fired.get("store.singleflight.leader_crash") == 1
+        # Phase A's six solo evaluations succeed; Phase B's sixteen
+        # followers are all answered with the injected failure.
+        assert report.responses_ok == 6
+        assert report.responses_error == 16
+
+    def test_store_scenario_holds_invariants(self):
+        report = run_plan(scenario_plan("store"))
+        assert report.ok, report.format_summary()
+        for site in ("store.memory.evict_race",
+                     "store.disk.shard_unwritable",
+                     "store.singleflight.leader_crash"):
+            assert report.fired.get(site), f"{site} never fired"
 
 
 @pytest.mark.slow

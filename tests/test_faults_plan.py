@@ -218,8 +218,9 @@ class TestHooks:
 
 
 def test_registry_sites_have_scenarios_and_descriptions():
-    assert len(FAULT_POINTS) == 18
+    assert len(FAULT_POINTS) == 21
     for name, point in FAULT_POINTS.items():
         assert point.name == name
-        assert point.scenario in ("cache", "engine", "serve", "backend")
+        assert point.scenario in ("cache", "engine", "serve", "backend",
+                                  "store")
         assert point.description
