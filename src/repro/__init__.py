@@ -20,7 +20,10 @@ Public API highlights
 # 1.2.0: optimizer stack on the kernel layer (repro.core.evaluate); the
 # OptimizeJob payload gained a "trace" entry, so the bump salts the engine's
 # content-addressed cache and keeps pre-trace results from being replayed.
-__version__ = "1.2.0"
+# 1.2.1: canonical_json now serializes with allow_nan=False (strict JSON on
+# every payload path); byte-identical for finite payloads, but the salted
+# jobs module changed, so the bump re-blesses the salt fingerprint.
+__version__ = "1.2.1"
 
 from . import units
 from .core import (Damping, DelayBatchResult, DelayResult,

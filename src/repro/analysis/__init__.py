@@ -7,6 +7,10 @@
   peak/rms current densities (Fig. 12).
 * :mod:`~repro.analysis.reliability` — gate-oxide overstress and
   electromigration/Joule-heating screens (Sec. 3.3.2).
+* :mod:`~repro.analysis.lint` — the static invariant plane
+  (``repro-lint``): stdlib-``ast`` rules enforcing the stack's
+  correctness contracts in CI.  Deliberately not re-exported here;
+  it is a tool plane, not part of the numerical API.
 """
 
 from .crosstalk import CrosstalkReport, measure_crosstalk

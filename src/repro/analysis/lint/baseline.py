@@ -1,0 +1,56 @@
+"""Baseline files: grandfathering pre-existing findings, nothing else.
+
+A baseline maps finding fingerprints (line-number-independent, see
+:meth:`~repro.analysis.lint.findings.Finding.fingerprint`) to counts.
+``repro-lint run --baseline FILE`` consumes matching findings instead
+of reporting them; ``repro-lint baseline --out FILE`` records the
+current tree.  The shipped tree carries an *empty* baseline by policy —
+deliberate exemptions belong in justified inline suppressions where
+reviewers see them, not in a side file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+BASELINE_SCHEMA = 1
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    counts = Counter(f.fingerprint() for f in findings)
+    payload = {"schema": BASELINE_SCHEMA,
+               "entries": dict(sorted(counts.items()))}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               allow_nan=False) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    entries = data["entries"]
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: baseline entries must be an object")
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Dict[str, int]
+                   ) -> Tuple[List[Finding], int]:
+    """Drop findings covered by ``baseline``; returns (kept, consumed)."""
+    budget = Counter(baseline)
+    kept: List[Finding] = []
+    consumed = 0
+    for finding in findings:
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            consumed += 1
+        else:
+            kept.append(finding)
+    return kept, consumed

@@ -1,0 +1,216 @@
+"""The lint engine: file walk, rule dispatch, suppressions, reports.
+
+One :class:`LintEngine` run is deterministic and side-effect-free: it
+parses every ``.py`` file under the requested paths once, hands the
+shared :class:`~repro.analysis.lint.resolver.ModuleContext` objects to
+each rule's module hook and the whole project to each project hook,
+then reconciles inline suppressions:
+
+* a finding whose line carries ``# repro: ignore[<its rule>] -- why``
+  is recorded as suppressed (reported in JSON, not counted against the
+  exit code);
+* a malformed or justification-less directive is itself an RPR900
+  finding;
+* a directive naming a rule that did not fire on its target line is an
+  RPR901 finding — suppressions must die with the code they excuse.
+
+The result is a :class:`LintReport` with stable ordering (path, line,
+rule), ready for text or JSON rendering and for baseline application.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .baseline import apply_baseline
+from .findings import Finding, Severity
+from .resolver import ModuleContext
+from .rules import ALL_RULES, BaseRule
+
+
+@dataclass
+class LintProject:
+    """Everything a project-scope rule may inspect."""
+
+    root: Path
+    modules: List[ModuleContext] = field(default_factory=list)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    root: str
+    paths: List[str]
+    findings: List[Finding]
+    suppressed: List[Tuple[Finding, str]]
+    baseline_consumed: int
+    files_scanned: int
+    parse_errors: List[Tuple[str, str]]
+    duration_s: float
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.severity is Severity.ERROR]
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors and not self.parse_errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "tool": "repro-lint",
+            "root": self.root,
+            "paths": list(self.paths),
+            "files_scanned": self.files_scanned,
+            "duration_s": round(self.duration_s, 3),
+            "findings": [f.to_payload() for f in self.findings],
+            "suppressed": [
+                {**f.to_payload(), "justification": justification}
+                for f, justification in self.suppressed],
+            "baseline_consumed": self.baseline_consumed,
+            "parse_errors": [{"path": p, "error": e}
+                             for p, e in self.parse_errors],
+            "summary": {
+                "error": sum(1 for f in self.findings
+                             if f.severity is Severity.ERROR),
+                "warning": sum(1 for f in self.findings
+                               if f.severity is Severity.WARNING),
+                "suppressed": len(self.suppressed),
+            },
+            "clean": self.clean,
+            "exit_code": self.exit_code,
+        }
+
+    def format_text(self) -> str:
+        lines = [f.format_text() for f in self.findings]
+        for path, error in self.parse_errors:
+            lines.append(f"{path}:1:0: ERROR parse {error}")
+        counts = self.to_payload()["summary"]
+        lines.append(
+            f"repro-lint: {self.files_scanned} files, "
+            f"{counts['error']} error(s), {counts['warning']} "
+            f"warning(s), {counts['suppressed']} suppressed"
+            + (f", {self.baseline_consumed} baselined"
+               if self.baseline_consumed else "")
+            + f" [{self.duration_s:.2f}s]")
+        return "\n".join(lines)
+
+
+def _iter_python_files(root: Path,
+                       paths: Sequence[str]) -> List[Path]:
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for entry in paths:
+        target = (root / entry).resolve()
+        if target.is_file() and target.suffix == ".py":
+            candidates = [target]
+        elif target.is_dir():
+            candidates = sorted(p for p in target.rglob("*.py")
+                                if "__pycache__" not in p.parts)
+        else:
+            continue
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                out.append(path)
+    return out
+
+
+class LintEngine:
+    """Run a rule set over a project tree."""
+
+    def __init__(self, root: "Path | str",
+                 rules: Optional[Sequence[BaseRule]] = None) -> None:
+        self.root = Path(root).resolve()
+        self.rules: Tuple[BaseRule, ...] = tuple(
+            rules if rules is not None else ALL_RULES)
+
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[str],
+            baseline: Optional[Dict[str, int]] = None) -> LintReport:
+        start = time.perf_counter()
+        project = LintProject(root=self.root)
+        parse_errors: List[Tuple[str, str]] = []
+        for path in _iter_python_files(self.root, paths):
+            rel = path.relative_to(self.root).as_posix() \
+                if self.root in path.parents or path == self.root \
+                else path.as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                project.modules.append(ModuleContext(path, rel, source))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                parse_errors.append((rel, str(exc)))
+
+        raw: List[Finding] = []
+        for ctx in project.modules:
+            for rule in self.rules:
+                raw.extend(rule.check_module(ctx))
+        for rule in self.rules:
+            raw.extend(rule.check_project(project))
+
+        findings, suppressed = self._apply_suppressions(project, raw)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+        consumed = 0
+        if baseline:
+            findings, consumed = apply_baseline(findings, baseline)
+
+        return LintReport(
+            root=str(self.root), paths=list(paths), findings=findings,
+            suppressed=suppressed, baseline_consumed=consumed,
+            files_scanned=len(project.modules),
+            parse_errors=parse_errors,
+            duration_s=time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    def _apply_suppressions(
+            self, project: LintProject, raw: List[Finding]
+    ) -> Tuple[List[Finding], List[Tuple[Finding, str]]]:
+        findings: List[Finding] = []
+        suppressed: List[Tuple[Finding, str]] = []
+        by_module = {ctx.rel: ctx for ctx in project.modules}
+
+        # (path, target_line, rule) -> suppression; built per module.
+        live: Dict[Tuple[str, int, str], Any] = {}
+        used: Set[Tuple[str, int, str]] = set()
+        for ctx in by_module.values():
+            for sup in ctx.suppressions:
+                for rule_id in sup.rules:
+                    live[(ctx.rel, sup.target_line, rule_id)] = sup
+            for line, reason in ctx.malformed_suppressions:
+                findings.append(Finding(
+                    rule="RPR900", severity=Severity.ERROR,
+                    path=ctx.rel, line=line, col=0, message=reason,
+                    line_text=ctx.line_text(line)))
+
+        for finding in raw:
+            key = (finding.path, finding.line, finding.rule)
+            sup = live.get(key)
+            if sup is not None:
+                used.add(key)
+                suppressed.append((finding, sup.justification))
+            else:
+                findings.append(finding)
+
+        for key, sup in sorted(live.items()):
+            if key in used:
+                continue
+            path, _line, rule_id = key
+            ctx = by_module[path]
+            findings.append(Finding(
+                rule="RPR901", severity=Severity.ERROR, path=path,
+                line=sup.line, col=0,
+                message=f"suppression for {rule_id} is unused (the rule "
+                        f"does not fire on line {sup.target_line}); "
+                        f"delete the stale directive",
+                line_text=ctx.line_text(sup.line)))
+        return findings, suppressed

@@ -1,0 +1,82 @@
+"""Structured findings: what a rule reports and how it is rendered.
+
+A :class:`Finding` is one violation anchored to a file position.  The
+engine owns severity aggregation and suppression bookkeeping; rules only
+construct findings.  Everything is JSON-serializable so the CI artifact
+(``repro-lint run --format json``) carries the full record.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the run (exit code 1); ``WARNING`` findings
+    are reported but do not gate.  Every shipped rule is ``ERROR`` —
+    the invariants they encode are hard contracts, not style.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source position.
+
+    ``path`` is project-root-relative (posix separators) so reports are
+    machine-portable; ``line``/``col`` are 1-based/0-based as in the
+    :mod:`ast` convention.  ``line_text`` (the stripped source line)
+    feeds the baseline fingerprint, which must survive unrelated line
+    drift above the finding.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    line_text: str = ""
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by baseline files."""
+        text = f"{self.rule}:{self.path}:{self.line_text}"
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"rule": self.rule, "severity": str(self.severity),
+                "path": self.path, "line": self.line, "col": self.col,
+                "message": self.message,
+                "fingerprint": self.fingerprint()}
+
+    def format_text(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{str(self.severity).upper()} {self.rule} {self.message}")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: ignore[RPRxxx] -- justification`` comment.
+
+    ``line`` is where the comment sits; ``target_line`` is the code line
+    it governs (the same line for a trailing comment, the next code line
+    for a standalone one).  A suppression with an empty justification or
+    naming a rule that does not fire at its target is itself a finding
+    (RPR900 / RPR901) — stale suppressions must not silently accumulate.
+    """
+
+    line: int
+    target_line: int
+    rules: Tuple[str, ...]
+    justification: str
+    raw: str = field(default="", compare=False)

@@ -1,0 +1,133 @@
+"""AST fingerprints of the cache-salted numerical modules (RPR003).
+
+The engine's content-addressed result store replays records across runs
+under one contract: the salt (``repro.__version__`` + engine schema)
+changes whenever the numerical code that produced the records changes.
+The modules that define "the numerical code" for every cached payload
+are the kernel layer, the evaluator layer, and the job ``run``/
+``to_payload`` paths.  This module computes a comment- and
+formatting-insensitive fingerprint of each and compares it against the
+committed artifact ``src/repro/analysis/salt_fingerprint.json``:
+
+* fingerprints changed while ``__version__`` stayed put -> the PR is
+  silently invalidating the salt contract (stale cache replays) and the
+  lint run fails;
+* ``__version__`` (or the engine schema) changed -> the artifact must
+  be refreshed in the same PR via
+  ``repro-lint baseline --update-fingerprint``, which is the release-
+  checklist step that records the new blessed state.
+
+Docstrings are stripped before hashing, so editing prose never demands
+a version bump; any executable change does.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Modules whose AST participates in the cache-salt contract, relative
+#: to the project root.  Extend this when a new module starts feeding
+#: bytes into cached payloads.
+SALTED_MODULES = (
+    "src/repro/core/kernels.py",
+    "src/repro/core/evaluate.py",
+    "src/repro/engine/jobs.py",
+)
+
+#: The committed artifact (project-root relative).
+FINGERPRINT_PATH = "src/repro/analysis/salt_fingerprint.json"
+
+#: Where ``__version__`` and ``ENGINE_SCHEMA_VERSION`` are declared.
+VERSION_MODULE = "src/repro/__init__.py"
+SCHEMA_MODULE = "src/repro/engine/store.py"
+
+
+def _strip_docstrings(tree: ast.AST) -> ast.AST:
+    """Remove docstring expressions so prose edits do not change hashes."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = node.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                node.body = body[1:] or [ast.Pass()]
+    return tree
+
+
+def source_fingerprint(source: str) -> str:
+    """SHA-256 of the docstring-stripped AST dump of ``source``."""
+    tree = _strip_docstrings(ast.parse(source))
+    return hashlib.sha256(ast.dump(tree).encode("utf-8")).hexdigest()
+
+
+def _read_module_constant(root: Path, rel: str, name: str) -> Optional[str]:
+    """Static read of a module-level ``name = <literal>`` assignment."""
+    path = root / rel
+    if not path.is_file():
+        return None
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError:
+        return None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Name) and target.id == name
+                        and isinstance(node.value, ast.Constant)):
+                    return str(node.value.value)
+    return None
+
+
+def read_version(root: Path) -> Optional[str]:
+    """``repro.__version__`` read statically (no import of the tree)."""
+    return _read_module_constant(root, VERSION_MODULE, "__version__")
+
+
+def read_engine_schema(root: Path) -> Optional[str]:
+    return _read_module_constant(root, SCHEMA_MODULE,
+                                 "ENGINE_SCHEMA_VERSION")
+
+
+def current_fingerprints(root: Path) -> Dict[str, str]:
+    """Fingerprint every salted module present under ``root``."""
+    out: Dict[str, str] = {}
+    for rel in SALTED_MODULES:
+        path = root / rel
+        if path.is_file():
+            out[rel] = source_fingerprint(
+                path.read_text(encoding="utf-8"))
+    return out
+
+
+def load_artifact(root: Path) -> Optional[Dict[str, object]]:
+    path = root / FINGERPRINT_PATH
+    if not path.is_file():
+        return None
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def build_artifact(root: Path) -> Dict[str, object]:
+    return {
+        "version": read_version(root),
+        "engine_schema": read_engine_schema(root),
+        "modules": current_fingerprints(root),
+    }
+
+
+def write_artifact(root: Path) -> Path:
+    """Refresh the committed artifact from the current tree state."""
+    path = root / FINGERPRINT_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = build_artifact(root)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               allow_nan=False) + "\n", encoding="utf-8")
+    return path

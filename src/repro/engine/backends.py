@@ -259,6 +259,9 @@ class Backend:
         if pool is not None:
             try:
                 pool.shutdown(wait=True)
+            # repro: ignore[RPR007] -- best-effort close of the aux I/O
+            # pool: shutdown failure modes depend on interpreter state
+            # and there is no caller that could act on them.
             except Exception:  # noqa: BLE001 — closing is best-effort
                 pass
 
@@ -463,6 +466,9 @@ class _PoolBackend(Backend):
         if pool is not None:
             try:
                 pool.shutdown(wait=wait, cancel_futures=not wait)
+            # repro: ignore[RPR007] -- best-effort discard of a (possibly
+            # already broken) pool; a shutdown failure must not mask the
+            # batch error that triggered the discard.
             except Exception:  # noqa: BLE001 — closing is best-effort
                 pass
 
@@ -475,6 +481,9 @@ def _shutdown_pool_quietly(pool: Any) -> None:
     """Finalizer target: reclaim a pool the owner never closed."""
     try:
         pool.shutdown(wait=False, cancel_futures=True)
+    # repro: ignore[RPR007] -- finalizer runs during GC/interpreter
+    # teardown where arbitrary modules may already be gone; any raise
+    # here would be swallowed (or crash teardown) anyway.
     except Exception:  # noqa: BLE001 — interpreter may be tearing down
         pass
 

@@ -127,7 +127,8 @@ def _run(args: argparse.Namespace) -> int:
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(report.to_payload(), handle, sort_keys=True, indent=2)
+            json.dump(report.to_payload(), handle, sort_keys=True,
+                      indent=2, allow_nan=False)
             handle.write("\n")
         print(f"results written to {args.out}")
     return 0 if report.all_ok else 1

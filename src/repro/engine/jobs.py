@@ -45,6 +45,11 @@ def canonical_json(obj: Any) -> str:
     the content.  ``float`` round-trips exactly through ``repr``, so equal
     specs hash equally and unequal ones (almost surely) do not.
     """
+    # repro: ignore[RPR004] -- digest preimage, not a payload path: this
+    # text feeds sha256 for cache/flight keys and is never parsed by a
+    # strict peer.  Strict encoding here would crash key computation on
+    # a non-finite spec *before* the engine/serve layers can answer it
+    # with their structured evaluation error.
     return json.dumps(jsonify(obj), sort_keys=True, separators=(",", ":"))
 
 

@@ -308,7 +308,7 @@ class DiskStore(ResultStore):
                     dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp")
                 os.close(stale_fd)
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
+                json.dump(record, handle, sort_keys=True, allow_nan=False)
             if _faults.ACTIVE is not None:
                 _faults.fire("cache.put.os_error", record=path.name)
             os.replace(tmp, path)

@@ -205,9 +205,11 @@ class DynamicBatcher:
             except asyncio.CancelledError:
                 if not task.cancelled():
                     raise  # close() itself was cancelled mid-await
+            # repro: ignore[RPR007] -- the drain task can die with any
+            # exception type; close() must still run the flush below so
+            # every admitted lane is answered-or-rejected (the abnormal
+            # death itself is already surfaced per-lane as rejections).
             except Exception:  # noqa: BLE001 — flush below regardless
-                # A drain task that died abnormally must not abort the
-                # close: the flush below still answers whatever it left.
                 pass
             self._task = None
         # Flush in-flight dispatches: every batch already handed to the
@@ -304,11 +306,12 @@ class DynamicBatcher:
             if self.on_batch is not None:
                 try:
                     self.on_batch(self.kind, len(live))
+                # repro: ignore[RPR007] -- the on_batch metrics hook is
+                # advisory and caller-supplied: a raising hook once
+                # killed the drain task here, silently orphaning every
+                # popped lane; answered-or-rejected outranks the
+                # histogram, so any hook failure is deliberately dropped.
                 except Exception:  # noqa: BLE001 — metrics are advisory
-                    # A raising metrics hook once killed the drain task
-                    # here, silently orphaning every popped lane; the
-                    # answered-or-rejected invariant outranks the
-                    # histogram.
                     pass
 
             task = loop.create_task(self._dispatch_batch(live))

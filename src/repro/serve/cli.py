@@ -191,15 +191,16 @@ def _request(args: argparse.Namespace) -> int:
             else:
                 responses = client.evaluate_many(documents)
         except ServeClientError as exc:
-            print(json.dumps({"ok": False, "error": exc.error},
-                             indent=2, sort_keys=True))
+            print(json.dumps({"ok": False, "error": exc.error}, indent=2,
+                             sort_keys=True, allow_nan=False))
             return 1
         except (ConnectionError, OSError) as exc:
             print(f"repro-serve: cannot reach {args.url}: {exc}",
                   file=sys.stderr)
             return 2
     for response in responses:
-        print(json.dumps(response, indent=2, sort_keys=True))
+        print(json.dumps(response, indent=2, sort_keys=True,
+                         allow_nan=False))
     return 0 if all(r.get("ok") for r in responses) else 1
 
 
@@ -238,7 +239,8 @@ def _bench(args: argparse.Namespace) -> int:
               f"{report['speedup']:.2f}x")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(persisted, handle, indent=2, sort_keys=True)
+            json.dump(persisted, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
             handle.write("\n")
         print(f"report written to {args.out}")
     return 0

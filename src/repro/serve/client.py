@@ -93,7 +93,7 @@ class ServeClient:
     # ------------------------------------------------------------------
     def evaluate(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """POST one request; returns the success body or raises."""
-        body = json.dumps(request).encode("utf-8")
+        body = json.dumps(request, allow_nan=False).encode("utf-8")
         return self._request_json("POST", "/v1/evaluate", body)
 
     def evaluate_many(self, requests: Sequence[Dict[str, Any]]
@@ -104,7 +104,8 @@ class ServeClient:
         rather than raising, mirroring the batcher's per-lane fault
         isolation.
         """
-        body = ("\n".join(json.dumps(request) for request in requests)
+        body = ("\n".join(json.dumps(request, allow_nan=False)
+                          for request in requests)
                 + "\n").encode("utf-8")
         status, payload = self._request("POST", "/v1/evaluate", body)
         if status != 200:

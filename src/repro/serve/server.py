@@ -311,7 +311,7 @@ class ReproServer:
 _NONFINITE_BODY = (json.dumps(
     _error_body("internal",
                 "response contained a non-finite number"),
-    sort_keys=True) + "\n").encode("utf-8")
+    sort_keys=True, allow_nan=False) + "\n").encode("utf-8")
 
 
 def _json_bytes(payload: Any) -> bytes:

@@ -250,6 +250,15 @@ UNIT_TOLERANCES: Dict[str, float] = {
     "delay.brent_vs_newton.rel": 1e-9,
     # Source-form equivalence (Stage / Moments / StepResponse inputs).
     "delay.source_equivalence.rel": 1e-12,
+    # tests/test_delay_underdamped.py --------------------------------------
+    # Delay continuity across the l_crit classification boundary: the
+    # over/underdamped branches agree to solver precision at the seam, but
+    # the +-1e-9 parameter nudge itself moves the crossing by O(1e-7).
+    "delay.critical_boundary_continuity.rel": 1e-6,
+    # A raw (unguarded) Newton iterate is only polished to the 1e-6
+    # residual its stopping rule promises — far looser than the bracketed
+    # on-threshold bound above, which is the point of the guard.
+    "delay.newton_crossing_residual.abs": 1e-6,
     # tests/test_response.py ----------------------------------------------
     # v(0) = 0 exactly up to float roundoff.
     "response.initial_value.abs": 1e-12,
@@ -261,6 +270,19 @@ UNIT_TOLERANCES: Dict[str, float] = {
     "response.overshoot_sampled.rel": 1e-3,
     # Analytic derivative vs central finite difference.
     "response.derivative_fd.rel": 1e-5,
+    # dv/dt(0) of a second-order response is exactly zero; the bound is
+    # absolute because the derivative carries 1/s units (~1e9 scale), so
+    # 1e-3 is ~1e-12 relative to the peak slope.
+    "response.initial_slope.abs": 1e-3,
+    # Closed-form overshoot exp(-pi zeta / sqrt(1 - zeta^2)) vs the
+    # analytic peak evaluation: same formula, float roundoff only.
+    "response.canonical_overshoot.rel": 1e-9,
+    # First undershoot depth = overshoot^2 (envelope identity): analytic
+    # vs analytic, float roundoff only.
+    "response.undershoot_square.rel": 1e-9,
+    # dv/dt at the solved peak time: peak_time is a closed form, so the
+    # residual slope is float cancellation at the ~1e9 1/s scale.
+    "response.derivative_at_peak.abs": 1e-2,
     # tests/test_integration.py -------------------------------------------
     # Simulator vs exact inversion: ladder discretization only.
     "integration.sim_vs_exact.rel": 0.03,

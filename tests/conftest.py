@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro import (NODE_100NM, NODE_250NM, DriverParams, LineParams, Stage,
                    rc_optimum, units)
+
+
+@pytest.fixture
+def repo_root():
+    """The project root (parent of src/ and tests/), for self-scans."""
+    return Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(params=["250nm", "100nm"], ids=["250nm", "100nm"])

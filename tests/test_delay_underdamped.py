@@ -88,7 +88,8 @@ class TestNearUnityThreshold:
                       h=2e-3, k=100.0)
         result = threshold_delay(stage, 1.0 - 1e-6)
         response = StepResponse.from_moments(compute_moments(stage))
-        assert response(result.tau) == pytest.approx(1.0 - 1e-6, abs=1e-9)
+        assert response(result.tau) == pytest.approx(
+            1.0 - 1e-6, abs=unit_tolerance("delay.on_threshold.abs"))
 
 
 class TestCriticalBoundary:
@@ -97,7 +98,9 @@ class TestCriticalBoundary:
         stage = _underdamped_stage(1.0 + offset)
         at_crit = threshold_delay(_underdamped_stage(1.0), 0.5).tau
         near = threshold_delay(stage, 0.5).tau
-        assert near == pytest.approx(at_crit, rel=1e-6)
+        assert near == pytest.approx(
+            at_crit,
+            rel=unit_tolerance("delay.critical_boundary_continuity.rel"))
 
     def test_classification_flips_at_boundary(self):
         below = threshold_delay(_underdamped_stage(1.0 - 1e-6), 0.5)
@@ -120,7 +123,9 @@ class TestNewtonFallbacks:
         tau_first = threshold_delay(stage, 0.9, polish_with_newton=False).tau
         seed = 1.5 * response.peak_time()
         tau_newton, _ = delay_mod.newton_delay(response, 0.9, seed)
-        assert response(tau_newton) == pytest.approx(0.9, abs=1e-6)
+        assert response(tau_newton) == pytest.approx(
+            0.9,
+            abs=unit_tolerance("delay.newton_crossing_residual.abs"))
         assert tau_newton > 2.0 * tau_first
         # The guarded solver is immune to the hazard.
         assert threshold_delay(stage, 0.9).tau == pytest.approx(

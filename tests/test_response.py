@@ -37,7 +37,8 @@ class TestEvaluation:
     def test_initial_slope_zero(self, stage_rlc):
         """A two-pole response has zero slope at t = 0 (second order)."""
         response = StepResponse.from_moments(compute_moments(stage_rlc))
-        assert response.derivative(0.0) == pytest.approx(0.0, abs=1e-3)
+        assert response.derivative(0.0) == pytest.approx(
+            0.0, abs=unit_tolerance("response.initial_slope.abs"))
 
     def test_from_poles_equals_from_moments(self, stage_rlc):
         moments = compute_moments(stage_rlc)
@@ -89,7 +90,9 @@ class TestMetrics:
         for zeta in (0.2, 0.5, 0.7):
             response = canonical_response(zeta, 1e9)
             expected = math.exp(-math.pi * zeta / math.sqrt(1 - zeta * zeta))
-            assert response.overshoot() == pytest.approx(expected, rel=1e-9)
+            assert response.overshoot() == pytest.approx(
+                expected,
+                rel=unit_tolerance("response.canonical_overshoot.rel"))
 
     def test_overshoot_matches_sampled_peak(self, stage_rlc):
         response = StepResponse.from_moments(compute_moments(stage_rlc))
@@ -102,14 +105,16 @@ class TestMetrics:
         """First undershoot depth = overshoot^2 for a two-pole system."""
         response = StepResponse.from_moments(compute_moments(stage_rlc))
         assert response.undershoot() == pytest.approx(
-            response.overshoot() ** 2, rel=1e-9)
+            response.overshoot() ** 2,
+            rel=unit_tolerance("response.undershoot_square.rel"))
 
     def test_peak_time_is_pi_over_wd(self, stage_rlc):
         response = StepResponse.from_moments(compute_moments(stage_rlc))
         t_peak = response.peak_time()
         assert t_peak == pytest.approx(math.pi / response.damped_frequency)
         # The derivative vanishes at the peak.
-        assert response.derivative(t_peak) == pytest.approx(0.0, abs=1e-2)
+        assert response.derivative(t_peak) == pytest.approx(
+            0.0, abs=unit_tolerance("response.derivative_at_peak.abs"))
 
     def test_settling_time_envelope_bound(self, stage_rlc):
         response = StepResponse.from_moments(compute_moments(stage_rlc))
